@@ -1,0 +1,228 @@
+(* Benchmark and figure-regeneration harness.
+
+   With no arguments, regenerates every figure of the paper's evaluation
+   (Fig 2a, Fig 2b, Fig 3), runs the ablation benches from DESIGN.md and
+   finishes with the Bechamel microbenchmarks of the datapath.
+
+   Targets (as arguments): fig2a fig2b fig3 [--full]
+   ablation-delta ablation-alpha ablation-epoch ablation-timing
+   ablation-policy micro all *)
+
+let fig2_result = ref None
+
+let fig2 () =
+  match !fig2_result with
+  | Some r -> r
+  | None ->
+      let r = Cluster.Fig2.run () in
+      fig2_result := Some r;
+      r
+
+let run_fig2a () = Cluster.Fig2.print (fig2 ())
+
+let run_fig3 ~full () =
+  let result =
+    if full then
+      (* The paper's timeline: injection at t = 100 s of a ~200 s run. *)
+      Cluster.Fig3.run ~duration:(Des.Time.sec 200)
+        ~inject_at:(Des.Time.sec 100) ()
+    else
+      Cluster.Fig3.run ~duration:(Des.Time.sec 30)
+        ~inject_at:(Des.Time.sec 10) ()
+  in
+  Cluster.Fig3.print result
+
+let run_ablation_alpha () =
+  Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ())
+
+let run_ablation_epoch () =
+  Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ())
+
+let run_ablation_timing () =
+  Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ())
+
+let run_ablation_policy () =
+  Cluster.Fig3.print (Cluster.Ablations.policy_comparison ())
+
+let run_ablation_far () =
+  Cluster.Ablations.print_far (Cluster.Ablations.far_clients ())
+
+let run_ablation_herd () =
+  Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ())
+
+let run_ablation_dependency () =
+  Cluster.Dependency.print (Cluster.Dependency.run_cases ())
+
+let run_ablation_estimator () =
+  Cluster.Ablations.print_estimator (Cluster.Ablations.estimator_comparison ())
+
+let run_ablation_source () =
+  Cluster.Ablations.print_source (Cluster.Ablations.source_comparison ())
+
+(* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let names n = Array.init n (fun i -> Fmt.str "server-%d" i) in
+  let build_table n =
+    Test.make
+      ~name:(Fmt.str "maglev populate n=%d m=4099" n)
+      (Staged.stage (fun () ->
+           Maglev.Table.populate ~size:4099
+             ~backends:(Array.map (fun s -> (s, 1.0)) (names n))))
+  in
+  let pool = Maglev.Pool.create ~names:(names 16) () in
+  let lookup =
+    let h = ref 17 in
+    Test.make ~name:"maglev lookup"
+      (Staged.stage (fun () ->
+           h := (!h * 1103515245) + 12345;
+           Maglev.Pool.lookup pool (!h land max_int)))
+  in
+  let flow_hash =
+    let key =
+      Netsim.Flow_key.v
+        ~src:(Netsim.Addr.v 100 10001)
+        ~dst:(Netsim.Addr.v 1 11211)
+    in
+    Test.make ~name:"flow_key hash"
+      (Staged.stage (fun () -> Netsim.Flow_key.hash key))
+  in
+  let fixed =
+    let ft = Inband.Fixed_timeout.create ~delta:(Des.Time.us 64) ~now:0 in
+    let now = ref 0 in
+    Test.make ~name:"fixed_timeout per packet"
+      (Staged.stage (fun () ->
+           now := !now + 10_000;
+           Inband.Fixed_timeout.on_packet ft ~now:!now))
+  in
+  let ensemble =
+    let e = Inband.Ensemble.create ~config:Inband.Config.default in
+    let f = Inband.Ensemble.create_flow e ~now:0 in
+    let now = ref 0 in
+    Test.make ~name:"ensemble (k=7) per packet"
+      (Staged.stage (fun () ->
+           now := !now + 10_000;
+           Inband.Ensemble.on_packet e f ~now:!now))
+  in
+  let controller =
+    let pool2 = Maglev.Pool.create ~table_size:4099 ~names:(names 2) () in
+    let c =
+      Inband.Controller.create
+        ~config:
+          { Inband.Config.default with Inband.Config.control_interval = 0 }
+        ~pool:pool2
+    in
+    let now = ref 0 in
+    Test.make ~name:"controller on_sample (incl rebuild m=4099)"
+      (Staged.stage (fun () ->
+           now := !now + 1_000_000;
+           Inband.Controller.on_sample c ~now:!now
+             ~server:(!now / 1_000_000 mod 2)
+             (Des.Time.us 200)))
+  in
+  let histogram =
+    let h = Stats.Histogram.create () in
+    let v = ref 1 in
+    Test.make ~name:"histogram record"
+      (Staged.stage (fun () ->
+           v := (!v * 7) mod 10_000_000;
+           Stats.Histogram.record h !v))
+  in
+  Test.make_grouped ~name:"micro"
+    [
+      build_table 2;
+      build_table 16;
+      lookup;
+      flow_hash;
+      fixed;
+      ensemble;
+      controller;
+      histogram;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* The figure experiments leave a large live heap behind (notably the
+     cached Fig 2 sample lists), which makes Bechamel's per-sample GC
+     stabilization dominate the measurements: drop the cache and compact
+     first. *)
+  fig2_result := None;
+  Gc.compact ();
+  print_endline (Cluster.Report.section "Microbenchmarks (Bechamel, ns/op)");
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Fmt.str "%.1f" e
+        | Some _ | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Fmt.str "%.4f" r
+        | None -> "-"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  let sorted = List.sort compare !rows in
+  print_endline
+    (Cluster.Report.table ~headers:[ "benchmark"; "ns/op"; "r^2" ] sorted)
+
+(* --- driver ----------------------------------------------------------- *)
+
+let targets =
+  [
+    ("fig2a", fun () -> run_fig2a ());
+    ("fig2b", fun () -> run_fig2a ());
+    ("fig3", fun () -> run_fig3 ~full:false ());
+    ("ablation-delta", fun () -> run_fig2a ());
+    ("ablation-alpha", fun () -> run_ablation_alpha ());
+    ("ablation-epoch", fun () -> run_ablation_epoch ());
+    ("ablation-timing", fun () -> run_ablation_timing ());
+    ("ablation-policy", fun () -> run_ablation_policy ());
+    ("ablation-far", fun () -> run_ablation_far ());
+    ("ablation-herd", fun () -> run_ablation_herd ());
+    ("ablation-dependency", fun () -> run_ablation_dependency ());
+    ("ablation-estimator", fun () -> run_ablation_estimator ());
+    ("ablation-source", fun () -> run_ablation_source ());
+    ("micro", fun () -> run_micro ());
+  ]
+
+let run_all ~full () =
+  run_fig2a ();
+  run_fig3 ~full ();
+  run_ablation_alpha ();
+  run_ablation_epoch ();
+  run_ablation_timing ();
+  run_ablation_policy ();
+  run_ablation_far ();
+  run_ablation_herd ();
+  run_ablation_dependency ();
+  run_ablation_estimator ();
+  run_ablation_source ();
+  run_micro ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  match args with
+  | [] | [ "all" ] -> run_all ~full ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name targets with
+          | Some f -> if name = "fig3" then run_fig3 ~full () else f ()
+          | None ->
+              Fmt.epr "unknown target %S; available: %s, all@." name
+                (String.concat ", " (List.map fst targets));
+              exit 1)
+        names

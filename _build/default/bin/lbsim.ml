@@ -1,0 +1,402 @@
+(* lbsim — command-line driver for the in-band feedback LB simulator.
+
+   Subcommands mirror the paper's experiments with the knobs exposed:
+
+     lbsim fig2   [--duration 6] [--step-at 3] [--step-ms 1.0] ...
+     lbsim fig3   [--duration 30] [--inject-at 10] [--policy ...] ...
+     lbsim sweep  (alpha | epoch | timing | policy)
+     lbsim estimate --help      (run the estimator over a bulk flow) *)
+
+open Cmdliner
+
+let sec =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok (Des.Time.of_float_s v)
+    | Some _ | None -> Error (`Msg "expected a positive number of seconds")
+  in
+  Arg.conv (parse, fun ppf t -> Fmt.pf ppf "%g" (Des.Time.to_float_s t))
+
+let policy =
+  let parse s =
+    match Inband.Policy.of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Inband.Policy.pp)
+
+(* --- fig2 -------------------------------------------------------------- *)
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also dump the raw series as CSV.")
+
+let fig2_cmd =
+  let run duration step_at step_ms window seed csv =
+    let config =
+      {
+        Cluster.Bulk_flow.default_config with
+        Cluster.Bulk_flow.duration;
+        rtt_step_at = step_at;
+        rtt_step = Des.Time.of_float_s (step_ms /. 1e3);
+        window;
+        seed;
+      }
+    in
+    let result = Cluster.Fig2.run ~config () in
+    Cluster.Fig2.print result;
+    match csv with
+    | Some path ->
+        Cluster.Csv.write_file ~path (Cluster.Csv.fig2_samples result);
+        Fmt.pr "wrote %s@." path
+    | None -> ()
+  in
+  let duration =
+    Arg.(value & opt sec (Des.Time.sec 6) & info [ "duration" ] ~doc:"Run length, seconds.")
+  in
+  let step_at =
+    Arg.(value & opt sec (Des.Time.sec 3) & info [ "step-at" ] ~doc:"RTT step time, seconds.")
+  in
+  let step_ms =
+    Arg.(value & opt float 1.0 & info [ "step-ms" ] ~doc:"RTT step size, milliseconds.")
+  in
+  let window =
+    Arg.(value & opt int (32 * 1024) & info [ "window" ] ~doc:"Sender window, bytes.")
+  in
+  let seed = Arg.(value & opt int 0x5eed2 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Estimator accuracy on a backlogged flow (Fig 2).")
+    Term.(const run $ duration $ step_at $ step_ms $ window $ seed $ csv_arg)
+
+(* --- fig3 -------------------------------------------------------------- *)
+
+let fig3_cmd =
+  let run duration inject_at inject_ms policies servers connections alpha seed
+      csv =
+    let scenario =
+      {
+        Cluster.Scenario.default_config with
+        Cluster.Scenario.n_servers = servers;
+        lb = { Inband.Config.default with Inband.Config.alpha };
+        memtier =
+          { Workload.Memtier.default_config with Workload.Memtier.connections };
+        seed;
+      }
+    in
+    let result =
+      Cluster.Fig3.run ~scenario ~policies ~duration ~inject_at
+        ~inject_delay:(Des.Time.of_float_s (inject_ms /. 1e3))
+        ()
+    in
+    Cluster.Fig3.print result;
+    match csv with
+    | Some path ->
+        Cluster.Csv.write_file ~path (Cluster.Csv.fig3_series result);
+        Fmt.pr "wrote %s@." path
+    | None -> ()
+  in
+  let duration =
+    Arg.(value & opt sec (Des.Time.sec 30) & info [ "duration" ] ~doc:"Run length, seconds.")
+  in
+  let inject_at =
+    Arg.(value & opt sec (Des.Time.sec 10) & info [ "inject-at" ] ~doc:"Injection time, seconds.")
+  in
+  let inject_ms =
+    Arg.(value & opt float 1.0 & info [ "inject-ms" ] ~doc:"Injected delay, milliseconds.")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt (list policy) [ Inband.Policy.Static_maglev; Inband.Policy.Latency_aware ]
+      & info [ "policies" ] ~doc:"Comma-separated policies to compare.")
+  in
+  let servers =
+    Arg.(value & opt int 2 & info [ "servers" ] ~doc:"Number of memcached servers.")
+  in
+  let connections =
+    Arg.(value & opt int 4 & info [ "connections" ] ~doc:"Client connections.")
+  in
+  let alpha =
+    Arg.(value & opt float 0.10 & info [ "alpha" ] ~doc:"Controller shift fraction.")
+  in
+  let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "fig3"
+       ~doc:"Tail latency under a server delay injection (Fig 3).")
+    Term.(
+      const run $ duration $ inject_at $ inject_ms $ policies $ servers
+      $ connections $ alpha $ seed $ csv_arg)
+
+(* --- sweeps ------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run which =
+    match which with
+    | "alpha" -> Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ())
+    | "epoch" -> Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ())
+    | "timing" ->
+        Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ())
+    | "policy" -> Cluster.Fig3.print (Cluster.Ablations.policy_comparison ())
+    | "far" -> Cluster.Ablations.print_far (Cluster.Ablations.far_clients ())
+    | "herd" -> Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ())
+    | "dependency" ->
+        Cluster.Dependency.print (Cluster.Dependency.run_cases ())
+    | "estimator" ->
+        Cluster.Ablations.print_estimator
+          (Cluster.Ablations.estimator_comparison ())
+    | "source" ->
+        Cluster.Ablations.print_source (Cluster.Ablations.source_comparison ())
+    | other ->
+        Fmt.epr
+          "unknown sweep %S (alpha|epoch|timing|policy|far|herd|dependency)@."
+          other
+  in
+  let which =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SWEEP")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Ablation sweeps: alpha, epoch, timing, policy, far, herd, \
+          dependency, estimator, source.")
+    Term.(const run $ which)
+
+(* --- run: free-form scenario ------------------------------------------- *)
+
+let run_cmd =
+  let run duration policy servers clients connections pipeline get_ratio
+      inject_at inject_ms interfere zipf seed estimate_window threshold =
+    let lb =
+      {
+        Inband.Config.default with
+        Inband.Config.estimate_window;
+        relative_threshold = Float.max 1.0 threshold;
+      }
+    in
+    let config =
+      {
+        Cluster.Scenario.default_config with
+        Cluster.Scenario.n_servers = servers;
+        n_clients = clients;
+        policy;
+        lb;
+        key_dist =
+          (match zipf with
+          | Some s -> Workload.Keyspace.Zipf s
+          | None -> Workload.Keyspace.Uniform);
+        memtier =
+          {
+            Workload.Memtier.default_config with
+            Workload.Memtier.connections;
+            pipeline;
+            get_ratio;
+          };
+        interference =
+          (match interfere with
+          | Some server ->
+              [
+                ( server,
+                  Stats.Dist.Exponential { mean = 4.0e6 },
+                  Stats.Dist.Uniform { lo = 1.0e6; hi = 2.0e6 } );
+              ]
+          | None -> []);
+        seed;
+      }
+    in
+    let s = Cluster.Scenario.build config in
+    (match inject_at with
+    | Some at ->
+        Cluster.Scenario.inject_server_delay s ~server:(servers - 1) ~at
+          ~delay:(Des.Time.of_float_s (inject_ms /. 1e3))
+    | None -> ());
+    Cluster.Scenario.run s ~until:duration;
+    let log = Cluster.Scenario.log s in
+    let balancer = Cluster.Scenario.balancer s in
+    let hist op = Workload.Latency_log.hist log op in
+    let q h p = float_of_int (Stats.Histogram.quantile h p) /. 1e3 in
+    let print_op name op =
+      let h = hist op in
+      if Stats.Histogram.count h > 0 then
+        Fmt.pr "%s: n=%d p50=%.1fus p95=%.1fus p99=%.1fus mean=%.1fus@." name
+          (Stats.Histogram.count h) (q h 0.5) (q h 0.95) (q h 0.99)
+          (Stats.Histogram.mean h /. 1e3)
+    in
+    Fmt.pr "policy=%a servers=%d duration=%.1fs responses=%d@."
+      Inband.Policy.pp policy servers
+      (Des.Time.to_float_s duration)
+      (Workload.Latency_log.count log);
+    print_op "GET" Workload.Latency_log.Get;
+    print_op "SET" Workload.Latency_log.Set;
+    Fmt.pr "per-server flows:";
+    for i = 0 to servers - 1 do
+      Fmt.pr " %d" (Inband.Balancer.flows_assigned_to balancer i)
+    done;
+    Fmt.pr "@.";
+    match Inband.Balancer.controller balancer with
+    | Some c ->
+        let w = Inband.Controller.weights c in
+        Fmt.pr "controller: %d actions, final weights = [%a]@."
+          (Inband.Controller.action_count c)
+          Fmt.(array ~sep:(any "; ") (fmt "%.3f"))
+          w
+    | None -> ()
+  in
+  let duration =
+    Arg.(value & opt sec (Des.Time.sec 10) & info [ "duration" ] ~doc:"Seconds.")
+  in
+  let pol =
+    Arg.(
+      value
+      & opt policy Inband.Policy.Latency_aware
+      & info [ "policy" ] ~doc:"Routing policy.")
+  in
+  let servers = Arg.(value & opt int 2 & info [ "servers" ] ~doc:"Servers.") in
+  let clients = Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Client hosts.") in
+  let connections =
+    Arg.(value & opt int 4 & info [ "connections" ] ~doc:"Connections per client.")
+  in
+  let pipeline =
+    Arg.(value & opt int 2 & info [ "pipeline" ] ~doc:"Pipelined requests per connection.")
+  in
+  let get_ratio =
+    Arg.(value & opt float 0.5 & info [ "get-ratio" ] ~doc:"Fraction of GETs.")
+  in
+  let inject_at =
+    Arg.(
+      value
+      & opt (some sec) None
+      & info [ "inject-at" ]
+          ~doc:"Inject +inject-ms on the last server's path at this time.")
+  in
+  let inject_ms =
+    Arg.(value & opt float 1.0 & info [ "inject-ms" ] ~doc:"Injected delay, ms.")
+  in
+  let interfere =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "interfere" ]
+          ~doc:"Give this server 1-2 ms stalls every ~4 ms (GC-style).")
+  in
+  let zipf =
+    Arg.(value & opt (some float) None & info [ "zipf" ] ~doc:"Zipf key skew exponent.")
+  in
+  let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  let estimate_window =
+    Arg.(
+      value & opt int 0
+      & info [ "estimate-window" ]
+          ~doc:"0 = EWMA estimates (paper); w>0 = median of last w samples.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold" ]
+          ~doc:"Act only when worst >= threshold x best estimate.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a free-form cluster scenario and print a summary.")
+    Term.(
+      const run $ duration $ pol $ servers $ clients $ connections $ pipeline
+      $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
+      $ estimate_window $ threshold)
+
+(* --- estimate: run the estimators over a packet-timestamp trace ------- *)
+
+let estimate_cmd =
+  let run path delta_us epoch_ms =
+    let timestamps =
+      let ic = if path = "-" then stdin else open_in path in
+      Fun.protect
+        ~finally:(fun () -> if path <> "-" then close_in ic)
+        (fun () ->
+          let rec read acc =
+            match input_line ic with
+            | line -> begin
+                match int_of_string_opt (String.trim line) with
+                | Some t -> read (t :: acc)
+                | None -> read acc
+              end
+            | exception End_of_file -> List.rev acc
+          in
+          read [])
+    in
+    match timestamps with
+    | [] -> Fmt.epr "no timestamps in %s@." path
+    | first :: rest -> begin
+        match delta_us with
+        | Some d ->
+            (* Single FIXEDTIMEOUT instance. *)
+            let ft =
+              Inband.Fixed_timeout.create ~delta:(Des.Time.us d) ~now:first
+            in
+            Fmt.pr "t_s,t_lb_us@.";
+            List.iter
+              (fun now ->
+                match Inband.Fixed_timeout.on_packet ft ~now with
+                | Some sample ->
+                    Fmt.pr "%.6f,%.3f@." (Des.Time.to_float_s now)
+                      (Des.Time.to_float_us sample)
+                | None -> ())
+              rest
+        | None ->
+            (* Full ENSEMBLETIMEOUT. *)
+            let config =
+              {
+                Inband.Config.default with
+                Inband.Config.epoch = Des.Time.ms epoch_ms;
+              }
+            in
+            let e = Inband.Ensemble.create ~config in
+            let flow = Inband.Ensemble.create_flow e ~now:first in
+            Fmt.pr "t_s,t_lb_us,chosen_delta_us@.";
+            List.iter
+              (fun now ->
+                match Inband.Ensemble.on_packet e flow ~now with
+                | Some sample ->
+                    Fmt.pr "%.6f,%.3f,%.1f@." (Des.Time.to_float_s now)
+                      (Des.Time.to_float_us sample)
+                      (Des.Time.to_float_us
+                         (Inband.Ensemble.chosen_timeout e flow))
+                | None -> ())
+              rest
+      end
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "File of packet arrival timestamps in nanoseconds, one per \
+             line ('-' for stdin). Non-numeric lines are skipped.")
+  in
+  let delta_us =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "delta-us" ]
+          ~doc:"Run a single FIXEDTIMEOUT with this timeout instead of \
+                the full ensemble.")
+  in
+  let epoch_ms =
+    Arg.(value & opt int 64 & info [ "epoch-ms" ] ~doc:"Ensemble epoch length.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Run the in-band latency estimators over a packet-timestamp \
+          trace and print the samples as CSV.")
+    Term.(const run $ path $ delta_us $ epoch_ms)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "lbsim" ~version:"1.0.0"
+       ~doc:
+         "Packet-level simulator for in-band feedback control at load \
+          balancers (HotNets '22 reproduction).")
+    [ fig2_cmd; fig3_cmd; sweep_cmd; estimate_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

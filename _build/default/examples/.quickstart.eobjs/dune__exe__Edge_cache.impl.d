@@ -1,0 +1,1 @@
+examples/edge_cache.ml: Array Cluster Des Fmt Inband List Maglev Stats Workload

@@ -1,0 +1,1 @@
+examples/estimator_demo.ml: Des Fmt Inband List

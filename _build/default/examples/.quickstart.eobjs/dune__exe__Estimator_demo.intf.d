@@ -1,0 +1,1 @@
+examples/estimator_demo.mli:

@@ -1,0 +1,1 @@
+examples/microservice_tier.ml: Cluster Des Fmt Inband List Stats Workload

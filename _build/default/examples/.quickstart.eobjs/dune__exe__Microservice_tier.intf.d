@@ -1,0 +1,1 @@
+examples/microservice_tier.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cluster Des Fmt Inband List Stats Workload

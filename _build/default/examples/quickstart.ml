@@ -1,0 +1,49 @@
+(* Quickstart: a two-server memcached cluster behind the in-band
+   feedback LB, with a 1 ms delay injected on one server's path halfway
+   through.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Describe the cluster: the defaults reproduce the paper's
+     testbed — two memcached servers, one memtier-style client, a
+     latency-aware LB with k = 7 timeouts and alpha = 10%. *)
+  let config =
+    { Cluster.Scenario.default_config with
+      Cluster.Scenario.policy = Inband.Policy.Latency_aware }
+  in
+  let scenario = Cluster.Scenario.build config in
+
+  (* 2. Schedule the fault: +1 ms on the LB->server1 path at t = 4 s. *)
+  Cluster.Scenario.inject_server_delay scenario ~server:1
+    ~at:(Des.Time.sec 4) ~delay:(Des.Time.ms 1);
+
+  (* 3. Run 8 simulated seconds. *)
+  Cluster.Scenario.run scenario ~until:(Des.Time.sec 8);
+
+  (* 4. Inspect what happened. *)
+  let log = Cluster.Scenario.log scenario in
+  let balancer = Cluster.Scenario.balancer scenario in
+  Fmt.pr "requests completed: %d@." (Workload.Latency_log.count log);
+  Fmt.pr "in-band latency samples at the LB: %d@."
+    (Inband.Balancer.samples_produced balancer);
+  (match Inband.Balancer.controller balancer with
+  | Some controller ->
+      let weights = Inband.Controller.weights controller in
+      Fmt.pr "control actions: %d, final weights: [%.2f; %.2f]@."
+        (Inband.Controller.action_count controller)
+        weights.(0) weights.(1);
+      (match Inband.Controller.first_action_after controller (Des.Time.sec 4) with
+      | Some at ->
+          Fmt.pr "first shift after the fault: +%.1f ms@."
+            ((Des.Time.to_float_s at -. 4.0) *. 1e3)
+      | None -> Fmt.pr "no reaction to the fault@.")
+  | None -> ());
+  Fmt.pr "@.p95 GET latency over time:@.";
+  List.iter
+    (fun row ->
+      Fmt.pr "  t=%4.1fs  p95=%8.1fus  (n=%d)@."
+        (Des.Time.to_float_s row.Stats.Timeseries.t_start)
+        (float_of_int row.Stats.Timeseries.quantile /. 1e3)
+        row.Stats.Timeseries.count)
+    (Workload.Latency_log.series log ~op:Workload.Latency_log.Get ~q:0.95)

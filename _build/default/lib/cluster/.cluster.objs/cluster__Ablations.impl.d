@@ -1,0 +1,1 @@
+lib/cluster/ablations.ml: Array Bulk_flow Des Fig2 Fig3 Fmt Inband List Memcache Netsim Report Scenario Stats Tcpsim Workload

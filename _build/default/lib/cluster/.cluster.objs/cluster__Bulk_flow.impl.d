@@ -1,0 +1,1 @@
+lib/cluster/bulk_flow.ml: Array Des Inband List Netsim Stats Stdlib String Tcpsim

@@ -1,0 +1,1 @@
+lib/cluster/bulk_flow.mli: Des Inband Stats Tcpsim

@@ -1,0 +1,1 @@
+lib/cluster/csv.ml: Array Buffer Bulk_flow Des Fig2 Fig3 Fmt Fun Inband List

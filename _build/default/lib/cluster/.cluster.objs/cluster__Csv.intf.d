@@ -1,0 +1,1 @@
+lib/cluster/csv.mli: Fig2 Fig3

@@ -1,0 +1,1 @@
+lib/cluster/dependency.ml: Array Des Float Fmt Hashtbl Inband List Memcache Netsim Report Stats Workload

@@ -1,0 +1,1 @@
+lib/cluster/dependency.mli: Des

@@ -1,0 +1,1 @@
+lib/cluster/fig2.ml: Array Bulk_flow Des Float Fmt List Report Samples

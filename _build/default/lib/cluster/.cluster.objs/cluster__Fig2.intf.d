@@ -1,0 +1,1 @@
+lib/cluster/fig2.mli: Bulk_flow Des

@@ -1,0 +1,1 @@
+lib/cluster/fig3.ml: Array Des Float Fmt Inband List Maglev Option Report Scenario Stats Workload

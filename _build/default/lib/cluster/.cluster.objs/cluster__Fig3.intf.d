@@ -1,0 +1,1 @@
+lib/cluster/fig3.mli: Des Inband Scenario

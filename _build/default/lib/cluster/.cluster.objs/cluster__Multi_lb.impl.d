@@ -1,0 +1,1 @@
+lib/cluster/multi_lb.ml: Array Des Float Fmt Inband List Memcache Netsim Report Stats Workload

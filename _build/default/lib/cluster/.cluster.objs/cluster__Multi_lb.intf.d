@@ -1,0 +1,1 @@
+lib/cluster/multi_lb.mli: Des Inband Workload

@@ -1,0 +1,1 @@
+lib/cluster/report.ml: Array Float Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/cluster/samples.ml: Bulk_flow Float Int List Stdlib

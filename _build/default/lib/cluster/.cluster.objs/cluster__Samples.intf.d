@@ -1,0 +1,1 @@
+lib/cluster/samples.mli: Bulk_flow Des

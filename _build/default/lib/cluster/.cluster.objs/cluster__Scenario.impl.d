@@ -1,0 +1,1 @@
+lib/cluster/scenario.ml: Array Des Fmt Inband List Memcache Netsim Option Stats Workload

@@ -1,0 +1,1 @@
+lib/cluster/scenario.mli: Des Inband Memcache Netsim Stats Workload

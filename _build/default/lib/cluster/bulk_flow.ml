@@ -1,0 +1,169 @@
+type config = {
+  duration : Des.Time.t;
+  rtt_step_at : Des.Time.t;
+  rtt_step : Des.Time.t;
+  window : int;
+  chunk : int;
+  client_lb_delay : Des.Time.t;
+  lb_server_delay : Des.Time.t;
+  server_client_delay : Des.Time.t;
+  return_jitter : Stats.Dist.t option;
+  link_rate_bps : int;
+  server_ack_policy : Tcpsim.Conn.ack_policy;
+  refill_pause : Stats.Dist.t option;
+  lb : Inband.Config.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    duration = Des.Time.sec 6;
+    rtt_step_at = Des.Time.sec 3;
+    rtt_step = Des.Time.ms 1;
+    window = 32 * 1024;
+    chunk = 64 * 1024;
+    client_lb_delay = Des.Time.us 40;
+    lb_server_delay = Des.Time.us 30;
+    server_client_delay = Des.Time.us 40;
+    return_jitter = Some (Stats.Dist.Exponential { mean = 20_000.0 });
+    link_rate_bps = 10_000_000_000;
+    (* Coalesced ACKs (GRO/interrupt moderation): one cumulative ACK per
+       ~30 us of arrivals. This is what keeps a window-limited flow bursty
+       in practice, producing the batch structure of §3. *)
+    server_ack_policy =
+      Tcpsim.Conn.Ack_delayed { every = 64; timeout = Des.Time.us 30 };
+    refill_pause = None;
+    lb = Inband.Config.default;
+    seed = 0x5eed2;
+  }
+
+type sample = { at : Des.Time.t; value : Des.Time.t }
+
+type result = {
+  ground_truth : sample list;
+  fixed : (Des.Time.t * sample list) array;
+  ensemble : sample list;
+  chosen : (Des.Time.t * Des.Time.t) list;
+  packets_observed : int;
+}
+
+let vip_ip = 1
+let server_ip = 10
+let client_ip = 100
+
+let run config =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let rng = Des.Rng.create ~seed:config.seed in
+  let vip = Netsim.Addr.v vip_ip 9000 in
+  let balancer =
+    Inband.Balancer.create fabric ~vip ~server_ips:[| server_ip |]
+      ~policy:Inband.Policy.Static_maglev ~config:config.lb ()
+  in
+  let server_ep = Tcpsim.Endpoint.create fabric ~host_ip:server_ip in
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:client_ip in
+  let plain delay =
+    Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps ()
+  in
+  Netsim.Fabric.add_link fabric ~src:client_ip ~dst:vip_ip
+    (plain config.client_lb_delay);
+  let lb_server = plain config.lb_server_delay in
+  Netsim.Fabric.add_link fabric ~src:vip_ip ~dst:server_ip lb_server;
+  let return_link =
+    match config.return_jitter with
+    | None -> plain config.server_client_delay
+    | Some jitter ->
+        Netsim.Link.create engine ~delay:config.server_client_delay
+          ~rate_bps:config.link_rate_bps ~jitter
+          ~rng:(Des.Rng.split rng ~label:"jitter")
+          ()
+  in
+  Netsim.Fabric.add_link fabric ~src:server_ip ~dst:client_ip return_link;
+  (* Sink server: accept, discard, ACK per the configured policy. *)
+  let server_tcp =
+    { Tcpsim.Conn.default_config with ack_policy = config.server_ack_policy }
+  in
+  Tcpsim.Endpoint.listen server_ep ~addr:vip ~config:server_tcp (fun conn ->
+      Tcpsim.Conn.set_on_data conn (fun _ -> ());
+      Tcpsim.Conn.set_on_eof conn (fun () -> Tcpsim.Conn.close conn));
+  (* Estimator instrumentation. *)
+  let ground_truth = ref [] in
+  let ensemble_samples = ref [] in
+  let chosen_changes = ref [] in
+  let packets = ref 0 in
+  let deltas = config.lb.Inband.Config.timeouts in
+  let fixed_instances = Array.map (fun _ -> ref None) deltas in
+  let fixed_samples = Array.map (fun _ -> ref []) deltas in
+  let record_chosen at =
+    let idx = Inband.Ensemble.global_chosen_index (Inband.Balancer.ensemble balancer) in
+    let delta = deltas.(idx) in
+    match !chosen_changes with
+    | (_, last) :: _ when last = delta -> ()
+    | _ -> chosen_changes := (at, delta) :: !chosen_changes
+  in
+  Inband.Balancer.add_tap balancer (fun _pkt ->
+      incr packets;
+      let now = Des.Engine.now engine in
+      Array.iteri
+        (fun i cell ->
+          let ft =
+            match !cell with
+            | Some ft -> ft
+            | None ->
+                let ft =
+                  Inband.Fixed_timeout.create ~delta:deltas.(i) ~now
+                in
+                cell := Some ft;
+                ft
+          in
+          match Inband.Fixed_timeout.on_packet ft ~now with
+          | Some value ->
+              fixed_samples.(i) := { at = now; value } :: !(fixed_samples.(i))
+          | None -> ())
+        fixed_instances;
+      record_chosen now);
+  Inband.Balancer.set_sample_hook balancer
+    (fun ~at ~flow:_ ~server:_ ~sample ->
+      ensemble_samples := { at; value = sample } :: !ensemble_samples);
+  (* The backlogged sender. *)
+  let client_tcp =
+    { Tcpsim.Conn.default_config with window = config.window }
+  in
+  let conn =
+    Tcpsim.Endpoint.connect client_ep ~config:client_tcp
+      ~local:(Netsim.Addr.v client_ip 21000) ~remote:vip ()
+  in
+  let payload = String.make config.chunk 'b' in
+  let push () = Tcpsim.Conn.send conn payload in
+  (* An application-limited sender pauses between chunks (§5 Q2). *)
+  let refill =
+    match config.refill_pause with
+    | None -> push
+    | Some pause ->
+        let pause_rng = Des.Rng.split rng ~label:"refill" in
+        fun () ->
+          let delay =
+            Stdlib.max 1 (int_of_float (Stats.Dist.draw pause pause_rng))
+          in
+          ignore (Des.Engine.schedule_after engine ~delay push)
+  in
+  Tcpsim.Conn.set_on_connect conn refill;
+  Tcpsim.Conn.set_on_drain conn refill;
+  Tcpsim.Conn.set_on_rtt_sample conn (fun value ->
+      ground_truth :=
+        { at = Des.Engine.now engine; value } :: !ground_truth);
+  (* The RTT step. *)
+  ignore
+    (Des.Engine.schedule engine ~at:config.rtt_step_at (fun () ->
+         Netsim.Link.set_extra_delay lb_server config.rtt_step));
+  Des.Engine.run ~until:config.duration engine;
+  {
+    ground_truth = List.rev !ground_truth;
+    fixed =
+      Array.mapi
+        (fun i samples_ref -> (deltas.(i), List.rev !samples_ref))
+        fixed_samples;
+    ensemble = List.rev !ensemble_samples;
+    chosen = List.rev !chosen_changes;
+    packets_observed = !packets;
+  }

@@ -1,0 +1,47 @@
+(** The Fig. 2 experiment: a backlogged, window-limited TCP flow observed
+    at the LB.
+
+    A client uploads a byte stream through the LB to a sink server while
+    the LB runs the in-band estimators. The true RTT steps up when an
+    extra delay is injected on the LB→server path at [rtt_step_at]. The
+    run collects, with timestamps: the sender's ground-truth RTT samples
+    ([T_client]), the per-δ FIXEDTIMEOUT estimates, ENSEMBLETIMEOUT's
+    estimates, and the timeline of ENSEMBLETIMEOUT's chosen δ. *)
+
+type config = {
+  duration : Des.Time.t;
+  rtt_step_at : Des.Time.t;
+  rtt_step : Des.Time.t;  (** Extra LB→server delay injected. *)
+  window : int;  (** Sender flow-control window, bytes. *)
+  chunk : int;  (** Bytes pushed per refill of the send queue. *)
+  client_lb_delay : Des.Time.t;
+  lb_server_delay : Des.Time.t;
+  server_client_delay : Des.Time.t;
+  return_jitter : Stats.Dist.t option;
+  link_rate_bps : int;
+  server_ack_policy : Tcpsim.Conn.ack_policy;
+  refill_pause : Stats.Dist.t option;
+      (** Pause between send-queue refills: [None] is a backlogged
+          sender; [Some dist] models an application-limited client
+          (§5 Q2), ns. *)
+  lb : Inband.Config.t;
+  seed : int;
+}
+
+val default_config : config
+(** 6 s run, +1 ms step at t = 3 s (the paper's Fig. 2 timeline), 32 KiB
+    window, ~220 µs base RTT, exponential 20 µs return jitter. *)
+
+type sample = { at : Des.Time.t; value : Des.Time.t }
+
+type result = {
+  ground_truth : sample list;  (** Sender RTT samples, [T_client]. *)
+  fixed : (Des.Time.t * sample list) array;
+      (** Per candidate δ: FIXEDTIMEOUT's [T_LB] samples. *)
+  ensemble : sample list;  (** ENSEMBLETIMEOUT's [T_LB] samples. *)
+  chosen : (Des.Time.t * Des.Time.t) list;
+      (** (time, δ) each time the chosen timeout changed. *)
+  packets_observed : int;
+}
+
+val run : config -> result

@@ -1,0 +1,48 @@
+let add_sample_rows buf ~series samples =
+  List.iter
+    (fun { Bulk_flow.at; value } ->
+      Buffer.add_string buf
+        (Fmt.str "%.6f,%s,%.3f\n" (Des.Time.to_float_s at) series
+           (Des.Time.to_float_us value)))
+    samples
+
+let fig2_samples (result : Fig2.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "t_s,series,value_us\n";
+  let raw = result.Fig2.raw in
+  add_sample_rows buf ~series:"truth" raw.Bulk_flow.ground_truth;
+  Array.iter
+    (fun (delta, samples) ->
+      add_sample_rows buf
+        ~series:(Fmt.str "fixed-%dus" (delta / 1000))
+        samples)
+    raw.Bulk_flow.fixed;
+  add_sample_rows buf ~series:"ensemble" raw.Bulk_flow.ensemble;
+  List.iter
+    (fun (at, delta) ->
+      Buffer.add_string buf
+        (Fmt.str "%.6f,chosen,%.3f\n" (Des.Time.to_float_s at)
+           (Des.Time.to_float_us delta)))
+    raw.Bulk_flow.chosen;
+  Buffer.contents buf
+
+let fig3_series (result : Fig3.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "policy,t_s,count,p95_us,mean_us\n";
+  List.iter
+    (fun run ->
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (Fmt.str "%s,%.1f,%d,%.3f,%.3f\n"
+               (Inband.Policy.to_string run.Fig3.policy)
+               row.Fig3.t_s row.Fig3.count row.Fig3.p95_us row.Fig3.mean_us))
+        run.Fig3.series)
+    result.Fig3.runs;
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

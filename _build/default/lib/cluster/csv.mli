@@ -1,0 +1,16 @@
+(** CSV renderings of experiment results, for external plotting.
+
+    Each function returns the full file contents (header included);
+    {!write_file} puts it on disk. The schemas are stable: figures in
+    the paper can be re-plotted from these files alone. *)
+
+val fig2_samples : Fig2.result -> string
+(** Schema: [t_s,series,value_us] — one row per sample, where [series]
+    is [truth], [fixed-<delta>us] or [ensemble]; plus [chosen] rows
+    carrying the chosen-δ timeline (value is δ in µs). *)
+
+val fig3_series : Fig3.result -> string
+(** Schema: [policy,t_s,count,p95_us,mean_us]. *)
+
+val write_file : path:string -> string -> unit
+(** Write (truncate) [path]. Raises [Sys_error] on failure. *)

@@ -1,0 +1,35 @@
+(** The §5 Q3 experiment: slowness that lives in a downstream
+    dependency.
+
+    Two frontends behind the LB; each request triggers a synchronous
+    call to a backend tier. Two wirings are compared:
+
+    - {b private backends}: each frontend has its own backend, and the
+      fault is injected on frontend 1's backend. Shifting traffic to
+      frontend 0 genuinely avoids the fault — the controller's shift is
+      the right call.
+    - {b shared backend}: both frontends call the same backend, and the
+      fault is injected there. Every path is equally slow; the
+      controller still sees "frontend X is slow" and keeps shifting,
+      pointlessly churning the table without improving latency.
+
+    The LB cannot tell these cases apart from in-band samples alone —
+    the attribution problem the paper leaves open. *)
+
+type row = {
+  label : string;
+  p95_before_us : float;
+  p95_after_us : float;
+  actions_before : int;
+  actions_after : int;  (** Control actions after the injection. *)
+  victim_weight : float;  (** Frontend 1's final weight. *)
+  est_us : float array;  (** Final per-frontend latency estimates. *)
+  samples : int array;  (** Per-frontend in-band sample counts. *)
+}
+
+val run_cases :
+  ?duration:Des.Time.t -> ?inject_at:Des.Time.t -> unit -> row list
+(** One run per wiring; +1 ms injected on the relevant backend path at
+    [inject_at] (default 4 s of 10 s). *)
+
+val print : row list -> unit

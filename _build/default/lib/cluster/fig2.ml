@@ -1,0 +1,114 @@
+type phase = { count : int; median_us : float; p10_us : float; p90_us : float }
+type row = { label : string; before : phase; after : phase }
+
+type result = {
+  config : Bulk_flow.config;
+  raw : Bulk_flow.result;
+  truth : row;
+  fixed : row list;
+  ensemble : row;
+  chosen_timeline : (Des.Time.t * Des.Time.t) list;
+  err_before : float;
+  err_after : float;
+}
+
+let us v = v /. 1e3
+
+let phase_of values =
+  {
+    count = List.length values;
+    median_us = us (Samples.median values);
+    p10_us = us (Samples.percentile values ~q:0.10);
+    p90_us = us (Samples.percentile values ~q:0.90);
+  }
+
+let row_of config label samples =
+  (* Skip the first second (connection ramp-up) and the half second
+     after the step (transition). *)
+  let step = config.Bulk_flow.rtt_step_at in
+  let before =
+    Samples.in_window samples ~lo:(Des.Time.sec 1) ~hi:step
+  in
+  let after =
+    Samples.in_window samples
+      ~lo:(step + Des.Time.ms 500)
+      ~hi:config.Bulk_flow.duration
+  in
+  { label; before = phase_of before; after = phase_of after }
+
+let run ?(config = Bulk_flow.default_config) () =
+  let raw = Bulk_flow.run config in
+  let truth = row_of config "T_client (truth)" raw.Bulk_flow.ground_truth in
+  let fixed =
+    Array.to_list raw.Bulk_flow.fixed
+    |> List.map (fun (delta, samples) ->
+           row_of config
+             (Fmt.str "fixed %4dus" (delta / 1000))
+             samples)
+  in
+  let ensemble = row_of config "ENSEMBLE" raw.Bulk_flow.ensemble in
+  let err vs_truth est =
+    if Float.is_nan vs_truth.median_us || Float.is_nan est.median_us then nan
+    else Float.abs (est.median_us -. vs_truth.median_us) /. vs_truth.median_us
+  in
+  {
+    config;
+    raw;
+    truth;
+    fixed;
+    ensemble;
+    chosen_timeline = raw.Bulk_flow.chosen;
+    err_before = err truth.before ensemble.before;
+    err_after = err truth.after ensemble.after;
+  }
+
+let cell v = if Float.is_nan v then "-" else Fmt.str "%.1f" v
+
+let print result =
+  print_endline
+    (Report.section
+       "Fig 2(a): FIXEDTIMEOUT T_LB vs ground truth (backlogged flow, +1ms \
+        RTT step at t=3s)");
+  let to_cells { label; before; after } =
+    [
+      label;
+      string_of_int before.count;
+      cell before.median_us;
+      cell before.p10_us;
+      cell before.p90_us;
+      string_of_int after.count;
+      cell after.median_us;
+      cell after.p10_us;
+      cell after.p90_us;
+    ]
+  in
+  let rows =
+    List.map to_cells ((result.truth :: result.fixed) @ [ result.ensemble ])
+  in
+  print_endline
+    (Report.table
+       ~headers:
+         [
+           "estimator";
+           "n(pre)";
+           "med us";
+           "p10";
+           "p90";
+           "n(post)";
+           "med us";
+           "p10";
+           "p90";
+         ]
+       rows);
+  print_endline
+    (Report.section "Fig 2(b): ENSEMBLETIMEOUT tracking and chosen timeout");
+  Fmt.pr "ensemble median relative error: before step %s, after step %s@."
+    (Report.pct result.err_before)
+    (Report.pct result.err_after);
+  Fmt.pr "chosen-delta timeline (changes only):@.";
+  List.iter
+    (fun (at, delta) ->
+      Fmt.pr "  t=%6.3fs  delta=%4dus@." (Des.Time.to_float_s at)
+        (delta / 1000))
+    result.chosen_timeline;
+  Fmt.pr "@."

@@ -1,0 +1,249 @@
+type config = {
+  n_lbs : int;
+  n_servers : int;
+  n_clients : int;
+  policy : Inband.Policy.t;
+  lb : Inband.Config.t;
+  memtier : Workload.Memtier.config;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_lbs = 2;
+    n_servers = 2;
+    n_clients = 4;
+    policy = Inband.Policy.Latency_aware;
+    (* Stabilised controller so the single-LB baseline converges and the
+       sweep isolates the fleet effect. *)
+    lb =
+      {
+        Inband.Config.default with
+        Inband.Config.relative_threshold = 1.5;
+        ewma_alpha = 0.05;
+        control_interval = Des.Time.ms 5;
+        recovery_rate = 0.02;
+      };
+    memtier =
+      { Workload.Memtier.default_config with Workload.Memtier.connections = 1 };
+    seed = 0x2b1b;
+  }
+
+type t = {
+  engine : Des.Engine.t;
+  fabric : Netsim.Fabric.t;
+  balancers : Inband.Balancer.t array;
+  servers : Memcache.Server.t array;
+  clients : Workload.Memtier.t array;
+  log : Workload.Latency_log.t;
+  (* lb_server_links.(l).(i) is LB l's link to server i. *)
+  lb_server_links : Netsim.Link.t array array;
+}
+
+let vip_ip l = 1 + l
+let server_ip i = 40 + i
+let client_ip j = 100 + j
+let service_port = 11211
+
+let build config =
+  if config.n_lbs < 1 then invalid_arg "Multi_lb.build: n_lbs";
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let root_rng = Des.Rng.create ~seed:config.seed in
+  let server_ips = Array.init config.n_servers server_ip in
+  let balancers =
+    Array.init config.n_lbs (fun l ->
+        Inband.Balancer.create fabric
+          ~vip:(Netsim.Addr.v (vip_ip l) service_port)
+          ~server_ips ~policy:config.policy ~config:config.lb
+          ~table_size:1021
+          ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "lb-%d" l))
+          ())
+  in
+  (* Servers accept any destination IP on the service port so every
+     LB's VIP works (wildcard bind, as with VIPs on loopback). *)
+  let servers =
+    Array.init config.n_servers (fun i ->
+        Memcache.Server.create fabric ~host_ip:(server_ip i)
+          ~listen_addr:(Netsim.Addr.v 0 service_port)
+          ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "server-%d" i))
+          ())
+  in
+  let key_count = 5_000 in
+  let keyspace_names =
+    Workload.Keyspace.create ~count:key_count ~dist:Workload.Keyspace.Uniform
+      ~rng:(Des.Rng.split root_rng ~label:"preload")
+      ()
+  in
+  Array.iter
+    (fun server ->
+      Memcache.Store.preload
+        (Memcache.Server.store server)
+        ~count:key_count
+        ~key_of:(Workload.Keyspace.key_of keyspace_names)
+        ~value_size:64)
+    servers;
+  let log = Workload.Latency_log.create engine ~bucket:(Des.Time.ms 500) () in
+  let clients =
+    Array.init config.n_clients (fun j ->
+        let l = j mod config.n_lbs in
+        let keyspace =
+          Workload.Keyspace.create ~count:key_count
+            ~dist:Workload.Keyspace.Uniform
+            ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "keys-%d" j))
+            ()
+        in
+        Workload.Memtier.create fabric ~host_ip:(client_ip j)
+          ~vip:(Netsim.Addr.v (vip_ip l) service_port)
+          ~keyspace ~log ~config:config.memtier
+          ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "client-%d" j))
+          ())
+  in
+  let plain delay = Netsim.Link.create engine ~delay () in
+  (* client -> its LB *)
+  for j = 0 to config.n_clients - 1 do
+    Netsim.Fabric.add_link fabric ~src:(client_ip j)
+      ~dst:(vip_ip (j mod config.n_lbs))
+      (plain (Des.Time.us 30))
+  done;
+  (* LB -> server, per pair *)
+  let lb_server_links =
+    Array.init config.n_lbs (fun l ->
+        Array.init config.n_servers (fun i ->
+            let link = plain (Des.Time.us 25) in
+            Netsim.Fabric.add_link fabric ~src:(vip_ip l) ~dst:(server_ip i)
+              link;
+            link))
+  in
+  (* server -> client, DSR, with kernel-path jitter as in Scenario *)
+  for i = 0 to config.n_servers - 1 do
+    for j = 0 to config.n_clients - 1 do
+      Netsim.Fabric.add_link fabric ~src:(server_ip i) ~dst:(client_ip j)
+        (Netsim.Link.create engine ~delay:(Des.Time.us 55)
+           ~jitter:(Stats.Dist.Exponential { mean = 10_000.0 })
+           ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "jit-%d-%d" i j))
+           ())
+    done
+  done;
+  { engine; fabric; balancers; servers; clients; log; lb_server_links }
+
+let engine t = t.engine
+let balancers t = t.balancers
+let log t = t.log
+
+let inject_server_delay t ~server ~at ~delay =
+  Array.iter
+    (fun links ->
+      ignore
+        (Des.Engine.schedule t.engine ~at (fun () ->
+             Netsim.Link.set_extra_delay links.(server) delay)))
+    t.lb_server_links
+
+let run t ~until =
+  Array.iter Workload.Memtier.start t.clients;
+  Des.Engine.run ~until t.engine;
+  Array.iter Workload.Memtier.stop t.clients
+
+(* --- Herd experiment --------------------------------------------------- *)
+
+type row = {
+  n_lbs : int;
+  p95_before_us : float;
+  p95_after_us : float;
+  total_actions : int;
+  victim_flips : int;
+  victim_weight_mean : float;
+}
+
+let victim = 1
+
+let median_float values =
+  match List.sort Float.compare values with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let herd_one ~n_lbs ~duration ~inject_at =
+  let config = { default_config with n_lbs } in
+  let t = build config in
+  inject_server_delay t ~server:victim ~at:inject_at ~delay:(Des.Time.ms 1);
+  run t ~until:duration;
+  let rows =
+    Workload.Latency_log.series t.log ~op:Workload.Latency_log.Get ~q:0.95
+  in
+  let p95_in lo hi =
+    rows
+    |> List.filter_map (fun r ->
+           let at = r.Stats.Timeseries.t_start in
+           if at >= lo && at < hi then
+             Some (float_of_int r.Stats.Timeseries.quantile /. 1e3)
+           else None)
+    |> median_float
+  in
+  let actions, flips, weights =
+    Array.fold_left
+      (fun (actions, flips, weights) balancer ->
+        match Inband.Balancer.controller balancer with
+        | None -> (actions, flips, weights)
+        | Some c ->
+            let acts = Inband.Controller.actions c in
+            let flip_count =
+              let rec count prev acc = function
+                | [] -> acc
+                | a :: rest ->
+                    let v = a.Inband.Controller.victim in
+                    let acc =
+                      match prev with
+                      | Some p when p <> v -> acc + 1
+                      | Some _ | None -> acc
+                    in
+                    count (Some v) acc rest
+              in
+              count None 0 acts
+            in
+            ( actions + Inband.Controller.action_count c,
+              flips + flip_count,
+              (Inband.Controller.weights c).(victim) :: weights ))
+      (0, 0, []) t.balancers
+  in
+  {
+    n_lbs;
+    p95_before_us = p95_in (Des.Time.sec 1) inject_at;
+    p95_after_us = p95_in (inject_at + Des.Time.sec 1) duration;
+    total_actions = actions;
+    victim_flips = flips;
+    victim_weight_mean =
+      (match weights with
+      | [] -> nan
+      | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+  }
+
+let herd_sweep ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
+    ?(inject_at = Des.Time.sec 4) () =
+  List.map (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at) lb_counts
+
+let print_herd rows =
+  print_endline
+    (Report.section
+       "Ablation A7: uncoordinated LB fleet (thundering herd, §5 Q4)");
+  print_endline
+    (Report.table
+       ~headers:
+         [
+           "LBs";
+           "p95 pre";
+           "p95 post";
+           "actions";
+           "victim flips";
+           "victim weight (mean)";
+         ]
+       (List.map
+          (fun r ->
+            [
+              string_of_int r.n_lbs;
+              Fmt.str "%.1fus" r.p95_before_us;
+              Fmt.str "%.1fus" r.p95_after_us;
+              string_of_int r.total_actions;
+              string_of_int r.victim_flips;
+              Fmt.str "%.3f" r.victim_weight_mean;
+            ])
+          rows))

@@ -1,0 +1,61 @@
+(** Multiple independent LBs over one server pool (§5 Q4).
+
+    Each LB owns its own VIP, serves its own clients, and runs its own
+    in-band estimator and feedback controller — none of them coordinate.
+    When a server degrades, every controller independently shifts
+    traffic away from it, and because each acts on a partial view, the
+    fleet can over-shift and oscillate (the thundering-herd concern the
+    paper raises as an open question). This experiment measures that
+    effect as the LB count grows while total offered load is fixed. *)
+
+type config = {
+  n_lbs : int;
+  n_servers : int;
+  n_clients : int;  (** Total; assigned round-robin to LBs. *)
+  policy : Inband.Policy.t;
+  lb : Inband.Config.t;
+  memtier : Workload.Memtier.config;
+  seed : int;
+}
+
+val default_config : config
+(** 2 LBs, 3 servers, 4 clients, latency-aware. *)
+
+type t
+
+val build : config -> t
+val engine : t -> Des.Engine.t
+val balancers : t -> Inband.Balancer.t array
+val log : t -> Workload.Latency_log.t
+
+val inject_server_delay :
+  t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit
+(** Inject on every LB's path to that server (the server itself is
+    slow from everyone's point of view). *)
+
+val run : t -> until:Des.Time.t -> unit
+
+(** {1 The herd experiment} *)
+
+type row = {
+  n_lbs : int;
+  p95_before_us : float;
+  p95_after_us : float;
+  total_actions : int;
+  victim_flips : int;
+      (** Controller actions whose victim differs from that controller's
+          previous victim — a proxy for hunting/oscillation. *)
+  victim_weight_mean : float;
+      (** Mean over LBs of the degraded server's final weight. *)
+}
+
+val herd_sweep :
+  ?lb_counts:int list ->
+  ?duration:Des.Time.t ->
+  ?inject_at:Des.Time.t ->
+  unit ->
+  row list
+(** Run the Fig. 3-style injection with 1, 2 and 4 uncoordinated LBs
+    (fixed total client count). *)
+
+val print_herd : row list -> unit

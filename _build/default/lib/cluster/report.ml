@@ -1,0 +1,43 @@
+let table ~headers rows =
+  let ncols = List.length headers in
+  let norm row =
+    let len = List.length row in
+    if len >= ncols then row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map norm rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Fmt.str "%-*s" widths.(i) cell)
+         row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n"
+    ((render_row headers :: rule :: List.map render_row rows) @ [ "" ])
+
+let ns v =
+  let a = Float.abs v in
+  if a < 1e3 then Fmt.str "%.0fns" v
+  else if a < 1e6 then Fmt.str "%.1fus" (v /. 1e3)
+  else if a < 1e9 then Fmt.str "%.3fms" (v /. 1e6)
+  else Fmt.str "%.3fs" (v /. 1e9)
+
+let ns_int v = ns (float_of_int v)
+let pct f = Fmt.str "%.1f%%" (100.0 *. f)
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Fmt.str "%s\n=== %s ===\n%s" bar title bar

@@ -1,0 +1,17 @@
+(** Plain-text tables and small formatting helpers for experiment
+    output (the "rows/series the paper reports"). *)
+
+val table : headers:string list -> string list list -> string
+(** Render an aligned table with a header rule. Rows shorter than the
+    header are padded with empty cells. *)
+
+val ns : float -> string
+(** Format a nanosecond quantity with an adaptive unit ("187.3us"). *)
+
+val ns_int : int -> string
+
+val pct : float -> string
+(** Format a fraction as a percentage ("12.5%"). *)
+
+val section : string -> string
+(** A banner line for experiment output. *)

@@ -1,0 +1,14 @@
+(** Small helpers over timestamped sample lists. *)
+
+val in_window :
+  Bulk_flow.sample list -> lo:Des.Time.t -> hi:Des.Time.t -> int list
+(** Values of the samples with [lo <= at < hi]. *)
+
+val percentile : int list -> q:float -> float
+(** Nearest-rank percentile of a list of values; [nan] on empty input. *)
+
+val median : int list -> float
+
+val median_relative_error : estimates:int list -> truth:float -> float
+(** [|median estimates - truth| / truth]; [nan] if inputs are empty or
+    [truth <= 0]. *)

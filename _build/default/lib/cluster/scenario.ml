@@ -1,0 +1,197 @@
+type config = {
+  n_servers : int;
+  n_clients : int;
+  policy : Inband.Policy.t;
+  lb : Inband.Config.t;
+  table_size : int;
+  client_lb_delay : Des.Time.t;
+  client_delay_overrides : (int * Des.Time.t) list;
+  lb_server_delay : Des.Time.t;
+  server_client_delay : Des.Time.t;
+  return_jitter : Stats.Dist.t option;
+  link_rate_bps : int;
+  server : Memcache.Server.config;
+  server_overrides : (int * Memcache.Server.config) list;
+  interference : (int * Stats.Dist.t * Stats.Dist.t) list;
+  memtier : Workload.Memtier.config;
+  key_count : int;
+  key_dist : Workload.Keyspace.dist;
+  preload_value_size : int;
+  latency_bucket : Des.Time.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_servers = 2;
+    n_clients = 1;
+    policy = Inband.Policy.Static_maglev;
+    lb = Inband.Config.default;
+    table_size = 4099;
+    client_lb_delay = Des.Time.us 30;
+    client_delay_overrides = [];
+    lb_server_delay = Des.Time.us 25;
+    server_client_delay = Des.Time.us 55;
+    return_jitter = Some (Stats.Dist.Exponential { mean = 10_000.0 });
+    link_rate_bps = 10_000_000_000;
+    server = Memcache.Server.default_config;
+    server_overrides = [];
+    interference = [];
+    memtier = Workload.Memtier.default_config;
+    key_count = 10_000;
+    key_dist = Workload.Keyspace.Uniform;
+    preload_value_size = 64;
+    latency_bucket = Des.Time.ms 500;
+    seed = 0xfeed;
+  }
+
+type t = {
+  engine : Des.Engine.t;
+  fabric : Netsim.Fabric.t;
+  balancer : Inband.Balancer.t;
+  servers : Memcache.Server.t array;
+  clients : Workload.Memtier.t array;
+  log : Workload.Latency_log.t;
+  vip : Netsim.Addr.t;
+  config : config;
+  lb_server_links : Netsim.Link.t array;
+}
+
+(* IP plan: VIP = 1, servers = 10, 11, …; clients = 100, 101, … *)
+let vip_ip = 1
+let server_ip i = 10 + i
+let client_ip j = 100 + j
+
+let build config =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let root_rng = Des.Rng.create ~seed:config.seed in
+  let vip = Netsim.Addr.v vip_ip 11211 in
+  let server_ips = Array.init config.n_servers server_ip in
+  (* The balancer registers the VIP host, so build it first. *)
+  let balancer =
+    Inband.Balancer.create fabric ~vip ~server_ips ~policy:config.policy
+      ~config:config.lb ~table_size:config.table_size
+      ~rng:(Des.Rng.split root_rng ~label:"p2c")
+      ()
+  in
+  let plain_link delay =
+    Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps ()
+  in
+  let return_link delay ~rng =
+    match config.return_jitter with
+    | None -> plain_link delay
+    | Some jitter ->
+        Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps
+          ~jitter ~rng ()
+  in
+  (* Servers: endpoint at its own IP, listening on the VIP (DSR). *)
+  let servers =
+    Array.init config.n_servers (fun i ->
+        let rng =
+          Des.Rng.split root_rng ~label:(Fmt.str "server-%d" i)
+        in
+        let interference =
+          List.find_opt (fun (s, _, _) -> s = i) config.interference
+          |> Option.map (fun (_, gap, duration) ->
+                 Memcache.Interference.periodic engine
+                   ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "intf-%d" i))
+                   ~gap ~duration)
+        in
+        let server_config =
+          match List.assoc_opt i config.server_overrides with
+          | Some c -> c
+          | None -> config.server
+        in
+        Memcache.Server.create fabric ~host_ip:(server_ip i) ~listen_addr:vip
+          ~config:server_config ?interference ~rng ())
+  in
+  (* Preload every server's store so GETs hit immediately. *)
+  let keyspace_names =
+    Workload.Keyspace.create ~count:config.key_count
+      ~dist:Workload.Keyspace.Uniform
+      ~rng:(Des.Rng.split root_rng ~label:"preload")
+      ()
+  in
+  Array.iter
+    (fun server ->
+      Memcache.Store.preload
+        (Memcache.Server.store server)
+        ~count:config.key_count
+        ~key_of:(Workload.Keyspace.key_of keyspace_names)
+        ~value_size:config.preload_value_size)
+    servers;
+  (* Clients and the latency log. *)
+  let log = Workload.Latency_log.create engine ~bucket:config.latency_bucket () in
+  let clients =
+    Array.init config.n_clients (fun j ->
+        let rng = Des.Rng.split root_rng ~label:(Fmt.str "client-%d" j) in
+        let keyspace =
+          Workload.Keyspace.create ~count:config.key_count
+            ~dist:config.key_dist
+            ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "keys-%d" j))
+            ()
+        in
+        Workload.Memtier.create fabric ~host_ip:(client_ip j) ~vip ~keyspace
+          ~log ~config:config.memtier ~rng ())
+  in
+  (* Links. Request path: client→VIP, VIP→server. Return path (DSR):
+     server→client directly. *)
+  let client_delay j =
+    match List.assoc_opt j config.client_delay_overrides with
+    | Some d -> d
+    | None -> config.client_lb_delay
+  in
+  for j = 0 to config.n_clients - 1 do
+    Netsim.Fabric.add_link fabric ~src:(client_ip j) ~dst:vip_ip
+      (plain_link (client_delay j))
+  done;
+  let lb_server_links =
+    Array.init config.n_servers (fun i ->
+        let link = plain_link config.lb_server_delay in
+        Netsim.Fabric.add_link fabric ~src:vip_ip ~dst:(server_ip i) link;
+        link)
+  in
+  for i = 0 to config.n_servers - 1 do
+    for j = 0 to config.n_clients - 1 do
+      let rng =
+        Des.Rng.split root_rng ~label:(Fmt.str "jitter-%d-%d" i j)
+      in
+      (* A far client is far in both directions. *)
+      let extra = client_delay j - config.client_lb_delay in
+      Netsim.Fabric.add_link fabric ~src:(server_ip i) ~dst:(client_ip j)
+        (return_link (config.server_client_delay + extra) ~rng)
+    done
+  done;
+  {
+    engine;
+    fabric;
+    balancer;
+    servers;
+    clients;
+    log;
+    vip;
+    config;
+    lb_server_links;
+  }
+
+let engine t = t.engine
+let fabric t = t.fabric
+let balancer t = t.balancer
+let servers t = t.servers
+let clients t = t.clients
+let log t = t.log
+let vip t = t.vip
+let config t = t.config
+let lb_server_link t i = t.lb_server_links.(i)
+
+let inject_server_delay t ~server ~at ~delay =
+  let link = t.lb_server_links.(server) in
+  ignore
+    (Des.Engine.schedule t.engine ~at (fun () ->
+         Netsim.Link.set_extra_delay link delay))
+
+let run t ~until =
+  Array.iter Workload.Memtier.start t.clients;
+  Des.Engine.run ~until t.engine;
+  Array.iter Workload.Memtier.stop t.clients

@@ -1,0 +1,71 @@
+(** The paper's evaluation testbed (§4), simulated.
+
+    Builds a cluster of memtier-style clients, one load balancer owning
+    the service VIP, and N memcached servers, wired with DSR routing:
+    client→LB and LB→server links carry requests, per-(server, client)
+    links carry responses directly back. Exposes the LB→server links so
+    experiments can inject the paper's 1 ms delay. *)
+
+type config = {
+  n_servers : int;
+  n_clients : int;
+  policy : Inband.Policy.t;
+  lb : Inband.Config.t;
+  table_size : int;
+  client_lb_delay : Des.Time.t;  (** One-way, request path hop 1. *)
+  client_delay_overrides : (int * Des.Time.t) list;
+      (** Per-client one-way client→LB delay overrides — "far,
+          non-equidistant clients" (§5 Q1). The same extra distance is
+          applied to the client's DSR return paths so the whole RTT
+          moves. *)
+  lb_server_delay : Des.Time.t;  (** One-way, request path hop 2. *)
+  server_client_delay : Des.Time.t;  (** One-way, DSR return path. *)
+  return_jitter : Stats.Dist.t option;
+      (** Extra per-packet delay on the return path (ns), modelling
+          kernel/NIC variability; [None] = deterministic. *)
+  link_rate_bps : int;
+  server : Memcache.Server.config;
+  server_overrides : (int * Memcache.Server.config) list;
+      (** Per-server config overrides, e.g. a persistently slower
+          service distribution for one replica. *)
+  interference : (int * Stats.Dist.t * Stats.Dist.t) list;
+      (** Per-server interference processes: (server index, gap dist,
+          pause-duration dist), both in ns — §2.2's preemption/GC
+          stalls. *)
+  memtier : Workload.Memtier.config;
+  key_count : int;
+  key_dist : Workload.Keyspace.dist;
+  preload_value_size : int;
+  latency_bucket : Des.Time.t;  (** Time-series bucket for the log. *)
+  seed : int;
+}
+
+val default_config : config
+(** Two servers (the paper's setup), one client host, static Maglev,
+    ~170 µs network RTT, ~50 µs service times. *)
+
+type t
+
+val build : config -> t
+(** Construct the whole cluster on a fresh engine. Clients are not
+    started yet. *)
+
+val engine : t -> Des.Engine.t
+val fabric : t -> Netsim.Fabric.t
+val balancer : t -> Inband.Balancer.t
+val servers : t -> Memcache.Server.t array
+val clients : t -> Workload.Memtier.t array
+val log : t -> Workload.Latency_log.t
+val vip : t -> Netsim.Addr.t
+val config : t -> config
+
+val lb_server_link : t -> int -> Netsim.Link.t
+(** The LB→server link of one server (for delay injection). *)
+
+val inject_server_delay :
+  t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit
+(** Schedule [Link.set_extra_delay] on the LB→server link at time [at] —
+    the paper's netem injection. *)
+
+val run : t -> until:Des.Time.t -> unit
+(** Start all clients, run the engine to [until], then stop clients. *)

@@ -1,0 +1,1 @@
+lib/core/balancer.ml: Array Config Controller Des Ensemble Fmt List Maglev Netsim Policy Server_stats

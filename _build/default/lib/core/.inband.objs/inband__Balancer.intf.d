@@ -1,0 +1,1 @@
+lib/core/balancer.mli: Config Controller Des Ensemble Maglev Netsim Policy Server_stats

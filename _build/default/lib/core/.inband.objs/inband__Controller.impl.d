@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Config Des Float List Maglev Option Server_stats

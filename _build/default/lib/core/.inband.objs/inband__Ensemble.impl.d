@@ -1,0 +1,1 @@
+lib/core/ensemble.ml: Array Config Fixed_timeout Stdlib

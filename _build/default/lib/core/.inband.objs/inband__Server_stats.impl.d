@@ -1,0 +1,1 @@
+lib/core/server_stats.ml: Array Des Int Stats Stdlib

@@ -1,0 +1,1 @@
+lib/core/server_stats.mli: Des Stats

@@ -1,0 +1,215 @@
+type flow_state = {
+  eflow : Ensemble.flow;
+  server : int;
+  mutable last_seen : Des.Time.t;
+  mutable live : bool; (* counted in the per-server connection gauge *)
+}
+
+type t = {
+  fabric : Netsim.Fabric.t;
+  engine : Des.Engine.t;
+  vip : Netsim.Addr.t;
+  server_ips : int array;
+  policy : Policy.t;
+  config : Config.t;
+  pool : Maglev.Pool.t;
+  controller : Controller.t option;
+  own_stats : Server_stats.t option; (* when no controller *)
+  ensemble : Ensemble.t;
+  flows : flow_state Netsim.Flow_key.Table.t;
+  conn_gauge : int array;
+  rng : Des.Rng.t;
+  mutable rr_next : int;
+  mutable taps : (Netsim.Packet.t -> unit) list;
+  mutable sample_hook :
+    (at:Des.Time.t ->
+    flow:Netsim.Flow_key.t ->
+    server:int ->
+    sample:Des.Time.t ->
+    unit)
+    option;
+  mutable routed_hook :
+    (at:Des.Time.t ->
+    flow:Netsim.Flow_key.t ->
+    server:int ->
+    Netsim.Packet.t ->
+    unit)
+    option;
+  mutable forwarded : int;
+  pkts_to : int array;
+  flows_to : int array;
+  mutable samples : int;
+}
+
+let select t key =
+  match t.policy with
+  | Policy.Static_maglev | Policy.Latency_aware ->
+      Maglev.Pool.lookup t.pool (Netsim.Flow_key.hash key)
+  | Policy.Round_robin ->
+      let i = t.rr_next in
+      t.rr_next <- (t.rr_next + 1) mod Array.length t.server_ips;
+      i
+  | Policy.Least_conn ->
+      let best = ref 0 in
+      Array.iteri
+        (fun i c -> if c < t.conn_gauge.(!best) then best := i)
+        t.conn_gauge;
+      !best
+  | Policy.P2c ->
+      let n = Array.length t.server_ips in
+      let a = Des.Rng.int t.rng n and b = Des.Rng.int t.rng n in
+      if t.conn_gauge.(a) <= t.conn_gauge.(b) then a else b
+
+let release t st =
+  if st.live then begin
+    st.live <- false;
+    t.conn_gauge.(st.server) <- t.conn_gauge.(st.server) - 1
+  end
+
+let sweep t =
+  let now = Des.Engine.now t.engine in
+  let dead = ref [] in
+  Netsim.Flow_key.Table.iter
+    (fun key st ->
+      if now - st.last_seen > t.config.Config.flow_idle_timeout then
+        dead := (key, st) :: !dead)
+    t.flows;
+  List.iter
+    (fun (key, st) ->
+      release t st;
+      Netsim.Flow_key.Table.remove t.flows key)
+    !dead
+
+let flow_state t key ~now =
+  match Netsim.Flow_key.Table.find_opt t.flows key with
+  | Some st -> st
+  | None ->
+      let server = select t key in
+      let st =
+        {
+          eflow = Ensemble.create_flow t.ensemble ~now;
+          server;
+          last_seen = now;
+          live = true;
+        }
+      in
+      Netsim.Flow_key.Table.add t.flows key st;
+      t.conn_gauge.(server) <- t.conn_gauge.(server) + 1;
+      t.flows_to.(server) <- t.flows_to.(server) + 1;
+      st
+
+let record_sample t ~now ~key ~server sample =
+  t.samples <- t.samples + 1;
+  (match t.controller with
+  | Some controller ->
+      ignore (Controller.on_sample controller ~now ~server sample)
+  | None -> begin
+      match t.own_stats with
+      | Some stats -> Server_stats.record stats ~server ~sample ~at:now
+      | None -> ()
+    end);
+  match t.sample_hook with
+  | Some hook -> hook ~at:now ~flow:key ~server ~sample
+  | None -> ()
+
+let on_packet t (pkt : Netsim.Packet.t) =
+  List.iter (fun tap -> tap pkt) t.taps;
+  let now = Des.Engine.now t.engine in
+  let key = Netsim.Packet.flow pkt in
+  let st = flow_state t key ~now in
+  st.last_seen <- now;
+  (match Ensemble.on_packet t.ensemble st.eflow ~now with
+  | Some sample -> record_sample t ~now ~key ~server:st.server sample
+  | None -> ());
+  (match t.routed_hook with
+  | Some hook -> hook ~at:now ~flow:key ~server:st.server pkt
+  | None -> ());
+  if pkt.flags.fin || pkt.flags.rst then release t st;
+  t.forwarded <- t.forwarded + 1;
+  t.pkts_to.(st.server) <- t.pkts_to.(st.server) + 1;
+  Netsim.Fabric.send t.fabric ~from:t.vip.Netsim.Addr.ip
+    ~next_hop:t.server_ips.(st.server) pkt
+
+let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
+    ?(config = Config.default) ?(table_size = 4099) ?rng () =
+  if Array.length server_ips = 0 then
+    invalid_arg "Balancer.create: no servers";
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Balancer.create: " ^ msg));
+  let engine = Netsim.Fabric.engine fabric in
+  let n = Array.length server_ips in
+  let names = Array.map (fun ip -> Fmt.str "server-%d" ip) server_ips in
+  let pool = Maglev.Pool.create ~table_size ~names () in
+  let controller =
+    if Policy.uses_controller policy then
+      Some (Controller.create ~config ~pool)
+    else None
+  in
+  let own_stats =
+    match controller with
+    | Some _ -> None
+    | None ->
+        Some
+          (Server_stats.create ~n ~ewma_alpha:config.Config.ewma_alpha
+             ~window:config.Config.estimate_window ())
+  in
+  let rng =
+    match rng with Some r -> r | None -> Des.Rng.create ~seed:0x1b5eed
+  in
+  let t =
+    {
+      fabric;
+      engine;
+      vip;
+      server_ips;
+      policy;
+      config;
+      pool;
+      controller;
+      own_stats;
+      ensemble = Ensemble.create ~config;
+      flows = Netsim.Flow_key.Table.create 1024;
+      conn_gauge = Array.make n 0;
+      rng;
+      rr_next = 0;
+      taps = [];
+      sample_hook = None;
+      routed_hook = None;
+      forwarded = 0;
+      pkts_to = Array.make n 0;
+      flows_to = Array.make n 0;
+      samples = 0;
+    }
+  in
+  Netsim.Fabric.register fabric ~ip:vip.Netsim.Addr.ip (fun pkt ->
+      on_packet t pkt);
+  ignore
+    (Des.Timer.every engine ~period:config.Config.sweep_interval (fun () ->
+         sweep t));
+  t
+
+let add_tap t tap = t.taps <- t.taps @ [ tap ]
+let set_sample_hook t hook = t.sample_hook <- Some hook
+let set_routed_hook t hook = t.routed_hook <- Some hook
+let policy t = t.policy
+let pool t = t.pool
+let controller t = t.controller
+
+let server_stats t =
+  match t.controller with
+  | Some controller -> Controller.stats controller
+  | None -> begin
+      match t.own_stats with
+      | Some stats -> stats
+      | None -> assert false
+    end
+
+let ensemble t = t.ensemble
+let n_servers t = Array.length t.server_ips
+let packets_forwarded t = t.forwarded
+let packets_to t i = t.pkts_to.(i)
+let flows_assigned_to t i = t.flows_to.(i)
+let active_flows t = Netsim.Flow_key.Table.length t.flows
+let active_conns t = Array.copy t.conn_gauge
+let samples_produced t = t.samples

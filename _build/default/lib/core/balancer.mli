@@ -1,0 +1,86 @@
+(** The load-balancer datapath.
+
+    A fabric host registered at the service VIP. For every
+    client-to-server packet it (1) feeds the in-band latency estimator,
+    (2) looks up or establishes the flow's server assignment —
+    per-connection affinity is never broken by weight changes — and
+    (3) forwards the unmodified packet towards the assigned server
+    (direct server return: responses never come back through here).
+
+    Under {!Policy.Latency_aware} every estimator sample drives the
+    feedback {!Controller}; under the other policies samples are still
+    collected (for instrumentation) but no control action is taken. *)
+
+type t
+
+val create :
+  Netsim.Fabric.t ->
+  vip:Netsim.Addr.t ->
+  server_ips:int array ->
+  ?policy:Policy.t ->
+  ?config:Config.t ->
+  ?table_size:int ->
+  ?rng:Des.Rng.t ->
+  unit ->
+  t
+(** Registers the datapath as the fabric host for [vip]'s IP. Backend
+    [i] of the pool forwards to next hop [server_ips.(i)]. [rng] is used
+    only by [P2c] (default: seeded stream).
+
+    @raise Invalid_argument if [server_ips] is empty or the config is
+    invalid. *)
+
+(** {1 Instrumentation} *)
+
+val add_tap : t -> (Netsim.Packet.t -> unit) -> unit
+(** Observe every packet the LB sees (before forwarding). *)
+
+val set_sample_hook :
+  t ->
+  (at:Des.Time.t ->
+  flow:Netsim.Flow_key.t ->
+  server:int ->
+  sample:Des.Time.t ->
+  unit) ->
+  unit
+(** Observe every in-band latency sample the estimator produces. *)
+
+val set_routed_hook :
+  t ->
+  (at:Des.Time.t ->
+  flow:Netsim.Flow_key.t ->
+  server:int ->
+  Netsim.Packet.t ->
+  unit) ->
+  unit
+(** Observe every packet together with the server it was routed to —
+    for alternative measurement sources (e.g. {!Syn_rtt}) that need
+    per-packet attribution. *)
+
+(** {1 State access} *)
+
+val policy : t -> Policy.t
+val pool : t -> Maglev.Pool.t
+val controller : t -> Controller.t option
+(** [Some _] iff the policy is [Latency_aware]. *)
+
+val server_stats : t -> Server_stats.t
+(** Per-server sample statistics (the controller's, when present). *)
+
+val ensemble : t -> Ensemble.t
+
+val n_servers : t -> int
+val packets_forwarded : t -> int
+val packets_to : t -> int -> int
+(** Packets forwarded to one server. *)
+
+val flows_assigned_to : t -> int -> int
+(** Connections ever assigned to one server. *)
+
+val active_flows : t -> int
+(** Flow-table entries currently tracked. *)
+
+val active_conns : t -> int array
+(** Per-server live connection gauge (drives least-conn / P2C). *)
+
+val samples_produced : t -> int

@@ -1,0 +1,72 @@
+type cliff_scope = Global | Per_flow
+
+type t = {
+  timeouts : Des.Time.t array;
+  epoch : Des.Time.t;
+  cliff_scope : cliff_scope;
+  initial_timeout_index : int;
+  cliff_min_fraction : float;
+  alpha : float;
+  ewma_alpha : float;
+  estimate_window : int;
+  min_weight : float;
+  relative_threshold : float;
+  control_interval : Des.Time.t;
+  recovery_rate : float;
+  flow_idle_timeout : Des.Time.t;
+  sweep_interval : Des.Time.t;
+}
+
+let paper_timeouts =
+  Array.init 7 (fun i -> Des.Time.us (64 * (1 lsl i)))
+
+let default =
+  {
+    timeouts = paper_timeouts;
+    epoch = Des.Time.ms 64;
+    cliff_scope = Global;
+    initial_timeout_index = 3;
+    cliff_min_fraction = 0.05;
+    alpha = 0.10;
+    ewma_alpha = 0.3;
+    estimate_window = 0;
+    min_weight = 0.01;
+    relative_threshold = 1.0;
+    control_interval = Des.Time.ms 1;
+    recovery_rate = 0.0;
+    flow_idle_timeout = Des.Time.sec 5;
+    sweep_interval = Des.Time.sec 1;
+  }
+
+let validate t =
+  let k = Array.length t.timeouts in
+  let ascending =
+    let ok = ref true in
+    for i = 0 to k - 2 do
+      if t.timeouts.(i) >= t.timeouts.(i + 1) then ok := false
+    done;
+    !ok
+  in
+  if k < 2 then Error "need at least two timeouts"
+  else if Array.exists (fun d -> d <= 0) t.timeouts then
+    Error "timeouts must be positive"
+  else if not ascending then Error "timeouts must be strictly ascending"
+  else if t.epoch <= 0 then Error "epoch must be positive"
+  else if t.initial_timeout_index < 0 || t.initial_timeout_index >= k then
+    Error "initial_timeout_index out of range"
+  else if t.cliff_min_fraction < 0.0 || t.cliff_min_fraction >= 1.0 then
+    Error "cliff_min_fraction must be in [0, 1)"
+  else if not (t.alpha > 0.0 && t.alpha < 1.0) then
+    Error "alpha must be in (0, 1)"
+  else if not (t.ewma_alpha > 0.0 && t.ewma_alpha <= 1.0) then
+    Error "ewma_alpha must be in (0, 1]"
+  else if t.estimate_window < 0 then Error "estimate_window must be >= 0"
+  else if t.min_weight < 0.0 || t.min_weight >= 0.5 then
+    Error "min_weight must be in [0, 0.5)"
+  else if t.relative_threshold < 1.0 then
+    Error "relative_threshold must be >= 1"
+  else if t.control_interval < 0 then Error "control_interval negative"
+  else if t.recovery_rate < 0.0 then Error "recovery_rate must be >= 0"
+  else if t.flow_idle_timeout <= 0 || t.sweep_interval <= 0 then
+    Error "idle timeout and sweep interval must be positive"
+  else Ok ()

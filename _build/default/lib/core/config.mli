@@ -1,0 +1,59 @@
+(** Configuration of the in-band feedback LB (§3 of the paper).
+
+    The defaults are the paper's published constants: k = 7 timeouts
+    64 µs, 128 µs, …, 4096 µs; epoch E = 64 ms; shift fraction
+    α = 10 %. *)
+
+type cliff_scope =
+  | Global
+      (** One sample-cliff and one chosen timeout per LB per epoch —
+          Algorithm 2 as written (per-flow batch state, LB-wide
+          counters). *)
+  | Per_flow
+      (** Counters and chosen timeout tracked per flow — an ablation
+          knob for clusters with heterogeneous client RTTs (§5 Q1). *)
+
+type t = {
+  timeouts : Des.Time.t array;
+      (** The ensemble δ₁ < δ₂ < … < δₖ, ascending. *)
+  epoch : Des.Time.t;  (** Epoch length E for cliff detection. *)
+  cliff_scope : cliff_scope;
+  initial_timeout_index : int;
+      (** Which δ to report from until the first epoch completes. *)
+  cliff_min_fraction : float;
+      (** A timeout qualifies as a cliff candidate only if its epoch
+          sample count is at least this fraction of the best count.
+          Guards the argmax against trailing noise cliffs (a handful of
+          idle-gap samples followed by zeros), which dominate the raw
+          N_i/N_{i+1} ratio under request-response traffic. 0 recovers
+          Algorithm 2 exactly as printed. *)
+  alpha : float;  (** Traffic fraction shifted per control action. *)
+  ewma_alpha : float;  (** Smoothing of per-server latency estimates. *)
+  estimate_window : int;
+      (** 0 (the paper): per-server estimate is the EWMA of samples.
+          [w > 0]: estimate is the median of the last [w] samples —
+          robust to the heavy tails queueing puts in in-band samples. *)
+  min_weight : float;
+      (** Weight floor so a backend is never fully starved (deviation
+          from the paper, documented in DESIGN.md §5). *)
+  relative_threshold : float;
+      (** Act only when worst ≥ threshold × best estimate; 1.0 (the
+          default) acts on every sample like the paper's controller. *)
+  control_interval : Des.Time.t;
+      (** Minimum spacing between control actions (table rebuilds). *)
+  recovery_rate : float;
+      (** Pull of all weights towards uniform, per second of elapsed
+          time (0 = off; a §5(4) extension that keeps starved backends
+          probed so their estimates refresh). *)
+  flow_idle_timeout : Des.Time.t;  (** Evict idle flow state after this. *)
+  sweep_interval : Des.Time.t;  (** How often to scan for idle flows. *)
+}
+
+val default : t
+
+val paper_timeouts : Des.Time.t array
+(** [|64 µs; 128 µs; 256 µs; 512 µs; 1024 µs; 2048 µs; 4096 µs|]. *)
+
+val validate : t -> (unit, string) result
+(** Check ordering/positivity constraints; [Error msg] explains the
+    first violation. *)

@@ -1,0 +1,135 @@
+type action = {
+  at : Des.Time.t;
+  victim : int;
+  shifted : float;
+  weights_after : float array;
+}
+
+type t = {
+  config : Config.t;
+  pool : Maglev.Pool.t;
+  stats : Server_stats.t;
+  mutable last_update : Des.Time.t; (* last table rebuild (shift or recovery) *)
+  mutable updated_once : bool;
+  mutable actions_rev : action list;
+  mutable action_count : int;
+}
+
+let create ~config ~pool =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Controller.create: " ^ msg));
+  let n = Maglev.Pool.size pool in
+  if n < 2 then invalid_arg "Controller.create: need at least 2 backends";
+  let uniform = Array.make n (1.0 /. float_of_int n) in
+  Maglev.Pool.set_weights pool uniform;
+  Maglev.Pool.rebuild pool;
+  {
+    config;
+    pool;
+    stats =
+      Server_stats.create ~n ~ewma_alpha:config.Config.ewma_alpha
+        ~window:config.Config.estimate_window ();
+    last_update = 0;
+    updated_once = false;
+    actions_rev = [];
+    action_count = 0;
+  }
+
+let stats t = t.stats
+let actions t = List.rev t.actions_rev
+let action_count t = t.action_count
+let weights t = Maglev.Pool.weights t.pool
+
+let normalize w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total > 0.0 then Array.iteri (fun i v -> w.(i) <- v /. total) w
+
+(* Pull weights towards uniform at [recovery_rate] per second of elapsed
+   time — the optional §5(4) extension that keeps a starved backend
+   probed. Returns true if the weights moved materially. *)
+let apply_recovery t ~now w =
+  let rate = t.config.Config.recovery_rate in
+  if rate <= 0.0 || not t.updated_once then false
+  else begin
+    let dt = Float.min 1.0 (Des.Time.to_float_s (now - t.last_update)) in
+    let pull = Float.min 1.0 (rate *. dt) in
+    if pull <= 0.0 then false
+    else begin
+      let uniform = 1.0 /. float_of_int (Array.length w) in
+      let moved = ref false in
+      Array.iteri
+        (fun i v ->
+          let v' = v +. (pull *. (uniform -. v)) in
+          if Float.abs (v' -. v) > 1e-4 then moved := true;
+          w.(i) <- v')
+        w;
+      !moved
+    end
+  end
+
+(* The paper's shift: move delta = min(alpha, victim's headroom) from the
+   worst server to everyone else, equally. *)
+let compute_shift t ~victim w =
+  let n = Array.length w in
+  let floor_w = t.config.Config.min_weight in
+  let available = Float.max 0.0 (w.(victim) -. floor_w) in
+  let delta = Float.min t.config.Config.alpha available in
+  if delta <= 1e-9 then None
+  else begin
+    let share = delta /. float_of_int (n - 1) in
+    Array.iteri
+      (fun i v -> w.(i) <- (if i = victim then v -. delta else v +. share))
+      w;
+    Some delta
+  end
+
+let commit t ~now w =
+  normalize w;
+  Maglev.Pool.set_weights t.pool w;
+  Maglev.Pool.rebuild t.pool;
+  t.last_update <- now;
+  t.updated_once <- true
+
+let on_sample t ~now ~server sample =
+  Server_stats.record t.stats ~server ~sample ~at:now;
+  let spaced =
+    (not t.updated_once)
+    || now - t.last_update >= t.config.Config.control_interval
+  in
+  if (not spaced) || Server_stats.servers_with_samples t.stats < 2 then None
+  else begin
+    let w = Maglev.Pool.weights t.pool in
+    let recovered = apply_recovery t ~now w in
+    let shift =
+      match (Server_stats.worst t.stats, Server_stats.best t.stats) with
+      | Some (victim, worst_est), Some (_, best_est)
+        when worst_est >= t.config.Config.relative_threshold *. best_est ->
+          compute_shift t ~victim w |> Option.map (fun delta -> (victim, delta))
+      | Some _, Some _ | Some _, None | None, _ -> None
+    in
+    match shift with
+    | Some (victim, delta) ->
+        commit t ~now w;
+        let action =
+          {
+            at = now;
+            victim;
+            shifted = delta;
+            weights_after = Maglev.Pool.weights t.pool;
+          }
+        in
+        t.actions_rev <- action :: t.actions_rev;
+        t.action_count <- t.action_count + 1;
+        Some action
+    | None ->
+        if recovered then commit t ~now w;
+        None
+  end
+
+let first_action_after t at =
+  let rec scan = function
+    | [] -> None
+    | action :: rest -> if action.at >= at then Some action.at else scan rest
+  in
+  scan (List.rev t.actions_rev)

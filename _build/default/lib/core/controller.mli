@@ -1,0 +1,41 @@
+(** The paper's feedback controller (§3, "Simple load balancing
+    strategy").
+
+    On each new in-band latency sample the controller may redistribute a
+    fixed fraction α of total traffic away from the server with the
+    highest smoothed latency, spreading it equally over the remaining
+    servers, and rebuild the weighted Maglev table. Extensions beyond
+    the paper, all off by default: a minimum spacing between actions, a
+    relative-latency activation threshold, a weight floor, and a slow
+    recovery towards uniform weights (see {!Config}). *)
+
+type action = {
+  at : Des.Time.t;
+  victim : int;  (** Server traffic was shifted away from. *)
+  shifted : float;  (** Fraction of total traffic moved. *)
+  weights_after : float array;
+}
+
+type t
+
+val create : config:Config.t -> pool:Maglev.Pool.t -> t
+(** The pool's weights are reset to uniform.
+
+    @raise Invalid_argument if the config fails validation or the pool
+    has fewer than 2 backends. *)
+
+val on_sample : t -> now:Des.Time.t -> server:int -> Des.Time.t -> action option
+(** Attribute a latency sample (ns) to [server]; possibly shift traffic.
+    Returns the action taken, if any. *)
+
+val stats : t -> Server_stats.t
+val actions : t -> action list
+(** All actions taken, oldest first. *)
+
+val action_count : t -> int
+val weights : t -> float array
+(** Current weight vector (sums to 1). *)
+
+val first_action_after : t -> Des.Time.t -> Des.Time.t option
+(** Time of the first control action at or after the given instant —
+    the paper's "reacts in milliseconds" reaction-time metric. *)

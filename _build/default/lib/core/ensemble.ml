@@ -1,0 +1,100 @@
+type scope_state = {
+  counts : int array;
+  mutable epoch_index : int;
+  mutable chosen : int;
+  mutable epochs : int;
+}
+
+type t = { config : Config.t; k : int; global : scope_state }
+
+type flow = {
+  instances : Fixed_timeout.t array;
+  local : scope_state option; (* Some under Per_flow scope *)
+}
+
+let make_scope config =
+  {
+    counts = Array.make (Array.length config.Config.timeouts) 0;
+    epoch_index = 0;
+    chosen = config.Config.initial_timeout_index;
+    epochs = 0;
+  }
+
+let create ~config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Ensemble.create: " ^ msg));
+  { config; k = Array.length config.Config.timeouts; global = make_scope config }
+
+let create_flow t ~now =
+  {
+    instances =
+      Array.map
+        (fun delta -> Fixed_timeout.create ~delta ~now)
+        t.config.Config.timeouts;
+    local =
+      (match t.config.Config.cliff_scope with
+      | Config.Global -> None
+      | Config.Per_flow -> Some (make_scope t.config));
+  }
+
+let scope_of t flow =
+  match flow.local with Some s -> s | None -> t.global
+
+(* argmax over adjacent-count ratios, smoothed; ties to the smaller
+   index. The largest timeout can never be selected (i ranges to k-2),
+   exactly as in Algorithm 2 line 8. A candidate must hold at least
+   [min_fraction] of the best count: under request-response traffic the
+   trailing timeouts collect a handful of idle-gap samples followed by
+   zeros, and that noise cliff would otherwise dominate the ratio. *)
+let cliff_pick ?(min_fraction = 0.0) counts =
+  let k = Array.length counts in
+  let best_count = Array.fold_left Stdlib.max 0 counts in
+  let floor_count =
+    int_of_float (ceil (min_fraction *. float_of_int best_count))
+  in
+  let best = ref 0 and best_ratio = ref neg_infinity in
+  for i = 0 to k - 2 do
+    if counts.(i) >= floor_count then begin
+      let ratio =
+        float_of_int (counts.(i) + 1) /. float_of_int (counts.(i + 1) + 1)
+      in
+      if ratio > !best_ratio then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  !best
+
+let rollover config scope ~epoch_now =
+  scope.chosen <-
+    cliff_pick ~min_fraction:config.Config.cliff_min_fraction scope.counts;
+  Array.fill scope.counts 0 (Array.length scope.counts) 0;
+  scope.epoch_index <- epoch_now;
+  scope.epochs <- scope.epochs + 1
+
+let on_packet t flow ~now =
+  let scope = scope_of t flow in
+  (* Algorithm 2 lines 1–6: run every FIXEDTIMEOUT instance and count
+     its samples. *)
+  let samples = Array.make t.k None in
+  for i = 0 to t.k - 1 do
+    match Fixed_timeout.on_packet flow.instances.(i) ~now with
+    | Some sample ->
+        scope.counts.(i) <- scope.counts.(i) + 1;
+        samples.(i) <- Some sample
+    | None -> ()
+  done;
+  (* Lines 7–11: on the first packet of a new epoch, detect the cliff
+     and switch the reporting timeout for the epoch that begins now. *)
+  let epoch_now = now / t.config.Config.epoch in
+  if epoch_now > scope.epoch_index then rollover t.config scope ~epoch_now;
+  (* Line 12: report under the (possibly just updated) chosen δ. *)
+  samples.(scope.chosen)
+
+let chosen_index t flow = (scope_of t flow).chosen
+let global_chosen_index t = t.global.chosen
+let chosen_timeout t flow = t.config.Config.timeouts.((scope_of t flow).chosen)
+let epochs_completed t = t.global.epochs
+let current_counts t = Array.copy t.global.counts

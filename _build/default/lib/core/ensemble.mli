@@ -1,0 +1,50 @@
+(** Algorithm 2 — ENSEMBLETIMEOUT with sample-cliff detection.
+
+    Runs k {!Fixed_timeout} instances per flow (one per candidate δ) and
+    counts, per epoch E, how many samples each δ produced. At each epoch
+    boundary the timeout just above the largest drop in sample count —
+    the {e sample cliff} [argmax N_i / N_{i+1}] — becomes the reporting
+    timeout for the next epoch. The ratio is smoothed to
+    [(N_i + 1) / (N_{i+1} + 1)] to stay total when counts are zero
+    (DESIGN.md §5).
+
+    Counters and the chosen timeout live LB-wide ([Global] scope,
+    Algorithm 2 as printed) or per flow ([Per_flow], an ablation). *)
+
+type t
+(** The shared (per-LB) estimator state. *)
+
+type flow
+(** Per-flow batch state (k fixed-timeout instances). *)
+
+val create : config:Config.t -> t
+(** @raise Invalid_argument if [Config.validate] rejects the config. *)
+
+val create_flow : t -> now:Des.Time.t -> flow
+(** State for a newly observed flow whose first packet arrives [now]. *)
+
+val on_packet : t -> flow -> now:Des.Time.t -> Des.Time.t option
+(** Process one packet of the flow; [Some t_lb] iff the currently chosen
+    timeout's FIXEDTIMEOUT instance produced a sample (Algorithm 2
+    line 12). Epoch rollover — cliff detection, counter reset, timeout
+    re-selection — happens on the first packet past the boundary. *)
+
+val chosen_index : t -> flow -> int
+(** Index of the currently chosen δ (for the flow's scope). *)
+
+val chosen_timeout : t -> flow -> Des.Time.t
+
+val global_chosen_index : t -> int
+(** The LB-wide chosen δ index (meaningful under [Global] scope). *)
+
+val epochs_completed : t -> int
+(** Epoch rollovers observed (Global scope; 0 under Per_flow). *)
+
+val current_counts : t -> int array
+(** Snapshot of this epoch's per-δ sample counters (Global scope). *)
+
+val cliff_pick : ?min_fraction:float -> int array -> int
+(** [cliff_pick counts] is the index the cliff rule selects — exposed
+    for tests and offline analysis. [min_fraction] (default 0, i.e.
+    Algorithm 2 verbatim) filters candidates to those holding at least
+    that fraction of the best count; see {!Config.t.cliff_min_fraction}. *)

@@ -1,0 +1,25 @@
+type t = Static_maglev | Latency_aware | Round_robin | Least_conn | P2c
+
+let all = [ Static_maglev; Latency_aware; Round_robin; Least_conn; P2c ]
+
+let to_string = function
+  | Static_maglev -> "maglev"
+  | Latency_aware -> "latency-aware"
+  | Round_robin -> "round-robin"
+  | Least_conn -> "least-conn"
+  | P2c -> "p2c"
+
+let of_string s =
+  match
+    List.find_opt (fun p -> String.equal (to_string p) s) all
+  with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Fmt.str "unknown policy %S (expected one of: %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let pp ppf t = Fmt.string ppf (to_string t)
+let uses_controller = function
+  | Latency_aware -> true
+  | Static_maglev | Round_robin | Least_conn | P2c -> false

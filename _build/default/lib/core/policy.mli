@@ -1,0 +1,21 @@
+(** Request-routing policies for new connections.
+
+    [Latency_aware] is the paper's design: Maglev hashing over weights
+    steered by the in-band feedback controller. [Static_maglev] is the
+    paper's baseline. The remaining classics support the policy-
+    comparison ablation. *)
+
+type t =
+  | Static_maglev  (** Maglev hashing, fixed equal weights (§4 baseline). *)
+  | Latency_aware  (** Weighted Maglev + in-band feedback control (§3). *)
+  | Round_robin
+  | Least_conn  (** Fewest active connections. *)
+  | P2c  (** Power of two choices on active connections. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+
+val uses_controller : t -> bool
+(** [true] only for [Latency_aware]. *)

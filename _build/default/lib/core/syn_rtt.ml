@@ -1,0 +1,21 @@
+type state = Waiting_syn | Syn_at of Des.Time.t | Done
+type t = { mutable state : state }
+
+let create () = { state = Waiting_syn }
+
+let on_packet t ~now ~syn =
+  match (t.state, syn) with
+  | Waiting_syn, true -> begin
+      t.state <- Syn_at now;
+      None
+    end
+  | Syn_at _, true ->
+      (* SYN retransmission: measure from the latest attempt. *)
+      t.state <- Syn_at now;
+      None
+  | Syn_at t0, false ->
+      t.state <- Done;
+      Some (now - t0)
+  | (Waiting_syn | Done), _ -> None
+
+let sampled t = match t.state with Done -> true | Waiting_syn | Syn_at _ -> false

@@ -1,0 +1,25 @@
+(** Handshake-only RTT estimation — the §3 "simple instantiation".
+
+    Measures the gap between a flow's SYN and the first subsequent
+    client packet (the handshake-completing ACK): one network round-trip
+    sample per connection. This is the classic passive SYN/ACK estimate
+    the paper cites as a special case of causally-triggered
+    transmissions, and the measurement-source ablation uses it as a
+    baseline: it samples only at connection setup and sees only the
+    network path — server-side processing delay is invisible to it,
+    because the SYN-ACK comes from the server's TCP stack, not the
+    application. *)
+
+type t
+(** Per-flow estimator state. *)
+
+val create : unit -> t
+
+val on_packet : t -> now:Des.Time.t -> syn:bool -> Des.Time.t option
+(** Feed one client-to-server packet of the flow. Returns the handshake
+    RTT sample on the first non-SYN packet following the SYN; a
+    retransmitted SYN re-arms the measurement (Karn-style: the sample is
+    taken from the last SYN seen). At most one sample per flow. *)
+
+val sampled : t -> bool
+(** [true] once the sample has been produced. *)

@@ -1,0 +1,1 @@
+lib/des/heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/des/rng.ml: Char Float Random String

@@ -1,0 +1,1 @@
+lib/des/time.mli: Format

@@ -1,0 +1,1 @@
+lib/des/timer.ml: Engine Lazy

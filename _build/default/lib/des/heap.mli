@@ -1,0 +1,32 @@
+(** Array-backed binary min-heap.
+
+    The event queue of the simulator; also reused wherever an ordered
+    frontier is needed. The comparison function is supplied at creation
+    time and must be a total order. *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val size : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x]. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. O(log n). *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains a copy of [h] in ascending order; [h]
+    itself is unchanged. Intended for tests and debugging. *)

@@ -1,0 +1,45 @@
+(** Simulated time, in integer nanoseconds.
+
+    All simulator components share this representation. Using an [int]
+    gives 63 usable bits on 64-bit platforms, i.e. close to 300 years of
+    simulated time, while keeping arithmetic exact and allocation-free. *)
+
+type t = int
+(** A point in simulated time (or a duration), in nanoseconds. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val ns : int -> t
+(** [ns n] is a duration of [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is a duration of [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is a duration of [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is a duration of [n] seconds. *)
+
+val of_float_s : float -> t
+(** [of_float_s s] converts a duration in (possibly fractional) seconds,
+    rounding to the nearest nanosecond. *)
+
+val to_float_s : t -> float
+(** [to_float_s t] is [t] expressed in seconds. *)
+
+val to_float_us : t -> float
+(** [to_float_us t] is [t] expressed in microseconds. *)
+
+val to_float_ms : t -> float
+(** [to_float_ms t] is [t] expressed in milliseconds. *)
+
+val compare : t -> t -> int
+(** Total order on times (the usual integer order). *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit, e.g. ["1.500ms"]. *)

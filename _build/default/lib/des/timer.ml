@@ -1,0 +1,38 @@
+type t = {
+  engine : Engine.t;
+  f : unit -> unit;
+  mutable pending : Engine.handle option;
+}
+
+let create engine ~f = { engine; f; pending = None }
+
+let stop t =
+  match t.pending with
+  | None -> ()
+  | Some h ->
+      Engine.cancel h;
+      t.pending <- None
+
+let arm t ~delay =
+  stop t;
+  let handle =
+    Engine.schedule_after t.engine ~delay (fun () ->
+        t.pending <- None;
+        t.f ())
+  in
+  t.pending <- Some handle
+
+let is_armed t = t.pending <> None
+
+let every engine ~period ?start f =
+  if period <= 0 then invalid_arg "Timer.every: period must be positive";
+  let rec timer =
+    lazy
+      (create engine ~f:(fun () ->
+           f ();
+           arm (Lazy.force timer) ~delay:period))
+  in
+  let t = Lazy.force timer in
+  let first = match start with None -> period | Some s -> s in
+  arm t ~delay:first;
+  t

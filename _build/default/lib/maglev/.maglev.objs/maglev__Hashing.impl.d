@@ -1,0 +1,1 @@
+lib/maglev/hashing.ml: Char String

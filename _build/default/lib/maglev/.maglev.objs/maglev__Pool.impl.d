@@ -1,0 +1,1 @@
+lib/maglev/pool.ml: Array Float Fmt Hashing Hashtbl Table

@@ -1,0 +1,1 @@
+lib/maglev/table.ml: Array Float Hashing Permutation

@@ -1,0 +1,1 @@
+lib/maglev/table.mli:

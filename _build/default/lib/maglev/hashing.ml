@@ -1,0 +1,29 @@
+let mix64 h =
+  let h = (h lxor (h lsr 30)) * 0x1b87_9e66_25b3_acd5 in
+  let h = (h lxor (h lsr 27)) * 0x14ca_4f0a_a5d3_9ead in
+  (h lxor (h lsr 31)) land max_int
+
+let string ~seed s =
+  let h = ref 0x3bf2_9ce4_8422_2325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x0100_0000_01b3)
+    s;
+  mix64 (!h lxor mix64 seed)
+
+let int ~seed v = mix64 (v lxor mix64 seed)
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let rec go d = if d * d > n then true else if n mod d = 0 then false else go (d + 2) in
+    go 3
+  end
+
+let next_prime n =
+  if n < 2 then invalid_arg "Hashing.next_prime";
+  let rec go m = if is_prime m then m else go (m + 1) in
+  go n

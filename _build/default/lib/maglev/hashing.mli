@@ -1,0 +1,20 @@
+(** Stable hash functions for Maglev.
+
+    Maglev needs two independent hashes of each backend name (for the
+    permutation offset and skip), and the connection 5-tuple hash must
+    be identical across runs and across LB instances — so none of these
+    may use OCaml's seeded polymorphic hash. *)
+
+val string : seed:int -> string -> int
+(** FNV-1a over the bytes, finalized with a splitmix64-style mixer and
+    xored with [seed]. Non-negative. *)
+
+val int : seed:int -> int -> int
+(** Mix a single integer. Non-negative. *)
+
+val is_prime : int -> bool
+(** Primality test (deterministic trial division; intended for table
+    sizes, i.e. values well below 2^31). *)
+
+val next_prime : int -> int
+(** Smallest prime >= the argument (argument must be >= 2). *)

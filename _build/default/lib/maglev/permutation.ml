@@ -1,0 +1,17 @@
+type t = { offset : int; skip : int; size : int; mutable cursor : int }
+
+let create ~name ~size =
+  if size < 3 || not (Hashing.is_prime size) then
+    invalid_arg "Permutation.create: size must be a prime >= 3";
+  let offset = Hashing.string ~seed:0xC0FFEE name mod size in
+  let skip = (Hashing.string ~seed:0xBADDAD name mod (size - 1)) + 1 in
+  { offset; skip; size; cursor = 0 }
+
+let nth t j = (t.offset + (j mod t.size * t.skip)) mod t.size
+
+let next t =
+  let slot = nth t t.cursor in
+  t.cursor <- t.cursor + 1;
+  slot
+
+let reset t = t.cursor <- 0

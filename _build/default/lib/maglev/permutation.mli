@@ -1,0 +1,24 @@
+(** Per-backend slot preference permutations (Maglev §3.4).
+
+    Each backend visits the table slots in the order
+    [(offset + j * skip) mod m], with [offset] and [skip] derived from
+    independent hashes of the backend's name. [m] prime guarantees the
+    sequence is a permutation of [0..m-1]. *)
+
+type t
+
+val create : name:string -> size:int -> t
+(** [create ~name ~size] is backend [name]'s permutation over a table of
+    [size] slots.
+
+    @raise Invalid_argument if [size] is not prime or < 3. *)
+
+val next : t -> int
+(** The next preferred slot (advances the cursor; wraps forever). *)
+
+val reset : t -> unit
+(** Rewind the cursor to the beginning. *)
+
+val nth : t -> int -> int
+(** [nth t j] is the [j]-th slot of the sequence without moving the
+    cursor. *)

@@ -1,0 +1,54 @@
+(** A weighted Maglev backend pool with rebuildable lookup table.
+
+    The datapath object: [lookup] maps a (stable) flow hash to a backend
+    in O(1); the controller adjusts weights and calls [rebuild].
+    Rebuilds are counted and the disruption of each rebuild is
+    accumulated so experiments can report connection-breaking pressure. *)
+
+type t
+
+val create : ?table_size:int -> names:string array -> unit -> t
+(** [create ~names] starts with equal weights 1/n. [table_size] defaults
+    to 4099 (prime); pass e.g. 65537 for production-sized tables.
+
+    @raise Invalid_argument if [names] is empty, contains duplicates, or
+    [table_size] is not prime. *)
+
+val size : t -> int
+(** Number of backends. *)
+
+val table_size : t -> int
+val name : t -> int -> string
+
+val weight : t -> int -> float
+val weights : t -> float array
+(** A copy of the current weight vector. *)
+
+val set_weight : t -> int -> float -> unit
+(** Stage a new weight for one backend (takes effect at {!rebuild}).
+
+    @raise Invalid_argument if negative or NaN. *)
+
+val set_weights : t -> float array -> unit
+(** Stage the whole vector.
+
+    @raise Invalid_argument on length mismatch. *)
+
+val rebuild : t -> unit
+(** Repopulate the lookup table from the staged weights. *)
+
+val lookup : t -> int -> int
+(** [lookup t flow_hash] is the backend index for this hash under the
+    current table. *)
+
+val slot_shares : t -> float array
+(** Fraction of table slots per backend under the current table. *)
+
+val rebuilds : t -> int
+(** Number of [rebuild] calls that actually repopulated the table. *)
+
+val total_disruption : t -> float
+(** Sum over rebuilds of the fraction of slots that changed owner. *)
+
+val current_table : t -> int array
+(** A copy of the lookup table (tests and instrumentation). *)

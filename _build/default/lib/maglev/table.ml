@@ -1,0 +1,59 @@
+let populate ~size ~backends =
+  if Array.length backends = 0 then invalid_arg "Table.populate: no backends";
+  if not (Hashing.is_prime size) then
+    invalid_arg "Table.populate: size must be prime";
+  Array.iter
+    (fun (_, w) ->
+      if Float.is_nan w then invalid_arg "Table.populate: NaN weight")
+    backends;
+  let n = Array.length backends in
+  let max_weight =
+    Array.fold_left (fun acc (_, w) -> Float.max acc w) 0.0 backends
+  in
+  if max_weight <= 0.0 then invalid_arg "Table.populate: all weights <= 0";
+  let perms =
+    Array.map (fun (name, _) -> Permutation.create ~name ~size) backends
+  in
+  let table = Array.make size (-1) in
+  let filled = ref 0 in
+  let credit = Array.make n 0.0 in
+  (* A backend claims its next preferred slot that is still free. *)
+  let claim i =
+    let rec go () =
+      if !filled < size then begin
+        let slot = Permutation.next perms.(i) in
+        if table.(slot) = -1 then begin
+          table.(slot) <- i;
+          incr filled
+        end
+        else go ()
+      end
+    in
+    go ()
+  in
+  while !filled < size do
+    for i = 0 to n - 1 do
+      let _, w = backends.(i) in
+      if w > 0.0 then begin
+        credit.(i) <- credit.(i) +. (w /. max_weight);
+        while credit.(i) >= 1.0 && !filled < size do
+          credit.(i) <- credit.(i) -. 1.0;
+          claim i
+        done
+      end
+    done
+  done;
+  table
+
+let slot_shares table ~n =
+  let counts = Array.make n 0 in
+  Array.iter (fun owner -> counts.(owner) <- counts.(owner) + 1) table;
+  let total = float_of_int (Array.length table) in
+  Array.map (fun c -> float_of_int c /. total) counts
+
+let disruption a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Table.disruption: length mismatch";
+  let changed = ref 0 in
+  Array.iteri (fun i owner -> if owner <> b.(i) then incr changed) a;
+  float_of_int !changed /. float_of_int (Array.length a)

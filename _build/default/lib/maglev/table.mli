@@ -1,0 +1,28 @@
+(** Maglev lookup-table population, with weights.
+
+    The classic algorithm lets each backend claim its most-preferred
+    unclaimed slot in round-robin turns, yielding near-equal slot shares
+    and minimal disruption under backend churn. The paper's feedback
+    controller needs *weighted* shares, so turns are granted by deficit
+    accounting: each round a backend earns credit proportional to its
+    weight (normalised to the maximum weight) and claims one slot per
+    unit of credit. With equal weights this reduces exactly to classic
+    Maglev. *)
+
+val populate : size:int -> backends:(string * float) array -> int array
+(** [populate ~size ~backends] builds the table: entry [s] is the index
+    (into [backends]) of the backend owning slot [s]. Backends with
+    weight <= 0 receive no slots.
+
+    @raise Invalid_argument if [size] is not prime, [backends] is empty,
+    all weights are <= 0, or any weight is NaN. *)
+
+val slot_shares : int array -> n:int -> float array
+(** [slot_shares table ~n] is the fraction of slots owned by each of the
+    [n] backends. *)
+
+val disruption : int array -> int array -> float
+(** Fraction of slots whose owner differs between two tables of equal
+    size — the connection-breaking metric for table rebuilds.
+
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,1 @@
+lib/memcache/frontend.ml: Des List Netsim Protocol Queue Stats Stdlib Store Tcpsim

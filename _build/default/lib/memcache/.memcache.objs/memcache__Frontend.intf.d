@@ -1,0 +1,1 @@
+lib/memcache/frontend.mli: Des Netsim Stats Store Tcpsim

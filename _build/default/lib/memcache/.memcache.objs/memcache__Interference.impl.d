@@ -1,0 +1,1 @@
+lib/memcache/interference.ml: Des Stats Stdlib

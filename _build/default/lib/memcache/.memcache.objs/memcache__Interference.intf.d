@@ -1,0 +1,1 @@
+lib/memcache/interference.mli: Des Stats

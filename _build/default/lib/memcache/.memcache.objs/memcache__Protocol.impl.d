@@ -1,0 +1,1 @@
+lib/memcache/protocol.ml: Buffer Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/memcache/protocol.mli: Format

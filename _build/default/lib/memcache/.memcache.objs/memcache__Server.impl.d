@@ -1,0 +1,1 @@
+lib/memcache/server.ml: Des Interference List Netsim Protocol Queue Stats Stdlib Store Tcpsim

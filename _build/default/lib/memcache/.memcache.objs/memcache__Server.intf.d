@@ -1,0 +1,1 @@
+lib/memcache/server.mli: Des Interference Netsim Stats Store Tcpsim

@@ -1,0 +1,1 @@
+lib/memcache/store.mli:

@@ -1,0 +1,43 @@
+(** A frontend service with a synchronous downstream dependency (§5 Q3).
+
+    Accepts memcached requests like {!Server}, but for a configurable
+    fraction of requests the worker must first complete a blocking RPC
+    to an upstream backend (another memcached server reached over its
+    own TCP connection) before responding — the serialized request-reply
+    chain of a microservice tier. When the *backend* is slow, this
+    frontend appears slow to the LB even though its own compute is fine,
+    which is exactly the attribution problem the paper's open question 3
+    raises. *)
+
+type config = {
+  workers : int;
+  own_service : Stats.Dist.t;  (** Local compute per request, ns. *)
+  dependency_ratio : float;
+      (** Fraction of requests that call the backend (1.0 = every
+          request). Requests that do not, are served from local state. *)
+  tcp : Tcpsim.Conn.config;
+}
+
+val default_config : config
+(** 2 workers, ~20 µs local compute, every request dependent. *)
+
+type t
+
+val create :
+  Netsim.Fabric.t ->
+  host_ip:int ->
+  listen_addr:Netsim.Addr.t ->
+  upstream:Netsim.Addr.t ->
+  ?config:config ->
+  rng:Des.Rng.t ->
+  unit ->
+  t
+(** Build the frontend host. It opens (and keeps re-opening) one
+    persistent TCP connection from [host_ip] to [upstream] for its
+    downstream calls. *)
+
+val requests_served : t -> int
+val upstream_calls : t -> int
+val upstream_outstanding : t -> int
+val store : t -> Store.t
+(** Local state used for non-dependent requests (preload it). *)

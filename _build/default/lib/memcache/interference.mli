@@ -1,0 +1,27 @@
+(** Server-side interference: stalls that inflate request latency.
+
+    Models the §2.2 phenomena — preemptions, garbage collection,
+    compaction — as a renewal process of pauses during which the server
+    processes nothing. While a pause is active, any request being served
+    (or starting service) is delayed until the pause ends. *)
+
+type t
+
+val none : Des.Engine.t -> t
+(** No interference, ever. *)
+
+val periodic :
+  Des.Engine.t ->
+  rng:Des.Rng.t ->
+  gap:Stats.Dist.t ->
+  duration:Stats.Dist.t ->
+  t
+(** Pauses whose start gaps and durations are drawn from the given
+    distributions (nanoseconds). The first pause starts one [gap] after
+    creation. *)
+
+val extra_delay : t -> Des.Time.t
+(** Extra delay a request starting service *now* must absorb: the time
+    remaining in the currently active pause, or 0. *)
+
+val pauses_so_far : t -> int

@@ -1,0 +1,205 @@
+type request =
+  | Get of { key : string }
+  | Set of { key : string; flags : int; exptime : int; value : string }
+
+type response =
+  | Value of { key : string; flags : int; value : string }
+  | Miss
+  | Stored
+  | Error of string
+
+let encode_request = function
+  | Get { key } -> Fmt.str "get %s\r\n" key
+  | Set { key; flags; exptime; value } ->
+      Fmt.str "set %s %d %d %d\r\n%s\r\n" key flags exptime
+        (String.length value) value
+
+let encode_response = function
+  | Value { key; flags; value } ->
+      Fmt.str "VALUE %s %d %d\r\n%s\r\nEND\r\n" key flags
+        (String.length value) value
+  | Miss -> "END\r\n"
+  | Stored -> "STORED\r\n"
+  | Error msg -> Fmt.str "ERROR %s\r\n" msg
+
+let request_key = function Get { key } -> key | Set { key; _ } -> key
+
+let pp_request ppf = function
+  | Get { key } -> Fmt.pf ppf "get(%s)" key
+  | Set { key; value; _ } -> Fmt.pf ppf "set(%s,%dB)" key (String.length value)
+
+let pp_response ppf = function
+  | Value { key; value; _ } -> Fmt.pf ppf "value(%s,%dB)" key (String.length value)
+  | Miss -> Fmt.pf ppf "miss"
+  | Stored -> Fmt.pf ppf "stored"
+  | Error m -> Fmt.pf ppf "error(%s)" m
+
+module Reader = struct
+  (* The reader accumulates raw bytes and repeatedly tries to cut one
+     complete message off the front. [`Line] mode scans for CRLF;
+     [`Data] mode waits for a known byte count (a value block plus its
+     trailing CRLF, and for responses the final END line). *)
+
+  type mode =
+    | Line
+    | Data of { header : string list; need : int }
+
+  type 'a t = {
+    buf : Buffer.t;
+    mutable off : int; (* consumed prefix of [buf] *)
+    mutable mode : mode;
+    step : 'a t -> ('a option, string) result;
+  }
+
+  let compact t =
+    (* Drop the consumed prefix when it dominates the buffer. *)
+    if t.off > 4096 && t.off * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.off (Buffer.length t.buf - t.off) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.off <- 0
+    end
+
+  let available t = Buffer.length t.buf - t.off
+
+  (* Find CRLF at or after [off]; return line without CRLF. *)
+  let take_line t =
+    let len = Buffer.length t.buf in
+    let rec scan i =
+      if i + 1 >= len then None
+      else if Buffer.nth t.buf i = '\r' && Buffer.nth t.buf (i + 1) = '\n' then
+        Some i
+      else scan (i + 1)
+    in
+    match scan t.off with
+    | None -> None
+    | Some i ->
+        let line = Buffer.sub t.buf t.off (i - t.off) in
+        t.off <- i + 2;
+        Some line
+
+  let take_exact t n =
+    if available t < n then None
+    else begin
+      let s = Buffer.sub t.buf t.off n in
+      t.off <- t.off + n;
+      Some s
+    end
+
+  let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+  let parse_int w =
+    match int_of_string_opt w with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None -> Stdlib.Error (Fmt.str "bad integer %S" w)
+
+  (* One step: try to produce one message. [Ok None] = need more bytes. *)
+  let step_request t =
+    match t.mode with
+    | Line -> begin
+        match take_line t with
+        | None -> Ok None
+        | Some line -> begin
+            match words line with
+            | [ "get"; key ] -> Ok (Some (Get { key }))
+            | [ "set"; _; _; _; bytes ] as header -> begin
+                match parse_int bytes with
+                | Ok n ->
+                    t.mode <- Data { header; need = n + 2 };
+                    Ok None
+                | Stdlib.Error e -> Stdlib.Error e
+              end
+            | _ -> Stdlib.Error (Fmt.str "bad request line %S" line)
+          end
+      end
+    | Data { header; need } -> begin
+        match take_exact t need with
+        | None -> Ok None
+        | Some block -> begin
+            t.mode <- Line;
+            if String.length block < 2 || String.sub block (need - 2) 2 <> "\r\n"
+            then Stdlib.Error "value block not CRLF-terminated"
+            else begin
+              let value = String.sub block 0 (need - 2) in
+              match header with
+              | [ "set"; key; flags; exptime; _ ] -> begin
+                  match (parse_int flags, parse_int exptime) with
+                  | Ok flags, Ok exptime ->
+                      Ok (Some (Set { key; flags; exptime; value }))
+                  | Stdlib.Error e, _ | _, Stdlib.Error e -> Stdlib.Error e
+                end
+              | _ -> Stdlib.Error "internal: bad set header"
+            end
+          end
+      end
+
+  (* Responses: VALUE needs its data block *and* the END line. *)
+  let step_response t =
+    match t.mode with
+    | Line -> begin
+        match take_line t with
+        | None -> Ok None
+        | Some line -> begin
+            match words line with
+            | [ "END" ] -> Ok (Some Miss)
+            | [ "STORED" ] -> Ok (Some Stored)
+            | "ERROR" :: rest -> Ok (Some (Error (String.concat " " rest)))
+            | [ "VALUE"; _; _; bytes ] -> begin
+                match parse_int bytes with
+                | Ok n ->
+                    t.mode <- Data { header = words line; need = n + 2 };
+                    Ok None
+                | Stdlib.Error e -> Stdlib.Error e
+              end
+            | _ -> Stdlib.Error (Fmt.str "bad response line %S" line)
+          end
+      end
+    | Data { header; need } ->
+        (* Wait for data + CRLF, then the END\r\n line (5 bytes). *)
+        if available t < need + 5 then Ok None
+        else begin
+          match take_exact t need with
+          | None -> Ok None
+          | Some block -> begin
+              match take_line t with
+              | Some "END" -> begin
+                  t.mode <- Line;
+                  let value = String.sub block 0 (need - 2) in
+                  match header with
+                  | [ "VALUE"; key; flags; _ ] -> begin
+                      match parse_int flags with
+                      | Ok flags -> Ok (Some (Value { key; flags; value }))
+                      | Stdlib.Error e -> Stdlib.Error e
+                    end
+                  | _ -> Stdlib.Error "internal: bad VALUE header"
+                end
+              | Some other -> Stdlib.Error (Fmt.str "expected END, got %S" other)
+              | None -> Stdlib.Error "internal: END line missing"
+            end
+        end
+
+  let make step = { buf = Buffer.create 256; off = 0; mode = Line; step }
+  let requests () = make step_request
+  let responses () = make step_response
+
+  let feed t chunk =
+    Buffer.add_string t.buf chunk;
+    (* A step may consume input without producing a message (e.g. a
+       header line switching to Data mode); keep stepping until neither a
+       message is produced nor input consumed. *)
+    let rec loop acc =
+      let off_before = t.off in
+      match t.step t with
+      | Ok (Some msg) -> loop (msg :: acc)
+      | Ok None ->
+          if t.off <> off_before then loop acc
+          else begin
+            compact t;
+            Ok (List.rev acc)
+          end
+      | Stdlib.Error e -> Stdlib.Error e
+    in
+    loop []
+
+  let buffered t = available t
+end

@@ -1,0 +1,46 @@
+(** The memcached text protocol (the subset memtier_benchmark exercises).
+
+    Requests: [get <key>\r\n] and
+    [set <key> <flags> <exptime> <bytes>\r\n<data>\r\n].
+    Responses: [VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n] for a
+    hit, [END\r\n] for a miss, [STORED\r\n], and [ERROR\r\n].
+
+    Encoders produce exact wire bytes; {!Reader} is an incremental
+    parser fed from TCP's [on_data] chunks, so message boundaries never
+    have to line up with segment boundaries. *)
+
+type request =
+  | Get of { key : string }
+  | Set of { key : string; flags : int; exptime : int; value : string }
+
+type response =
+  | Value of { key : string; flags : int; value : string }
+  | Miss  (** [END] with no preceding [VALUE]. *)
+  | Stored
+  | Error of string
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val request_key : request -> string
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+
+(** Incremental message readers. *)
+module Reader : sig
+  type 'a t
+
+  val requests : unit -> request t
+  (** Server-side reader. *)
+
+  val responses : unit -> response t
+  (** Client-side reader. *)
+
+  val feed : 'a t -> string -> ('a list, string) result
+  (** [feed t chunk] consumes [chunk] and returns every message completed
+      by it, in order. [Error msg] reports an unrecoverable protocol
+      violation (the connection should be aborted). *)
+
+  val buffered : 'a t -> int
+  (** Bytes held waiting for the rest of a message. *)
+end

@@ -1,0 +1,169 @@
+type config = {
+  workers : int;
+  service_get : Stats.Dist.t;
+  service_set : Stats.Dist.t;
+  tcp : Tcpsim.Conn.config;
+}
+
+let default_config =
+  {
+    workers = 2;
+    (* ~50 us median with a modest tail: granular compute (§2.1). *)
+    service_get = Stats.Dist.Lognormal { mu = log 50_000.0; sigma = 0.25 };
+    service_set = Stats.Dist.Lognormal { mu = log 60_000.0; sigma = 0.25 };
+    tcp = Tcpsim.Conn.default_config;
+  }
+
+type job = { request : Protocol.request; arrived : Des.Time.t }
+
+type conn_state = {
+  conn : Tcpsim.Conn.t;
+  reader : Protocol.request Protocol.Reader.t;
+  jobs : job Queue.t;
+  mutable in_service : bool;
+  mutable queued : bool; (* present in the ready queue *)
+  mutable close_requested : bool; (* peer sent FIN *)
+}
+
+type t = {
+  engine : Des.Engine.t;
+  config : config;
+  rng : Des.Rng.t;
+  interference : Interference.t;
+  store : Store.t;
+  ready : conn_state Queue.t;
+  mutable free_workers : int;
+  mutable queue_depth : int;
+  mutable gets : int;
+  mutable sets : int;
+  sojourn : Stats.Histogram.t;
+}
+
+let process t = function
+  | Protocol.Get { key } -> begin
+      t.gets <- t.gets + 1;
+      match Store.get t.store ~key with
+      | Some (flags, value) -> Protocol.Value { key; flags; value }
+      | None -> Protocol.Miss
+    end
+  | Protocol.Set { key; flags; value; _ } ->
+      t.sets <- t.sets + 1;
+      Store.set t.store ~key ~flags ~value;
+      Protocol.Stored
+
+let service_time t request =
+  let dist =
+    match request with
+    | Protocol.Get _ -> t.config.service_get
+    | Protocol.Set _ -> t.config.service_set
+  in
+  let base = Des.Time.ns (int_of_float (Stats.Dist.draw dist t.rng)) in
+  Stdlib.max 1 base + Interference.extra_delay t.interference
+
+let conn_sendable cs =
+  match Tcpsim.Conn.state cs.conn with
+  | Established | Close_wait -> true
+  | Syn_sent | Syn_received | Fin_wait | Last_ack | Closed -> false
+
+let maybe_close cs =
+  if
+    cs.close_requested && (not cs.in_service)
+    && Queue.is_empty cs.jobs
+    && conn_sendable cs
+  then Tcpsim.Conn.close cs.conn
+
+(* Hand ready connections to free workers. Each worker serves exactly one
+   job, then re-queues the connection if it has more. *)
+let rec dispatch t =
+  if t.free_workers > 0 && not (Queue.is_empty t.ready) then begin
+    let cs = Queue.pop t.ready in
+    cs.queued <- false;
+    if not (Queue.is_empty cs.jobs) then begin
+      let job = Queue.pop cs.jobs in
+      t.queue_depth <- t.queue_depth - 1;
+      t.free_workers <- t.free_workers - 1;
+      cs.in_service <- true;
+      let delay = service_time t job.request in
+      ignore
+        (Des.Engine.schedule_after t.engine ~delay (fun () ->
+             complete t cs job))
+    end;
+    dispatch t
+  end
+
+and complete t cs job =
+  t.free_workers <- t.free_workers + 1;
+  cs.in_service <- false;
+  if conn_sendable cs then begin
+    let response = process t job.request in
+    Tcpsim.Conn.send cs.conn (Protocol.encode_response response);
+    Stats.Histogram.record t.sojourn (Des.Engine.now t.engine - job.arrived)
+  end;
+  if not (Queue.is_empty cs.jobs) then enqueue_ready t cs else maybe_close cs;
+  dispatch t
+
+and enqueue_ready t cs =
+  if not cs.queued then begin
+    cs.queued <- true;
+    Queue.add cs t.ready
+  end
+
+
+let on_request t cs request =
+  Queue.add { request; arrived = Des.Engine.now t.engine } cs.jobs;
+  t.queue_depth <- t.queue_depth + 1;
+  if not cs.in_service then enqueue_ready t cs;
+  dispatch t
+
+let accept t conn =
+  let cs =
+    {
+      conn;
+      reader = Protocol.Reader.requests ();
+      jobs = Queue.create ();
+      in_service = false;
+      queued = false;
+      close_requested = false;
+    }
+  in
+  Tcpsim.Conn.set_on_data conn (fun chunk ->
+      match Protocol.Reader.feed cs.reader chunk with
+      | Ok requests -> List.iter (on_request t cs) requests
+      | Error _ -> Tcpsim.Conn.abort conn);
+  Tcpsim.Conn.set_on_eof conn (fun () ->
+      cs.close_requested <- true;
+      maybe_close cs)
+
+let create fabric ~host_ip ~listen_addr ?(config = default_config)
+    ?interference ~rng () =
+  let engine = Netsim.Fabric.engine fabric in
+  let interference =
+    match interference with Some i -> i | None -> Interference.none engine
+  in
+  let t =
+    {
+      engine;
+      config;
+      rng;
+      interference;
+      store = Store.create ();
+      ready = Queue.create ();
+      free_workers = config.workers;
+      queue_depth = 0;
+      gets = 0;
+      sets = 0;
+      sojourn = Stats.Histogram.create ();
+    }
+  in
+  let endpoint = Tcpsim.Endpoint.create fabric ~host_ip in
+  Tcpsim.Endpoint.listen endpoint ~addr:listen_addr ~config:config.tcp
+    (fun conn -> accept t conn);
+  t
+
+let store t = t.store
+let requests_served t = t.gets + t.sets
+let gets_served t = t.gets
+let sets_served t = t.sets
+let queue_depth t = t.queue_depth
+let busy_workers t = t.config.workers - t.free_workers
+let sojourn t = t.sojourn

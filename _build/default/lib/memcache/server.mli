@@ -1,0 +1,52 @@
+(** A simulated memcached server.
+
+    Accepts TCP connections (typically addressed to the cluster VIP —
+    direct server return), parses pipelined requests, and serves them
+    from a fixed pool of workers. Requests from one connection are
+    served in order (as real memcached's per-connection event loop
+    does); different connections proceed in parallel up to the worker
+    count, queueing beyond it. Service times are drawn per operation
+    from configurable distributions, and an {!Interference} process can
+    stall service, producing the fast-varying server performance the
+    paper's controller reacts to. *)
+
+type config = {
+  workers : int;  (** Parallel service capacity. *)
+  service_get : Stats.Dist.t;  (** GET service time, ns. *)
+  service_set : Stats.Dist.t;  (** SET service time, ns. *)
+  tcp : Tcpsim.Conn.config;  (** TCP options for accepted connections. *)
+}
+
+val default_config : config
+(** 2 workers; GET ~ lognormal with ~50 µs median; SET slightly slower;
+    default TCP options. *)
+
+type t
+
+val create :
+  Netsim.Fabric.t ->
+  host_ip:int ->
+  listen_addr:Netsim.Addr.t ->
+  ?config:config ->
+  ?interference:Interference.t ->
+  rng:Des.Rng.t ->
+  unit ->
+  t
+(** Build the server host: creates its TCP endpoint on [host_ip] and
+    listens on [listen_addr] (use the VIP address to model DSR). *)
+
+val store : t -> Store.t
+(** The backing store, e.g. for preloading the keyspace. *)
+
+val requests_served : t -> int
+val gets_served : t -> int
+val sets_served : t -> int
+
+val queue_depth : t -> int
+(** Requests admitted but not yet in service. *)
+
+val busy_workers : t -> int
+
+val sojourn : t -> Stats.Histogram.t
+(** Histogram of request sojourn times (arrival at the server to
+    response transmission), ns. *)

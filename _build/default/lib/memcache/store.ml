@@ -1,0 +1,25 @@
+type entry = { flags : int; value : string }
+type t = { table : (string, entry) Hashtbl.t; mutable bytes : int }
+
+let create () = { table = Hashtbl.create 1024; bytes = 0 }
+
+let set t ~key ~flags ~value =
+  (match Hashtbl.find_opt t.table key with
+  | Some old -> t.bytes <- t.bytes - String.length old.value
+  | None -> ());
+  Hashtbl.replace t.table key { flags; value };
+  t.bytes <- t.bytes + String.length value
+
+let get t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some { flags; value } -> Some (flags, value)
+  | None -> None
+
+let size t = Hashtbl.length t.table
+let bytes t = t.bytes
+
+let preload t ~count ~key_of ~value_size =
+  let value = String.make value_size 'v' in
+  for i = 0 to count - 1 do
+    set t ~key:(key_of i) ~flags:0 ~value
+  done

@@ -1,0 +1,22 @@
+(** In-memory key-value store backing a simulated memcached server. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> key:string -> flags:int -> value:string -> unit
+(** Insert or replace. *)
+
+val get : t -> key:string -> (int * string) option
+(** [(flags, value)] if present. *)
+
+val size : t -> int
+(** Number of keys stored. *)
+
+val bytes : t -> int
+(** Total value bytes stored (rough memory accounting). *)
+
+val preload : t -> count:int -> key_of:(int -> string) -> value_size:int -> unit
+(** [preload t ~count ~key_of ~value_size] inserts [count] entries named
+    by [key_of 0 .. key_of (count-1)], each with a [value_size]-byte
+    value, so GETs hit from the first request of an experiment. *)

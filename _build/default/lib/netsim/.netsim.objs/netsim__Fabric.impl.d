@@ -1,0 +1,1 @@
+lib/netsim/fabric.ml: Addr Des Fmt Hashtbl Link Packet

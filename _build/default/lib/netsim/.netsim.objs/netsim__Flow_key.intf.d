@@ -1,0 +1,1 @@
+lib/netsim/flow_key.mli: Addr Format Hashtbl

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Addr Buffer Des Flow_key Fmt List Packet

@@ -1,0 +1,1 @@
+lib/netsim/trace.mli: Des Flow_key Packet

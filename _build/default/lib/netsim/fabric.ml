@@ -1,0 +1,44 @@
+type ip = int
+
+type t = {
+  engine : Des.Engine.t;
+  hosts : (ip, Packet.t -> unit) Hashtbl.t;
+  links : (ip * ip, Link.t) Hashtbl.t;
+}
+
+let create engine = { engine; hosts = Hashtbl.create 16; links = Hashtbl.create 16 }
+let engine t = t.engine
+
+let register t ~ip handler =
+  if ip = 0 then invalid_arg "Fabric.register: ip 0 is reserved";
+  if Hashtbl.mem t.hosts ip then
+    invalid_arg (Fmt.str "Fabric.register: ip %d already registered" ip);
+  Hashtbl.add t.hosts ip handler
+
+let replace_handler t ~ip handler =
+  if not (Hashtbl.mem t.hosts ip) then
+    invalid_arg (Fmt.str "Fabric.replace_handler: ip %d not registered" ip);
+  Hashtbl.replace t.hosts ip handler
+
+let add_link t ~src ~dst link =
+  if Hashtbl.mem t.links (src, dst) then
+    invalid_arg (Fmt.str "Fabric.add_link: link %d->%d exists" src dst);
+  if not (Hashtbl.mem t.hosts dst) then
+    invalid_arg (Fmt.str "Fabric.add_link: destination %d not registered" dst);
+  (* Deliver through the *current* handler so replace_handler works. *)
+  Link.connect link (fun pkt ->
+      match Hashtbl.find_opt t.hosts dst with
+      | Some handler -> handler pkt
+      | None -> ());
+  Hashtbl.add t.links (src, dst) link
+
+let link_between t ~src ~dst = Hashtbl.find t.links (src, dst)
+
+let send t ~from ?next_hop pkt =
+  let hop = match next_hop with Some h -> h | None -> pkt.Packet.dst.Addr.ip in
+  match Hashtbl.find_opt t.links (from, hop) with
+  | Some link -> Link.send link pkt
+  | None ->
+      invalid_arg
+        (Fmt.str "Fabric.send: no link %d->%d for packet %a" from hop Packet.pp
+           pkt)

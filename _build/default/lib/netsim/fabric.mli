@@ -1,0 +1,50 @@
+(** The cluster network: hosts, links, and next-hop forwarding.
+
+    Hosts register a receive handler under their IP. Directed links
+    connect host pairs. [send] forwards a packet along the link towards
+    an explicit next hop, which is how direct server return is modelled:
+
+    - clients send to the service VIP; the client→LB link carries it;
+    - the LB forwards the *unmodified* packet with next hop = the chosen
+      server (the server accepts VIP-addressed packets, as with a VIP
+      configured on its loopback);
+    - servers reply with src = VIP, dst = client over a direct
+      server→client link, bypassing the LB entirely. *)
+
+type t
+
+type ip = int
+(** Host identifier. *)
+
+val create : Des.Engine.t -> t
+val engine : t -> Des.Engine.t
+
+val register : t -> ip:ip -> (Packet.t -> unit) -> unit
+(** Attach a host's receive handler.
+
+    @raise Invalid_argument if [ip] is 0 or already registered. *)
+
+val replace_handler : t -> ip:ip -> (Packet.t -> unit) -> unit
+(** Swap the handler of a registered host (used when rewiring a host
+    after creation, e.g. attaching an endpoint built later).
+
+    @raise Invalid_argument if [ip] is not registered. *)
+
+val add_link : t -> src:ip -> dst:ip -> Link.t -> unit
+(** Install the directed link used for packets going from host [src]
+    towards next hop [dst]. The link's delivery callback is set by this
+    call.
+
+    @raise Invalid_argument if a [src]→[dst] link already exists or the
+    destination host is not registered. *)
+
+val link_between : t -> src:ip -> dst:ip -> Link.t
+(** Look up an installed link, e.g. to inject extra delay on it.
+
+    @raise Not_found if absent. *)
+
+val send : t -> from:ip -> ?next_hop:ip -> Packet.t -> unit
+(** [send t ~from pkt] forwards [pkt] on the link [from]→[next_hop];
+    [next_hop] defaults to [pkt.dst.ip].
+
+    @raise Invalid_argument if no such link exists. *)

@@ -1,0 +1,21 @@
+(** Connection identifier as seen by the load balancer.
+
+    The LB observes only client-to-server traffic (direct server return),
+    so a flow is keyed by the (source, destination) address pair of that
+    direction — the layer-4 connection identifier of §1 of the paper. *)
+
+type t = { src : Addr.t; dst : Addr.t }
+
+val v : src:Addr.t -> dst:Addr.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Deterministic mix of both addresses; also the hash Maglev consumes,
+    so it must be stable across runs. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by flows (connection tracking, per-flow estimator
+    state). *)

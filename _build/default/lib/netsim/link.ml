@@ -1,0 +1,107 @@
+type t = {
+  engine : Des.Engine.t;
+  delay : Des.Time.t;
+  rate_bps : int;
+  queue_capacity : int;
+  loss_prob : float;
+  jitter : Stats.Dist.t option;
+  rng : Des.Rng.t option;
+  queue : Packet.t Queue.t;
+  mutable busy : bool;
+  mutable sink : (Packet.t -> unit) option;
+  mutable extra : Des.Time.t;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable drops : int;
+}
+
+let create engine ~delay ?(rate_bps = 10_000_000_000) ?(queue_capacity = 1024)
+    ?(loss_prob = 0.0) ?jitter ?rng () =
+  if delay < 0 then invalid_arg "Link.create: negative delay";
+  if rate_bps < 0 then invalid_arg "Link.create: negative rate";
+  if loss_prob < 0.0 || loss_prob >= 1.0 then
+    invalid_arg "Link.create: loss_prob must be in [0, 1)";
+  if (loss_prob > 0.0 || jitter <> None) && rng = None then
+    invalid_arg "Link.create: loss/jitter require an rng";
+  {
+    engine;
+    delay;
+    rate_bps;
+    queue_capacity;
+    loss_prob;
+    jitter;
+    rng;
+    queue = Queue.create ();
+    busy = false;
+    sink = None;
+    extra = 0;
+    sent = 0;
+    bytes = 0;
+    drops = 0;
+  }
+
+let connect t sink =
+  if t.sink <> None then invalid_arg "Link.connect: already connected";
+  t.sink <- Some sink
+
+let tx_time t pkt =
+  if t.rate_bps = 0 then 0
+  else Packet.wire_size pkt * 8 * 1_000_000_000 / t.rate_bps
+
+let lost t =
+  t.loss_prob > 0.0
+  &&
+  match t.rng with
+  | Some rng -> Des.Rng.float rng 1.0 < t.loss_prob
+  | None -> false
+
+let jitter_of t =
+  match (t.jitter, t.rng) with
+  | Some dist, Some rng ->
+      Des.Time.ns (int_of_float (Stats.Dist.draw dist rng))
+  | _, _ -> 0
+
+let deliver t pkt =
+  match t.sink with
+  | None -> invalid_arg "Link.send: not connected"
+  | Some sink -> sink pkt
+
+(* Transmit the head of the queue; when its last bit leaves, start
+   propagation (or drop it if the loss process says so) and move on to
+   the next queued packet. *)
+let rec start_tx t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      ignore
+        (Des.Engine.schedule_after t.engine ~delay:(tx_time t pkt)
+           (fun () ->
+             if lost t then t.drops <- t.drops + 1
+             else begin
+               let prop = t.delay + t.extra + jitter_of t in
+               t.sent <- t.sent + 1;
+               t.bytes <- t.bytes + Packet.wire_size pkt;
+               ignore
+                 (Des.Engine.schedule_after t.engine ~delay:prop (fun () ->
+                      deliver t pkt))
+             end;
+             start_tx t))
+
+let send t pkt =
+  if t.sink = None then invalid_arg "Link.send: not connected";
+  if Queue.length t.queue >= t.queue_capacity then t.drops <- t.drops + 1
+  else begin
+    Queue.add pkt t.queue;
+    if not t.busy then start_tx t
+  end
+
+let set_extra_delay t d =
+  if d < 0 then invalid_arg "Link.set_extra_delay: negative";
+  t.extra <- d
+
+let extra_delay t = t.extra
+let packets_sent t = t.sent
+let bytes_sent t = t.bytes
+let drops t = t.drops
+let queue_len t = Queue.length t.queue + if t.busy then 1 else 0

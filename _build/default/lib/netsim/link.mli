@@ -1,0 +1,59 @@
+(** Unidirectional network link: serialization + queue + propagation.
+
+    A link transmits packets in FIFO order at a configurable line rate,
+    holds excess packets in a bounded drop-tail queue, then delivers each
+    packet after a propagation delay. An additional, dynamically
+    adjustable extra delay models the paper's netem-style 1 ms injection
+    on the LB→server path; optional jitter and random loss support the
+    robustness experiments. *)
+
+type t
+
+val create :
+  Des.Engine.t ->
+  delay:Des.Time.t ->
+  ?rate_bps:int ->
+  ?queue_capacity:int ->
+  ?loss_prob:float ->
+  ?jitter:Stats.Dist.t ->
+  ?rng:Des.Rng.t ->
+  unit ->
+  t
+(** [create engine ~delay ()] is a link with propagation delay [delay].
+
+    - [rate_bps]: line rate in bits per second; default 10 Gb/s. Use
+      [0] for an infinitely fast link (no serialization delay).
+    - [queue_capacity]: maximum packets queued behind the transmitter
+      (default 1024); further packets are dropped (drop-tail).
+    - [loss_prob]: independent per-packet loss probability applied after
+      transmission (default 0).
+    - [jitter]: extra per-packet propagation delay drawn from this
+      distribution, in nanoseconds.
+    - [rng] is required iff [loss_prob > 0] or [jitter] is given.
+
+    @raise Invalid_argument on inconsistent options. *)
+
+val connect : t -> (Packet.t -> unit) -> unit
+(** Set the delivery callback (the receiving host). Must be called before
+    the first {!send}. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet for transmission. Silently dropped if the queue is
+    full (counted in {!drops}). *)
+
+val set_extra_delay : t -> Des.Time.t -> unit
+(** Set the injected extra propagation delay applied to packets that
+    *start* propagation from now on (in-flight packets are unaffected).
+    Models the paper's 1 ms delay injection at t = 100 s. *)
+
+val extra_delay : t -> Des.Time.t
+
+val packets_sent : t -> int
+(** Packets fully delivered so far. *)
+
+val bytes_sent : t -> int
+val drops : t -> int
+(** Packets dropped: queue overflow plus random loss. *)
+
+val queue_len : t -> int
+(** Packets currently waiting or in transmission. *)

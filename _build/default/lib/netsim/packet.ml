@@ -1,0 +1,45 @@
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+let flags_none = { syn = false; ack = false; fin = false; rst = false }
+let flag_syn = { flags_none with syn = true }
+let flag_ack = { flags_none with ack = true }
+let flag_syn_ack = { flags_none with syn = true; ack = true }
+let flag_fin_ack = { flags_none with fin = true; ack = true }
+let flag_rst = { flags_none with rst = true }
+
+type t = {
+  id : int;
+  src : Addr.t;
+  dst : Addr.t;
+  seq : int;
+  ack : int;
+  flags : flags;
+  payload : string;
+}
+
+let next_id = ref 0
+
+let make ~src ~dst ~seq ~ack ~flags ~payload =
+  incr next_id;
+  { id = !next_id; src; dst; seq; ack; flags; payload }
+
+let header_bytes = 54
+let wire_size t = header_bytes + String.length t.payload
+let payload_len t = String.length t.payload
+let flow t = Flow_key.v ~src:t.src ~dst:t.dst
+
+let is_pure_ack t =
+  String.length t.payload = 0
+  && t.flags.ack
+  && (not t.flags.syn)
+  && (not t.flags.fin)
+  && not t.flags.rst
+
+let pp_flags ppf f =
+  let tag b c = if b then c else "" in
+  Fmt.pf ppf "%s%s%s%s" (tag f.syn "S") (tag f.ack ".") (tag f.fin "F")
+    (tag f.rst "R")
+
+let pp ppf t =
+  Fmt.pf ppf "#%d %a>%a seq=%d ack=%d [%a] len=%d" t.id Addr.pp t.src Addr.pp
+    t.dst t.seq t.ack pp_flags t.flags (String.length t.payload)

@@ -1,0 +1,51 @@
+(** Simulated packets: an IP/TCP header plus application payload.
+
+    The packet is the unit moved by {!Link} and {!Fabric}, inspected by
+    the load balancer, and consumed by the TCP endpoints of [tcpsim]. *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+val flags_none : flags
+val flag_syn : flags
+val flag_ack : flags
+val flag_syn_ack : flags
+val flag_fin_ack : flags
+val flag_rst : flags
+
+type t = {
+  id : int;  (** Unique per-process packet id, for tracing. *)
+  src : Addr.t;
+  dst : Addr.t;
+  seq : int;  (** Sequence number of the first payload byte. *)
+  ack : int;  (** Cumulative acknowledgement number. *)
+  flags : flags;
+  payload : string;  (** Application bytes ([""] for pure ACKs). *)
+}
+
+val make :
+  src:Addr.t ->
+  dst:Addr.t ->
+  seq:int ->
+  ack:int ->
+  flags:flags ->
+  payload:string ->
+  t
+(** Allocate a packet with a fresh [id]. *)
+
+val header_bytes : int
+(** Ethernet + IP + TCP header overhead charged per packet (54 bytes). *)
+
+val wire_size : t -> int
+(** Bytes this packet occupies on a link: headers + payload. *)
+
+val payload_len : t -> int
+
+val flow : t -> Flow_key.t
+(** The (src, dst) flow key of this packet. *)
+
+val is_pure_ack : t -> bool
+(** [true] for segments with no payload and no SYN/FIN/RST — the ACK
+    clock packets that dominate causally-triggered transmissions. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for traces and test failures. *)

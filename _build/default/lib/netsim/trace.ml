@@ -1,0 +1,47 @@
+type entry = {
+  at : Des.Time.t;
+  flow : Flow_key.t;
+  wire_size : int;
+  payload_len : int;
+  pure_ack : bool;
+  syn : bool;
+  fin : bool;
+}
+
+type t = { engine : Des.Engine.t; mutable entries : entry list; mutable n : int }
+
+let create engine = { engine; entries = []; n = 0 }
+
+let tap t pkt =
+  let e =
+    {
+      at = Des.Engine.now t.engine;
+      flow = Packet.flow pkt;
+      wire_size = Packet.wire_size pkt;
+      payload_len = Packet.payload_len pkt;
+      pure_ack = Packet.is_pure_ack pkt;
+      syn = pkt.Packet.flags.Packet.syn;
+      fin = pkt.Packet.flags.Packet.fin;
+    }
+  in
+  t.entries <- e :: t.entries;
+  t.n <- t.n + 1
+
+let entries t = List.rev t.entries
+let length t = t.n
+
+let clear t =
+  t.entries <- [];
+  t.n <- 0
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t_ns,src,dst,wire,payload,pure_ack,syn,fin\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Fmt.str "%d,%a,%a,%d,%d,%b,%b,%b\n" e.at Addr.pp e.flow.Flow_key.src
+           Addr.pp e.flow.Flow_key.dst e.wire_size e.payload_len e.pure_ack
+           e.syn e.fin))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Packet trace capture.
+
+    A trace is a tap: give {!tap} to any component that observes packets
+    (the LB, a link sink wrapper) and every observation is recorded with
+    its timestamp. Used by the figure harness and by tests that assert on
+    exact packet timelines. *)
+
+type entry = {
+  at : Des.Time.t;
+  flow : Flow_key.t;
+  wire_size : int;
+  payload_len : int;
+  pure_ack : bool;
+  syn : bool;
+  fin : bool;
+}
+
+type t
+
+val create : Des.Engine.t -> t
+
+val tap : t -> Packet.t -> unit
+(** Record one packet observation at the current simulated time. *)
+
+val entries : t -> entry list
+(** All observations, oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val to_csv : t -> string
+(** Render as CSV with header
+    [t_ns,src,dst,wire,payload,pure_ack,syn,fin]. *)

@@ -1,0 +1,1 @@
+lib/stats/timeseries.ml: Des Hashtbl Histogram Int List

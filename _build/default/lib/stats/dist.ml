@@ -1,0 +1,44 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Bimodal of { p_slow : float; fast : t; slow : t }
+  | Shifted of { base : t; offset : float }
+
+let rec draw t rng =
+  let v =
+    match t with
+    | Constant c -> c
+    | Uniform { lo; hi } -> Des.Rng.uniform rng ~lo ~hi
+    | Exponential { mean } -> Des.Rng.exponential rng ~mean
+    | Pareto { shape; scale } -> Des.Rng.pareto rng ~shape ~scale
+    | Lognormal { mu; sigma } -> Des.Rng.lognormal rng ~mu ~sigma
+    | Bimodal { p_slow; fast; slow } ->
+        if Des.Rng.float rng 1.0 < p_slow then draw slow rng
+        else draw fast rng
+    | Shifted { base; offset } -> offset +. draw base rng
+  in
+  Float.max 0.0 v
+
+let rec mean = function
+  | Constant c -> c
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean = m } -> m
+  | Pareto { shape; scale } ->
+      if shape <= 1.0 then infinity else shape *. scale /. (shape -. 1.0)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Bimodal { p_slow; fast; slow } ->
+      ((1.0 -. p_slow) *. mean fast) +. (p_slow *. mean slow)
+  | Shifted { base; offset } -> offset +. mean base
+
+let rec pp ppf = function
+  | Constant c -> Fmt.pf ppf "const(%g)" c
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform(%g,%g)" lo hi
+  | Exponential { mean } -> Fmt.pf ppf "exp(mean=%g)" mean
+  | Pareto { shape; scale } -> Fmt.pf ppf "pareto(shape=%g,scale=%g)" shape scale
+  | Lognormal { mu; sigma } -> Fmt.pf ppf "lognormal(mu=%g,sigma=%g)" mu sigma
+  | Bimodal { p_slow; fast; slow } ->
+      Fmt.pf ppf "bimodal(p=%g,fast=%a,slow=%a)" p_slow pp fast pp slow
+  | Shifted { base; offset } -> Fmt.pf ppf "%g+%a" offset pp base

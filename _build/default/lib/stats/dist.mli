@@ -1,0 +1,29 @@
+(** Declarative sampling distributions.
+
+    Service times, think times and interference magnitudes are described
+    by values of this type in scenario configurations, then drawn with a
+    per-component {!Des.Rng} stream, keeping simulations reproducible and
+    configurations printable. *)
+
+type t =
+  | Constant of float  (** Always the same value. *)
+  | Uniform of { lo : float; hi : float }  (** Uniform on [\[lo, hi)]. *)
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float }
+      (** Heavy tail; [scale] is the minimum, [shape] the tail index. *)
+  | Lognormal of { mu : float; sigma : float }
+  | Bimodal of { p_slow : float; fast : t; slow : t }
+      (** With probability [p_slow] draw from [slow], else [fast]; models
+          a server that occasionally hits a slow path. *)
+  | Shifted of { base : t; offset : float }
+      (** [offset + draw base]; models a fixed cost plus variable part. *)
+
+val draw : t -> Des.Rng.t -> float
+(** Sample once. Results are clamped to be non-negative. *)
+
+val mean : t -> float
+(** Analytic mean (where defined; Pareto with [shape <= 1] returns
+    [infinity]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the specification, e.g. ["exp(mean=50.0)"]. *)

@@ -1,0 +1,18 @@
+type t = { alpha : float; mutable value : float; mutable n : int }
+
+let create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha";
+  { alpha; value = nan; n = 0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  if t.n = 1 then t.value <- x
+  else t.value <- t.value +. (t.alpha *. (x -. t.value))
+
+let value t = t.value
+let initialized t = t.n > 0
+let count t = t.n
+
+let reset t =
+  t.value <- nan;
+  t.n <- 0

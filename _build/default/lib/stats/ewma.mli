@@ -1,0 +1,28 @@
+(** Exponentially weighted moving average.
+
+    The per-server latency estimate of the feedback controller is an
+    EWMA of in-band latency samples, mirroring the smoothing a production
+    LB would apply before acting. *)
+
+type t
+(** Mutable EWMA state. *)
+
+val create : alpha:float -> t
+(** [create ~alpha] weighs each new sample by [alpha] (0 < alpha <= 1).
+
+    @raise Invalid_argument if [alpha] is outside (0, 1]. *)
+
+val add : t -> float -> unit
+(** Fold one sample in. The first sample initialises the average. *)
+
+val value : t -> float
+(** Current average; [nan] before the first sample. *)
+
+val initialized : t -> bool
+(** [true] once at least one sample has been folded in. *)
+
+val count : t -> int
+(** Number of samples folded in. *)
+
+val reset : t -> unit
+(** Forget all state. *)

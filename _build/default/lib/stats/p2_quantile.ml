@@ -1,0 +1,107 @@
+type t = {
+  q : float;
+  heights : float array; (* marker heights, 5 entries once primed *)
+  positions : int array; (* actual marker positions (1-based) *)
+  desired : float array; (* desired marker positions *)
+  increments : float array;
+  mutable n : int;
+  initial : float array; (* first five samples, before priming *)
+}
+
+let create ~q =
+  if q <= 0.0 || q >= 1.0 then invalid_arg "P2_quantile.create: q";
+  {
+    q;
+    heights = Array.make 5 0.0;
+    positions = [| 1; 2; 3; 4; 5 |];
+    desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+    increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+    n = 0;
+    initial = Array.make 5 0.0;
+  }
+
+let parabolic t i d =
+  let qi = t.heights.(i) in
+  let ni = float_of_int t.positions.(i) in
+  let nim = float_of_int t.positions.(i - 1) in
+  let nip = float_of_int t.positions.(i + 1) in
+  let qim = t.heights.(i - 1) in
+  let qip = t.heights.(i + 1) in
+  qi
+  +. (d /. (nip -. nim))
+     *. (((ni -. nim +. d) *. (qip -. qi) /. (nip -. ni))
+        +. ((nip -. ni -. d) *. (qi -. qim) /. (ni -. nim)))
+
+let linear t i d =
+  let qi = t.heights.(i) in
+  let sign = if d > 0.0 then 1 else -1 in
+  let nj = float_of_int t.positions.(i + sign) in
+  let ni = float_of_int t.positions.(i) in
+  qi +. (d *. (t.heights.(i + sign) -. qi) /. (nj -. ni))
+
+let add t x =
+  if t.n < 5 then begin
+    t.initial.(t.n) <- x;
+    t.n <- t.n + 1;
+    if t.n = 5 then begin
+      let sorted = Array.copy t.initial in
+      Array.sort Float.compare sorted;
+      Array.blit sorted 0 t.heights 0 5
+    end
+  end
+  else begin
+    t.n <- t.n + 1;
+    (* Find cell k such that heights.(k) <= x < heights.(k+1). *)
+    let k =
+      if x < t.heights.(0) then begin
+        t.heights.(0) <- x;
+        0
+      end
+      else if x >= t.heights.(4) then begin
+        t.heights.(4) <- x;
+        3
+      end
+      else begin
+        let rec find i = if x < t.heights.(i + 1) then i else find (i + 1) in
+        find 0
+      end
+    in
+    for i = k + 1 to 4 do
+      t.positions.(i) <- t.positions.(i) + 1
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    (* Adjust interior markers. *)
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. float_of_int t.positions.(i) in
+      let np = t.positions.(i + 1) and nm = t.positions.(i - 1) in
+      let ni = t.positions.(i) in
+      if (d >= 1.0 && np - ni > 1) || (d <= -1.0 && nm - ni < -1) then begin
+        let sign = if d >= 0.0 then 1.0 else -1.0 in
+        let candidate = parabolic t i sign in
+        let candidate =
+          if t.heights.(i - 1) < candidate && candidate < t.heights.(i + 1)
+          then candidate
+          else linear t i sign
+        in
+        t.heights.(i) <- candidate;
+        t.positions.(i) <- ni + int_of_float sign
+      end
+    done
+  end
+
+let count t = t.n
+
+let value t =
+  if t.n = 0 then nan
+  else if t.n < 5 then begin
+    let sorted = Array.sub t.initial 0 t.n in
+    Array.sort Float.compare sorted;
+    let rank =
+      Stdlib.min (t.n - 1)
+        (int_of_float (Float.round (t.q *. float_of_int (t.n - 1))))
+    in
+    sorted.(rank)
+  end
+  else t.heights.(2)

@@ -1,0 +1,25 @@
+(** Single-quantile streaming estimator (the P² algorithm).
+
+    Jain & Chlamtac's P² maintains five markers and estimates one
+    quantile in O(1) space — the structure a per-server latency tracker
+    inside a high-speed LB datapath could realistically afford. Offered
+    alongside {!Histogram} so the controller can be configured with
+    either. *)
+
+type t
+(** Mutable P² state for one quantile. *)
+
+val create : q:float -> t
+(** [create ~q] estimates the [q]-quantile, 0 < q < 1.
+
+    @raise Invalid_argument if [q] is out of range. *)
+
+val add : t -> float -> unit
+(** Fold one observation in. *)
+
+val count : t -> int
+(** Observations seen so far. *)
+
+val value : t -> float
+(** Current estimate. Exact while fewer than five observations have been
+    seen (computed from the sorted sample); [nan] if empty. *)

@@ -1,0 +1,37 @@
+type t = { bucket : Des.Time.t; table : (int, Histogram.t) Hashtbl.t }
+
+let create ~bucket =
+  if bucket <= 0 then invalid_arg "Timeseries.create: bucket";
+  { bucket; table = Hashtbl.create 64 }
+
+let record t ~at v =
+  let idx = at / t.bucket in
+  let hist =
+    match Hashtbl.find_opt t.table idx with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.table idx h;
+        h
+  in
+  Histogram.record hist v
+
+type row = {
+  t_start : Des.Time.t;
+  count : int;
+  mean : float;
+  quantile : int;
+}
+
+let rows t ~q =
+  Hashtbl.fold (fun idx hist acc -> (idx, hist) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (idx, hist) ->
+         {
+           t_start = idx * t.bucket;
+           count = Histogram.count hist;
+           mean = Histogram.mean hist;
+           quantile = Histogram.quantile hist q;
+         })
+
+let bucket_width t = t.bucket

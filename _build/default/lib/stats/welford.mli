@@ -1,0 +1,35 @@
+(** Streaming mean and variance (Welford's online algorithm).
+
+    Numerically stable single-pass moments; used for summary rows in the
+    experiment reports and for assertions in tests. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** An empty accumulator. *)
+
+val add : t -> float -> unit
+(** Fold one observation in. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations so far; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] if fewer than two observations. *)
+
+val stddev : t -> float
+(** [sqrt (variance t)]. *)
+
+val min : t -> float
+(** Smallest observation; [nan] if empty. *)
+
+val max : t -> float
+(** Largest observation; [nan] if empty. *)
+
+val sum : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is an accumulator equivalent to having seen both streams
+    (Chan's parallel update). Inputs are unchanged. *)

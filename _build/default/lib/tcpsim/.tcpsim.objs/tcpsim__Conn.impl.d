@@ -1,0 +1,1 @@
+lib/tcpsim/conn.ml: Buffer Des Netsim Queue Reassembly Rto Stdlib String

@@ -1,0 +1,1 @@
+lib/tcpsim/conn.mli: Des Netsim

@@ -1,0 +1,1 @@
+lib/tcpsim/endpoint.ml: Conn Fmt Hashtbl Netsim

@@ -1,0 +1,1 @@
+lib/tcpsim/endpoint.mli: Conn Netsim

@@ -1,0 +1,1 @@
+lib/tcpsim/rto.ml: Des Float Stdlib

@@ -1,0 +1,85 @@
+type listener = { config : Conn.config; accept : Conn.t -> unit }
+
+type t = {
+  fabric : Netsim.Fabric.t;
+  host_ip : int;
+  conns : Conn.t Netsim.Flow_key.Table.t;
+  listeners : (Netsim.Addr.t, listener) Hashtbl.t;
+  mutable strays : int;
+}
+
+let tx t pkt = Netsim.Fabric.send t.fabric ~from:t.host_ip pkt
+
+(* Connections are keyed (local, remote); an incoming packet carries
+   (remote, local), so swap when looking up. *)
+let key_of_packet (pkt : Netsim.Packet.t) =
+  Netsim.Flow_key.v ~src:pkt.dst ~dst:pkt.src
+
+let teardown t conn =
+  let key =
+    Netsim.Flow_key.v ~src:(Conn.local_addr conn) ~dst:(Conn.remote_addr conn)
+  in
+  Netsim.Flow_key.Table.remove t.conns key
+
+let find_listener t (dst : Netsim.Addr.t) =
+  match Hashtbl.find_opt t.listeners dst with
+  | Some l -> Some l
+  | None -> Hashtbl.find_opt t.listeners (Netsim.Addr.v 0 dst.Netsim.Addr.port)
+
+let handle t (pkt : Netsim.Packet.t) =
+  let key = key_of_packet pkt in
+  match Netsim.Flow_key.Table.find_opt t.conns key with
+  | Some conn -> Conn.handle_packet conn pkt
+  | None ->
+      if pkt.flags.syn && not pkt.flags.ack then begin
+        match find_listener t pkt.dst with
+        | Some { config; accept } ->
+            let engine = Netsim.Fabric.engine t.fabric in
+            let conn =
+              Conn.create_passive engine ~tx:(tx t) ~config ~local:pkt.dst
+                ~remote:pkt.src ~peer_isn:pkt.seq
+                ~on_teardown:(fun c -> teardown t c)
+            in
+            Netsim.Flow_key.Table.add t.conns key conn;
+            accept conn
+        | None -> t.strays <- t.strays + 1
+      end
+      else t.strays <- t.strays + 1
+
+let make fabric ~host_ip ~replace =
+  let t =
+    {
+      fabric;
+      host_ip;
+      conns = Netsim.Flow_key.Table.create 64;
+      listeners = Hashtbl.create 4;
+      strays = 0;
+    }
+  in
+  if replace then Netsim.Fabric.replace_handler fabric ~ip:host_ip (handle t)
+  else Netsim.Fabric.register fabric ~ip:host_ip (handle t);
+  t
+
+let create fabric ~host_ip = make fabric ~host_ip ~replace:false
+let attach fabric ~host_ip = make fabric ~host_ip ~replace:true
+
+let listen t ~addr ?(config = Conn.default_config) accept =
+  if Hashtbl.mem t.listeners addr then
+    invalid_arg (Fmt.str "Endpoint.listen: %a already bound" Netsim.Addr.pp addr);
+  Hashtbl.add t.listeners addr { config; accept }
+
+let connect t ?(config = Conn.default_config) ~local ~remote () =
+  let key = Netsim.Flow_key.v ~src:local ~dst:remote in
+  if Netsim.Flow_key.Table.mem t.conns key then
+    invalid_arg
+      (Fmt.str "Endpoint.connect: %a already open" Netsim.Flow_key.pp key);
+  let engine = Netsim.Fabric.engine t.fabric in
+  let conn =
+    Conn.create_active engine ~tx:(tx t) ~config ~local ~remote
+      ~on_teardown:(fun c -> teardown t c)
+  in
+  Netsim.Flow_key.Table.add t.conns key conn;
+  conn
+
+let active_connections t = Netsim.Flow_key.Table.length t.conns
+let stray_packets t = t.strays

@@ -1,0 +1,47 @@
+module Seq_map = Map.Make (Int)
+
+type t = { mutable rcv_nxt : int; mutable ooo : string Seq_map.t }
+
+let create ~rcv_nxt = { rcv_nxt; ooo = Seq_map.empty }
+let rcv_nxt t = t.rcv_nxt
+
+(* Trim the part of [data] already below rcv_nxt. *)
+let trim t seq data =
+  if seq >= t.rcv_nxt then (seq, data)
+  else begin
+    let skip = t.rcv_nxt - seq in
+    if skip >= String.length data then (t.rcv_nxt, "")
+    else (t.rcv_nxt, String.sub data skip (String.length data - skip))
+  end
+
+let rec drain t buf =
+  match Seq_map.min_binding_opt t.ooo with
+  | Some (seq, data) when seq <= t.rcv_nxt ->
+      t.ooo <- Seq_map.remove seq t.ooo;
+      let seq, data = trim t seq data in
+      assert (seq = t.rcv_nxt);
+      Buffer.add_string buf data;
+      t.rcv_nxt <- t.rcv_nxt + String.length data;
+      drain t buf
+  | Some _ | None -> ()
+
+let insert t ~seq data =
+  let seq, data = trim t seq data in
+  if String.length data = 0 then ""
+  else if seq = t.rcv_nxt then begin
+    let buf = Buffer.create (String.length data) in
+    Buffer.add_string buf data;
+    t.rcv_nxt <- t.rcv_nxt + String.length data;
+    drain t buf;
+    Buffer.contents buf
+  end
+  else begin
+    (* Keep the longer of any duplicate at the same offset. *)
+    (match Seq_map.find_opt seq t.ooo with
+    | Some existing when String.length existing >= String.length data -> ()
+    | Some _ | None -> t.ooo <- Seq_map.add seq data t.ooo);
+    ""
+  end
+
+let pending t =
+  Seq_map.fold (fun _ data acc -> acc + String.length data) t.ooo 0

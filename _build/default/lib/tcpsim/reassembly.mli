@@ -1,0 +1,21 @@
+(** Receive-side reassembly of a TCP byte stream.
+
+    Buffers out-of-order segments and releases the longest contiguous
+    prefix starting at the next expected sequence number. Duplicate and
+    partially overlapping segments (from spurious retransmissions) are
+    trimmed. *)
+
+type t
+
+val create : rcv_nxt:int -> t
+(** [create ~rcv_nxt] expects the next in-order byte at [rcv_nxt]. *)
+
+val rcv_nxt : t -> int
+(** Next expected sequence number. *)
+
+val insert : t -> seq:int -> string -> string
+(** [insert t ~seq data] files the segment and returns the (possibly
+    empty) newly contiguous bytes, advancing {!rcv_nxt} past them. *)
+
+val pending : t -> int
+(** Bytes buffered out of order (not yet released). *)

@@ -1,0 +1,26 @@
+(** Retransmission-timeout estimation (Jacobson/Karels, RFC 6298).
+
+    Keeps the smoothed RTT and RTT variance from clean (non-retransmitted)
+    samples and derives the retransmission timeout with exponential
+    backoff. Bounds are configurable because a microsecond-scale cluster
+    needs a much smaller floor than the WAN default. *)
+
+type t
+
+val create : ?initial:Des.Time.t -> ?min_rto:Des.Time.t -> ?max_rto:Des.Time.t -> unit -> t
+(** Defaults: initial 10 ms, floor 1 ms, ceiling 2 s. *)
+
+val observe : t -> Des.Time.t -> unit
+(** Fold in a clean RTT sample; resets any backoff. *)
+
+val current : t -> Des.Time.t
+(** The timeout to arm now (includes backoff). *)
+
+val backoff : t -> unit
+(** Double the timeout (up to the ceiling) after a retransmission. *)
+
+val srtt : t -> Des.Time.t option
+(** Smoothed RTT, if at least one sample has been observed. *)
+
+val samples : t -> int
+(** Number of clean samples folded in. *)

@@ -1,0 +1,1 @@
+lib/workload/latency_log.ml: Des Fmt Stats

@@ -1,0 +1,1 @@
+lib/workload/latency_log.mli: Des Format Stats

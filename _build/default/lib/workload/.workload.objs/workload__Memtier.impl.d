@@ -1,0 +1,1 @@
+lib/workload/memtier.ml: Array Des Keyspace Latency_log List Memcache Netsim Queue Stats Stdlib String Tcpsim

@@ -1,0 +1,1 @@
+lib/workload/memtier.mli: Des Keyspace Latency_log Netsim Stats Tcpsim

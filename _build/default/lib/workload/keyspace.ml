@@ -1,0 +1,46 @@
+type dist = Uniform | Zipf of float
+
+type t = {
+  prefix : string;
+  count : int;
+  rng : Des.Rng.t;
+  (* Cumulative probability table for Zipf; empty for Uniform. *)
+  cdf : float array;
+}
+
+let create ?(prefix = "memtier-") ~count ~dist ~rng () =
+  if count <= 0 then invalid_arg "Keyspace.create: count";
+  let cdf =
+    match dist with
+    | Uniform -> [||]
+    | Zipf s ->
+        let weights =
+          Array.init count (fun i -> 1.0 /. (float_of_int (i + 1) ** s))
+        in
+        let total = Array.fold_left ( +. ) 0.0 weights in
+        let acc = ref 0.0 in
+        Array.map
+          (fun w ->
+            acc := !acc +. (w /. total);
+            !acc)
+          weights
+  in
+  { prefix; count; rng; cdf }
+
+let count t = t.count
+let key_of t i = Fmt.str "%s%08d" t.prefix i
+
+let sample_index t =
+  if Array.length t.cdf = 0 then Des.Rng.int t.rng t.count
+  else begin
+    let u = Des.Rng.float t.rng 1.0 in
+    (* First index whose cumulative probability reaches u. *)
+    let lo = ref 0 and hi = ref (t.count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+let sample t = key_of t (sample_index t)

@@ -1,0 +1,43 @@
+type op = Get | Set
+
+let pp_op ppf = function
+  | Get -> Fmt.string ppf "GET"
+  | Set -> Fmt.string ppf "SET"
+
+type t = {
+  engine : Des.Engine.t;
+  get_hist : Stats.Histogram.t;
+  set_hist : Stats.Histogram.t;
+  get_series : Stats.Timeseries.t;
+  set_series : Stats.Timeseries.t;
+  mutable count : int;
+}
+
+let create engine ?(bucket = Des.Time.ms 500) () =
+  {
+    engine;
+    get_hist = Stats.Histogram.create ();
+    set_hist = Stats.Histogram.create ();
+    get_series = Stats.Timeseries.create ~bucket;
+    set_series = Stats.Timeseries.create ~bucket;
+    count = 0;
+  }
+
+let record t ~op ~latency =
+  let now = Des.Engine.now t.engine in
+  t.count <- t.count + 1;
+  match op with
+  | Get ->
+      Stats.Histogram.record t.get_hist latency;
+      Stats.Timeseries.record t.get_series ~at:now latency
+  | Set ->
+      Stats.Histogram.record t.set_hist latency;
+      Stats.Timeseries.record t.set_series ~at:now latency
+
+let count t = t.count
+let hist t = function Get -> t.get_hist | Set -> t.set_hist
+
+let series t ~op ~q =
+  match op with
+  | Get -> Stats.Timeseries.rows t.get_series ~q
+  | Set -> Stats.Timeseries.rows t.set_series ~q

@@ -1,0 +1,220 @@
+type config = {
+  connections : int;
+  pipeline : int;
+  get_ratio : float;
+  value_size : Stats.Dist.t;
+  requests_per_conn : int;
+  reconnect_delay : Des.Time.t;
+  think_time : Stats.Dist.t;
+  tcp : Tcpsim.Conn.config;
+}
+
+let default_config =
+  {
+    connections = 4;
+    pipeline = 2;
+    get_ratio = 0.5;
+    value_size = Stats.Dist.Constant 64.0;
+    requests_per_conn = 200;
+    reconnect_delay = Des.Time.us 100;
+    think_time = Stats.Dist.Constant 2_000.0;
+    tcp = Tcpsim.Conn.default_config;
+  }
+
+type pending = { op : Latency_log.op; issued_at : Des.Time.t }
+
+type slot = {
+  index : int;
+  mutable conn : Tcpsim.Conn.t option;
+  mutable reader : Memcache.Protocol.response Memcache.Protocol.Reader.t;
+  outstanding : pending Queue.t;
+  mutable sent_on_conn : int;
+  mutable closing : bool;
+}
+
+type t = {
+  fabric : Netsim.Fabric.t;
+  engine : Des.Engine.t;
+  endpoint : Tcpsim.Endpoint.t;
+  host_ip : int;
+  vip : Netsim.Addr.t;
+  keyspace : Keyspace.t;
+  log : Latency_log.t;
+  config : config;
+  rng : Des.Rng.t;
+  slots : slot array;
+  mutable next_port : int;
+  mutable running : bool;
+  mutable sent : int;
+  mutable received : int;
+  mutable reconnects : int;
+  mutable errors : int;
+}
+
+let create fabric ~host_ip ~vip ~keyspace ~log ?(config = default_config) ~rng
+    () =
+  if config.connections <= 0 || config.pipeline <= 0 then
+    invalid_arg "Memtier.create: connections/pipeline must be positive";
+  let endpoint = Tcpsim.Endpoint.create fabric ~host_ip in
+  {
+    fabric;
+    engine = Netsim.Fabric.engine fabric;
+    endpoint;
+    host_ip;
+    vip;
+    keyspace;
+    log;
+    config;
+    rng;
+    slots =
+      Array.init config.connections (fun index ->
+          {
+            index;
+            conn = None;
+            reader = Memcache.Protocol.Reader.responses ();
+            outstanding = Queue.create ();
+            sent_on_conn = 0;
+            closing = false;
+          });
+    next_port = 10_000;
+    running = false;
+    sent = 0;
+    received = 0;
+    reconnects = 0;
+    errors = 0;
+  }
+
+let make_request t =
+  if Des.Rng.float t.rng 1.0 < t.config.get_ratio then
+    (Latency_log.Get, Memcache.Protocol.Get { key = Keyspace.sample t.keyspace })
+  else begin
+    let size = int_of_float (Stats.Dist.draw t.config.value_size t.rng) in
+    let value = String.make (Stdlib.max 1 size) 'x' in
+    ( Latency_log.Set,
+      Memcache.Protocol.Set
+        { key = Keyspace.sample t.keyspace; flags = 0; exptime = 0; value } )
+  end
+
+let conn_usable slot =
+  match slot.conn with
+  | None -> false
+  | Some conn -> begin
+      match Tcpsim.Conn.state conn with
+      | Established -> true
+      | Syn_sent | Syn_received | Fin_wait | Close_wait | Last_ack | Closed ->
+          false
+    end
+
+(* Issue one request on the slot if the closed-loop budget allows. *)
+let rec issue t slot =
+  if t.running && (not slot.closing) && conn_usable slot then begin
+    match slot.conn with
+    | None -> ()
+    | Some conn ->
+        let op, request = make_request t in
+        Queue.add { op; issued_at = Des.Engine.now t.engine } slot.outstanding;
+        Tcpsim.Conn.send conn (Memcache.Protocol.encode_request request);
+        t.sent <- t.sent + 1;
+        slot.sent_on_conn <- slot.sent_on_conn + 1
+  end
+
+and maybe_trigger_next t slot =
+  (* A response just arrived: this transmission is causally triggered. *)
+  let limit = t.config.requests_per_conn in
+  if not t.running then begin
+    if Queue.is_empty slot.outstanding then close_slot t slot
+  end
+  else if limit > 0 && slot.sent_on_conn >= limit then begin
+    if Queue.is_empty slot.outstanding then close_slot t slot
+  end
+  else begin
+    let think =
+      Stdlib.max 0 (int_of_float (Stats.Dist.draw t.config.think_time t.rng))
+    in
+    if think = 0 then issue t slot
+    else
+      ignore
+        (Des.Engine.schedule_after t.engine ~delay:think (fun () ->
+             issue t slot))
+  end
+
+and close_slot _t slot =
+  if not slot.closing then begin
+    slot.closing <- true;
+    match slot.conn with
+    | Some conn -> Tcpsim.Conn.close conn
+    | None -> ()
+  end
+
+and on_response t slot response =
+  (match response with
+  | Memcache.Protocol.Error _ -> t.errors <- t.errors + 1
+  | Value _ | Miss | Stored -> ());
+  match Queue.take_opt slot.outstanding with
+  | None -> t.errors <- t.errors + 1
+  | Some { op; issued_at } ->
+      t.received <- t.received + 1;
+      Latency_log.record t.log ~op
+        ~latency:(Des.Engine.now t.engine - issued_at);
+      maybe_trigger_next t slot
+
+and open_slot t slot =
+  if t.running then begin
+    let port = t.next_port in
+    t.next_port <- t.next_port + 1;
+    let local = Netsim.Addr.v t.host_ip port in
+    let conn =
+      Tcpsim.Endpoint.connect t.endpoint ~config:t.config.tcp ~local
+        ~remote:t.vip ()
+    in
+    slot.conn <- Some conn;
+    slot.reader <- Memcache.Protocol.Reader.responses ();
+    Queue.clear slot.outstanding;
+    slot.sent_on_conn <- 0;
+    slot.closing <- false;
+    Tcpsim.Conn.set_on_connect conn (fun () ->
+        (* Prime the pipeline: the initial burst of the closed loop. *)
+        for _ = 1 to t.config.pipeline do
+          issue t slot
+        done);
+    Tcpsim.Conn.set_on_data conn (fun chunk ->
+        match Memcache.Protocol.Reader.feed slot.reader chunk with
+        | Ok responses -> List.iter (on_response t slot) responses
+        | Error _ ->
+            t.errors <- t.errors + 1;
+            Tcpsim.Conn.abort conn);
+    Tcpsim.Conn.set_on_close conn (fun () ->
+        slot.conn <- None;
+        if t.running then begin
+          t.reconnects <- t.reconnects + 1;
+          ignore
+            (Des.Engine.schedule_after t.engine
+               ~delay:t.config.reconnect_delay (fun () -> open_slot t slot))
+        end)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Array.iter (fun slot -> open_slot t slot) t.slots
+  end
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Array.iter
+      (fun slot ->
+        match slot.conn with
+        | Some _ ->
+            (* If the pipeline is idle close now; otherwise the response
+               handler closes the slot once the outstanding responses
+               drain ([running] is already false). *)
+            if Queue.is_empty slot.outstanding then close_slot t slot
+        | None -> ())
+      t.slots
+  end
+
+let requests_sent t = t.sent
+let responses_received t = t.received
+let reconnects t = t.reconnects
+let protocol_errors t = t.errors

@@ -1,0 +1,55 @@
+(** A memtier_benchmark-style closed-loop client (§4 of the paper).
+
+    The client opens several TCP connections to the service VIP, keeps a
+    fixed number of pipelined requests outstanding on each (50-50
+    GET/SET by default), and — crucially for the LB's measurement —
+    issues the next request of a connection only when a response
+    arrives: a causally-triggered transmission. Connections are closed
+    and reopened after a configurable number of requests so the LB can
+    apply fresh routing decisions, exactly as described in the paper's
+    evaluation. *)
+
+type config = {
+  connections : int;  (** Concurrent connections. *)
+  pipeline : int;  (** Outstanding requests per connection. *)
+  get_ratio : float;  (** Fraction of GETs (0.5 = the paper's mix). *)
+  value_size : Stats.Dist.t;  (** SET value size, bytes. *)
+  requests_per_conn : int;
+      (** Close and reopen after this many requests; 0 = never. *)
+  reconnect_delay : Des.Time.t;  (** Pause before reopening. *)
+  think_time : Stats.Dist.t;
+      (** Client-side delay between a response and the request it
+          triggers (the paper's [T_trigger]), ns. *)
+  tcp : Tcpsim.Conn.config;
+}
+
+val default_config : config
+(** 4 connections, pipeline 2, 50-50 mix, 64-byte values, reopen every
+    200 requests, ~2 µs trigger time. *)
+
+type t
+
+val create :
+  Netsim.Fabric.t ->
+  host_ip:int ->
+  vip:Netsim.Addr.t ->
+  keyspace:Keyspace.t ->
+  log:Latency_log.t ->
+  ?config:config ->
+  rng:Des.Rng.t ->
+  unit ->
+  t
+(** Build the client host (creates its TCP endpoint on [host_ip]). Does
+    not start sending. *)
+
+val start : t -> unit
+(** Open all connections and begin the closed loop. *)
+
+val stop : t -> unit
+(** Stop issuing new requests and close connections once their
+    outstanding responses arrive. *)
+
+val requests_sent : t -> int
+val responses_received : t -> int
+val reconnects : t -> int
+val protocol_errors : t -> int

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Des Float Fmt Inband Lazy List Stats Stdlib String Workload

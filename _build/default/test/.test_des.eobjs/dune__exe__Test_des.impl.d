@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Des Float Fmt Int List Option QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_inband.ml: Alcotest Array Des Float Fmt Gen Inband List Maglev Netsim Option QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_maglev.ml: Alcotest Array Float Fmt Gen List Maglev QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_memcache.ml: Alcotest Des Fmt Gen List Memcache Netsim QCheck QCheck_alcotest Stats Stdlib String Tcpsim

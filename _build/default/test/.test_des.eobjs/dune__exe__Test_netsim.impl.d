@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Des Fmt Hashtbl List Netsim QCheck QCheck_alcotest String

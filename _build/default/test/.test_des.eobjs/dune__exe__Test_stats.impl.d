@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Des Float Fmt Gen Int List QCheck QCheck_alcotest Stats Stdlib

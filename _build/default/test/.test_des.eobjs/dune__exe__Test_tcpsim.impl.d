@@ -1,0 +1,1 @@
+test/test_tcpsim.ml: Alcotest Array Buffer Char Des Gen List Netsim Option QCheck QCheck_alcotest Stdlib String Tcpsim

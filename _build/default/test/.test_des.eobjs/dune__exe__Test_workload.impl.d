@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cluster Des Fmt Hashtbl Inband List Stats Workload

@@ -1,0 +1,360 @@
+(* Integration tests: the paper's experiments end to end (shortened). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Samples helpers -------------------------------------------------------- *)
+
+let samples_helpers () =
+  let mk at value = { Cluster.Bulk_flow.at; value } in
+  let samples = [ mk 10 5; mk 20 7; mk 30 9; mk 40 11 ] in
+  Alcotest.(check (list int)) "window" [ 7; 9 ]
+    (Cluster.Samples.in_window samples ~lo:15 ~hi:35);
+  Alcotest.(check (float 1e-9)) "median" 9.0 (Cluster.Samples.median [ 9; 5; 11 ]);
+  Alcotest.(check (float 1e-9)) "p100" 11.0
+    (Cluster.Samples.percentile [ 9; 5; 11 ] ~q:1.0);
+  check_bool "empty is nan" true
+    (Float.is_nan (Cluster.Samples.median []));
+  Alcotest.(check (float 1e-9)) "relative error" 0.1
+    (Cluster.Samples.median_relative_error ~estimates:[ 110 ] ~truth:100.0)
+
+let report_table () =
+  let out =
+    Cluster.Report.table ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333" ] ]
+  in
+  check_bool "contains rule" true (String.length out > 0);
+  (* Rows shorter than headers are padded, so the table renders without
+     raising. *)
+  check_bool "pads short rows" true
+    (String.split_on_char '\n' out |> List.length >= 4)
+
+(* --- Fig 2 (shortened) ------------------------------------------------------- *)
+
+let fig2_config =
+  {
+    Cluster.Bulk_flow.default_config with
+    Cluster.Bulk_flow.duration = Des.Time.sec 3;
+    rtt_step_at = Des.Time.us 1_500_000;
+  }
+
+let fig2 = lazy (Cluster.Fig2.run ~config:fig2_config ())
+
+let fig2_ensemble_tracks_truth () =
+  let r = Lazy.force fig2 in
+  check_bool
+    (Fmt.str "pre-step error %.1f%% < 50%%" (100.0 *. r.Cluster.Fig2.err_before))
+    true
+    (r.Cluster.Fig2.err_before < 0.5);
+  check_bool
+    (Fmt.str "post-step error %.1f%% < 25%%" (100.0 *. r.Cluster.Fig2.err_after))
+    true
+    (r.Cluster.Fig2.err_after < 0.25)
+
+let fig2_low_delta_oversamples () =
+  let r = Lazy.force fig2 in
+  (* delta = 64us produces more samples than the moderate deltas: the
+     spurious intra-batch splits of Fig 2(a). *)
+  let d0, low = r.Cluster.Fig2.raw.Cluster.Bulk_flow.fixed.(0) in
+  let _, mid = r.Cluster.Fig2.raw.Cluster.Bulk_flow.fixed.(2) in
+  check_int "first delta is 64us" (Des.Time.us 64) d0;
+  check_bool "low delta over-samples vs 256us" true
+    (List.length low > List.length mid)
+
+let fig2_high_delta_starves () =
+  let r = Lazy.force fig2 in
+  (* The largest timeout (4096us) must produce no samples before the
+     step: the flow never pauses that long. *)
+  let _, samples = r.Cluster.Fig2.raw.Cluster.Bulk_flow.fixed.(6) in
+  let before =
+    Cluster.Samples.in_window samples ~lo:0 ~hi:(Des.Time.sec 1)
+  in
+  check_int "4096us starves" 0 (List.length before)
+
+let fig2_chosen_delta_adapts () =
+  let r = Lazy.force fig2 in
+  (* After the +1ms step the chosen delta must exceed its pre-step value
+     at least once (the cliff moved right). *)
+  let before, after =
+    List.partition
+      (fun (at, _) -> at < fig2_config.Cluster.Bulk_flow.rtt_step_at)
+      r.Cluster.Fig2.chosen_timeline
+  in
+  let max_delta l = List.fold_left (fun acc (_, d) -> Stdlib.max acc d) 0 l in
+  check_bool "chosen delta grew after step" true
+    (after <> [] && max_delta after > max_delta before)
+
+(* --- Fig 3 (shortened) ------------------------------------------------------- *)
+
+let fig3 =
+  lazy
+    (Cluster.Fig3.run
+       ~duration:(Des.Time.sec 8)
+       ~inject_at:(Des.Time.sec 3) ())
+
+let fig3_maglev_suffers_latency_aware_recovers () =
+  let r = Lazy.force fig3 in
+  match r.Cluster.Fig3.runs with
+  | [ maglev; aware ] ->
+      check_bool "maglev run is maglev" true
+        (maglev.Cluster.Fig3.policy = Inband.Policy.Static_maglev);
+      (* Maglev's post-injection p95 inflates several-fold. *)
+      check_bool
+        (Fmt.str "maglev inflates: %.0f -> %.0f us" maglev.Cluster.Fig3.p95_before_us
+           maglev.Cluster.Fig3.p95_after_us)
+        true
+        (maglev.Cluster.Fig3.p95_after_us
+        > 3.0 *. maglev.Cluster.Fig3.p95_before_us);
+      (* The latency-aware LB keeps p95 near its baseline. *)
+      check_bool
+        (Fmt.str "aware holds: %.0f -> %.0f us" aware.Cluster.Fig3.p95_before_us
+           aware.Cluster.Fig3.p95_after_us)
+        true
+        (aware.Cluster.Fig3.p95_after_us
+        < 1.5 *. aware.Cluster.Fig3.p95_before_us);
+      (* And beats maglev outright after injection. *)
+      check_bool "aware beats maglev post-injection" true
+        (aware.Cluster.Fig3.p95_after_us
+        < maglev.Cluster.Fig3.p95_after_us /. 2.0)
+  | runs -> Alcotest.failf "expected 2 runs, got %d" (List.length runs)
+
+let fig3_reaction_in_milliseconds () =
+  let r = Lazy.force fig3 in
+  match r.Cluster.Fig3.runs with
+  | [ _; aware ] -> begin
+      (match aware.Cluster.Fig3.reaction_ms with
+      | Some ms ->
+          (* Sub-second at worst; the default 30s timeline reacts in
+             single-digit milliseconds (see EXPERIMENTS.md). *)
+          check_bool (Fmt.str "reaction %.1fms < 1s" ms) true (ms < 1000.0)
+      | None -> Alcotest.fail "no control action after injection");
+      match aware.Cluster.Fig3.recovery_ms with
+      | Some ms ->
+          check_bool (Fmt.str "recovery %.0fms <= 2s" ms) true (ms <= 2000.0)
+      | None -> Alcotest.fail "p95 never recovered"
+    end
+  | _ -> Alcotest.fail "expected 2 runs"
+
+let fig3_weights_shift_away_from_victim () =
+  let r = Lazy.force fig3 in
+  match r.Cluster.Fig3.runs with
+  | [ _; aware ] -> begin
+      match aware.Cluster.Fig3.weights_final with
+      | Some w ->
+          check_bool
+            (Fmt.str "victim weight %.2f small" w.(1))
+            true (w.(1) < 0.2);
+          check_bool "actions happened" true (aware.Cluster.Fig3.actions > 0)
+      | None -> Alcotest.fail "no weights"
+    end
+  | _ -> Alcotest.fail "expected 2 runs"
+
+let fig3_victim_share_drops () =
+  let r = Lazy.force fig3 in
+  match r.Cluster.Fig3.runs with
+  | [ maglev; aware ] ->
+      (* Static maglev keeps routing ~half of new flows to the victim. *)
+      check_bool "maglev share stays" true
+        (maglev.Cluster.Fig3.victim_share_after > 0.35);
+      check_bool "aware share collapses" true
+        (aware.Cluster.Fig3.victim_share_after < 0.15)
+  | _ -> Alcotest.fail "expected 2 runs"
+
+(* --- Multi-LB / far clients / CSV ----------------------------------------------- *)
+
+let multi_lb_builds_and_converges () =
+  let t = Cluster.Multi_lb.build Cluster.Multi_lb.default_config in
+  Cluster.Multi_lb.inject_server_delay t ~server:1 ~at:(Des.Time.sec 2)
+    ~delay:(Des.Time.ms 1);
+  Cluster.Multi_lb.run t ~until:(Des.Time.sec 5);
+  check_int "two balancers" 2 (Array.length (Cluster.Multi_lb.balancers t));
+  check_bool "traffic flowed" true
+    (Workload.Latency_log.count (Cluster.Multi_lb.log t) > 10_000);
+  Array.iter
+    (fun balancer ->
+      match Inband.Balancer.controller balancer with
+      | Some c ->
+          check_bool "each LB starves the victim" true
+            ((Inband.Controller.weights c).(1) < 0.2)
+      | None -> Alcotest.fail "expected a controller")
+    (Cluster.Multi_lb.balancers t)
+
+let herd_actions_scale_with_fleet () =
+  let rows =
+    Cluster.Multi_lb.herd_sweep ~lb_counts:[ 1; 2 ]
+      ~duration:(Des.Time.sec 6) ~inject_at:(Des.Time.sec 2) ()
+  in
+  match rows with
+  | [ one; two ] ->
+      check_bool "2 LBs do more control work" true
+        (two.Cluster.Multi_lb.total_actions
+        > one.Cluster.Multi_lb.total_actions);
+      check_bool "both fleets starve the victim" true
+        (one.Cluster.Multi_lb.victim_weight_mean < 0.1
+        && two.Cluster.Multi_lb.victim_weight_mean < 0.1)
+  | _ -> Alcotest.fail "expected two rows"
+
+let far_client_contaminates_estimates () =
+  match Cluster.Ablations.far_clients ~duration:(Des.Time.sec 4) () with
+  | [ near; far ] ->
+      check_bool "far client inflates the server estimates" true
+        (far.Cluster.Ablations.est_s0_us
+         > 2.0 *. near.Cluster.Ablations.est_s1_us
+        || far.Cluster.Ablations.est_s1_us
+           > 2.0 *. near.Cluster.Ablations.est_s1_us)
+  | _ -> Alcotest.fail "expected two rows"
+
+let scenario_far_client_sees_higher_latency () =
+  let config =
+    {
+      Cluster.Scenario.default_config with
+      Cluster.Scenario.client_delay_overrides = [ (0, Des.Time.ms 1) ];
+    }
+  in
+  let s = Cluster.Scenario.build config in
+  Cluster.Scenario.run s ~until:(Des.Time.sec 1);
+  let hist =
+    Workload.Latency_log.hist (Cluster.Scenario.log s) Workload.Latency_log.Get
+  in
+  (* 1 ms out + 1 ms back dominates: every GET is above 2 ms. *)
+  check_bool "latency floor reflects the far path" true
+    (Stats.Histogram.min_value hist > Des.Time.ms 2)
+
+let csv_renders () =
+  let r2 = Lazy.force fig2 in
+  let csv2 = Cluster.Csv.fig2_samples r2 in
+  check_bool "fig2 header" true
+    (String.length csv2 > 20 && String.sub csv2 0 16 = "t_s,series,value");
+  check_bool "fig2 has truth rows" true
+    (String.length csv2 > 1000);
+  let r3 = Lazy.force fig3 in
+  let csv3 = Cluster.Csv.fig3_series r3 in
+  check_bool "fig3 header" true (String.sub csv3 0 10 = "policy,t_s");
+  let lines = String.split_on_char '\n' csv3 in
+  check_bool "one row per bucket per policy" true (List.length lines > 20)
+
+let dependency_attribution () =
+  match
+    Cluster.Dependency.run_cases ~duration:(Des.Time.sec 8)
+      ~inject_at:(Des.Time.sec 3) ()
+  with
+  | [ private_be; shared_be ] ->
+      (* Private backend: shifting avoids the fault. *)
+      check_bool "private case recovers" true
+        (private_be.Cluster.Dependency.p95_after_us
+        < 2.5 *. private_be.Cluster.Dependency.p95_before_us);
+      check_bool "private case starves frontend 1" true
+        (private_be.Cluster.Dependency.victim_weight < 0.1);
+      (* Shared backend: no shift can help; latency stays inflated and
+         the per-frontend estimates are indistinguishable. *)
+      check_bool "shared case stays slow" true
+        (shared_be.Cluster.Dependency.p95_after_us
+        > 3.0 *. shared_be.Cluster.Dependency.p95_before_us);
+      let e0 = shared_be.Cluster.Dependency.est_us.(0) in
+      let e1 = shared_be.Cluster.Dependency.est_us.(1) in
+      check_bool "shared case estimates indistinguishable" true
+        (Float.abs (e0 -. e1) < 0.3 *. Float.max e0 e1)
+  | _ -> Alcotest.fail "expected two rows"
+
+let estimator_comparison_improves () =
+  match
+    Cluster.Ablations.estimator_comparison ~duration:(Des.Time.sec 10) ()
+  with
+  | [ paper; _median; stabilized ] ->
+      (* Whole-run p95 is the robust signal; instantaneous final weights
+         fluctuate too much to assert on beyond basic sanity. *)
+      check_bool
+        (Fmt.str "robust config beats paper p95: %.0f vs %.0f us"
+           stabilized.Cluster.Ablations.p95_get_us
+           paper.Cluster.Ablations.p95_get_us)
+        true
+        (stabilized.Cluster.Ablations.p95_get_us
+        < 0.75 *. paper.Cluster.Ablations.p95_get_us);
+      check_bool "victim mostly starved" true
+        (stabilized.Cluster.Ablations.weights.(2) < 0.35);
+      Alcotest.(check (float 1e-6))
+        "weights remain a simplex" 1.0
+        (Array.fold_left ( +. ) 0.0 stabilized.Cluster.Ablations.weights)
+  | _ -> Alcotest.fail "expected three rows"
+
+let source_comparison_blindspots () =
+  match Cluster.Ablations.source_comparison ~duration:(Des.Time.sec 5) () with
+  | [ path; service; stalls ] ->
+      check_bool "both see a path fault" true
+        (path.Cluster.Ablations.ens_ratio > 2.0
+        && path.Cluster.Ablations.syn_ratio > 2.0);
+      check_bool "only the ensemble sees slow service" true
+        (service.Cluster.Ablations.ens_ratio > 2.0
+        && service.Cluster.Ablations.syn_ratio < 1.5);
+      check_bool "fast stalls evade both (closed-loop bias)" true
+        (stalls.Cluster.Ablations.ens_ratio < 1.5
+        && stalls.Cluster.Ablations.syn_ratio < 1.5);
+      check_bool "ensemble samples continuously, syn only on reconnect" true
+        (path.Cluster.Ablations.ens_samples
+        > 10 * path.Cluster.Ablations.syn_samples)
+  | _ -> Alcotest.fail "expected three rows"
+
+(* --- Determinism --------------------------------------------------------------- *)
+
+let simulation_deterministic () =
+  let run () =
+    let s = Cluster.Scenario.build Cluster.Scenario.default_config in
+    Cluster.Scenario.run s ~until:(Des.Time.ms 500);
+    ( Workload.Latency_log.count (Cluster.Scenario.log s),
+      Des.Engine.events_fired (Cluster.Scenario.engine s) )
+  in
+  let a = run () and b = run () in
+  check_bool "identical runs" true (a = b)
+
+let seed_changes_run () =
+  let run seed =
+    let s =
+      Cluster.Scenario.build { Cluster.Scenario.default_config with seed }
+    in
+    Cluster.Scenario.run s ~until:(Des.Time.ms 500);
+    Des.Engine.events_fired (Cluster.Scenario.engine s)
+  in
+  check_bool "different seeds diverge" true (run 1 <> run 2)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "helpers",
+        [
+          Alcotest.test_case "samples" `Quick samples_helpers;
+          Alcotest.test_case "report table" `Quick report_table;
+        ] );
+      ( "fig2",
+        [
+          Alcotest.test_case "ensemble tracks truth" `Slow fig2_ensemble_tracks_truth;
+          Alcotest.test_case "low delta oversamples" `Slow fig2_low_delta_oversamples;
+          Alcotest.test_case "high delta starves" `Slow fig2_high_delta_starves;
+          Alcotest.test_case "chosen delta adapts" `Slow fig2_chosen_delta_adapts;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "maglev suffers, aware recovers" `Slow
+            fig3_maglev_suffers_latency_aware_recovers;
+          Alcotest.test_case "reaction in ms" `Slow fig3_reaction_in_milliseconds;
+          Alcotest.test_case "weights shift" `Slow fig3_weights_shift_away_from_victim;
+          Alcotest.test_case "victim share drops" `Slow fig3_victim_share_drops;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "multi-lb converges" `Slow multi_lb_builds_and_converges;
+          Alcotest.test_case "herd actions scale" `Slow herd_actions_scale_with_fleet;
+          Alcotest.test_case "far client contaminates" `Slow
+            far_client_contaminates_estimates;
+          Alcotest.test_case "far client latency floor" `Quick
+            scenario_far_client_sees_higher_latency;
+          Alcotest.test_case "csv renders" `Slow csv_renders;
+          Alcotest.test_case "dependency attribution" `Slow dependency_attribution;
+          Alcotest.test_case "robust estimator" `Slow estimator_comparison_improves;
+          Alcotest.test_case "measurement-source blind spots" `Slow
+            source_comparison_blindspots;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical runs" `Quick simulation_deterministic;
+          Alcotest.test_case "seed matters" `Quick seed_changes_run;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the discrete-event simulation core. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Time -------------------------------------------------------------- *)
+
+let time_units () =
+  check_int "us" 1_000 (Des.Time.us 1);
+  check_int "ms" 1_000_000 (Des.Time.ms 1);
+  check_int "sec" 1_000_000_000 (Des.Time.sec 1);
+  check_int "ns" 7 (Des.Time.ns 7)
+
+let time_float_roundtrip () =
+  let t = Des.Time.of_float_s 1.5 in
+  check_int "1.5s in ns" 1_500_000_000 t;
+  Alcotest.(check (float 1e-9)) "back to s" 1.5 (Des.Time.to_float_s t);
+  Alcotest.(check (float 1e-6)) "us view" 1.5e6 (Des.Time.to_float_us t);
+  Alcotest.(check (float 1e-6)) "ms view" 1.5e3 (Des.Time.to_float_ms t)
+
+let time_pp () =
+  let s t = Fmt.str "%a" Des.Time.pp t in
+  Alcotest.(check string) "ns" "12ns" (s 12);
+  Alcotest.(check string) "us" "1.500us" (s 1500);
+  Alcotest.(check string) "ms" "2.000ms" (s (Des.Time.ms 2));
+  Alcotest.(check string) "s" "3.000s" (s (Des.Time.sec 3))
+
+(* --- Heap -------------------------------------------------------------- *)
+
+let heap_basic () =
+  let h = Des.Heap.create ~cmp:Int.compare in
+  check_bool "empty" true (Des.Heap.is_empty h);
+  List.iter (Des.Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  check_int "size" 6 (Des.Heap.size h);
+  check_int "peek min" 1 (Option.get (Des.Heap.peek h));
+  check_int "pop min" 1 (Option.get (Des.Heap.pop h));
+  check_int "next min" 2 (Option.get (Des.Heap.pop h));
+  check_int "size after pops" 4 (Des.Heap.size h)
+
+let heap_sorted_drain () =
+  let h = Des.Heap.create ~cmp:Int.compare in
+  List.iter (Des.Heap.add h) [ 4; 4; 1; 1; 7 ];
+  Alcotest.(check (list int))
+    "to_sorted_list" [ 1; 1; 4; 4; 7 ]
+    (Des.Heap.to_sorted_list h);
+  check_int "non-destructive" 5 (Des.Heap.size h)
+
+let heap_clear () =
+  let h = Des.Heap.create ~cmp:Int.compare in
+  List.iter (Des.Heap.add h) [ 1; 2; 3 ];
+  Des.Heap.clear h;
+  check_bool "cleared" true (Des.Heap.is_empty h);
+  check_bool "pop on empty" true (Des.Heap.pop h = None)
+
+let heap_qcheck =
+  QCheck.Test.make ~count:300 ~name:"heap drains every input in sorted order"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Des.Heap.create ~cmp:Int.compare in
+      List.iter (Des.Heap.add h) xs;
+      let drained =
+        List.init (List.length xs) (fun _ -> Option.get (Des.Heap.pop h))
+      in
+      drained = List.sort Int.compare xs && Des.Heap.is_empty h)
+
+(* --- Rng --------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Des.Rng.create ~seed:42 and b = Des.Rng.create ~seed:42 in
+  let draws rng = List.init 20 (fun _ -> Des.Rng.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (draws a) (draws b)
+
+let rng_split_independent () =
+  (* Drawing from one child must not perturb a sibling. *)
+  let parent1 = Des.Rng.create ~seed:7 in
+  let a1 = Des.Rng.split parent1 ~label:"a" in
+  let b1 = Des.Rng.split parent1 ~label:"b" in
+  ignore (List.init 100 (fun _ -> Des.Rng.int a1 10));
+  let b1_draws = List.init 10 (fun _ -> Des.Rng.int b1 1000) in
+  let parent2 = Des.Rng.create ~seed:7 in
+  let b2 = Des.Rng.split parent2 ~label:"b" in
+  let b2_draws = List.init 10 (fun _ -> Des.Rng.int b2 1000) in
+  Alcotest.(check (list int)) "sibling unaffected" b2_draws b1_draws
+
+let rng_split_labels_differ () =
+  let parent = Des.Rng.create ~seed:7 in
+  let a = Des.Rng.split parent ~label:"a" in
+  let b = Des.Rng.split parent ~label:"b" in
+  let da = List.init 10 (fun _ -> Des.Rng.int a 1_000_000) in
+  let db = List.init 10 (fun _ -> Des.Rng.int b 1_000_000) in
+  check_bool "different labels, different streams" true (da <> db)
+
+let rng_bounds =
+  QCheck.Test.make ~count:200 ~name:"rng draws stay in range"
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Des.Rng.create ~seed in
+      let v = Des.Rng.int rng bound in
+      let f = Des.Rng.float rng 3.5 in
+      let u = Des.Rng.uniform rng ~lo:2.0 ~hi:4.0 in
+      v >= 0 && v < bound && f >= 0.0 && f < 3.5 && u >= 2.0 && u < 4.0)
+
+let rng_exponential_mean () =
+  let rng = Des.Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Des.Rng.exponential rng ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean within 5%" true (Float.abs (mean -. 50.0) < 2.5)
+
+let rng_gaussian_moments () =
+  let rng = Des.Rng.create ~seed:12 in
+  let n = 20_000 in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to n do
+    Stats.Welford.add acc (Des.Rng.gaussian rng ~mean:10.0 ~stddev:3.0)
+  done;
+  check_bool "mean" true (Float.abs (Stats.Welford.mean acc -. 10.0) < 0.1);
+  check_bool "stddev" true (Float.abs (Stats.Welford.stddev acc -. 3.0) < 0.1)
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let engine_orders_events () =
+  let e = Des.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Des.Engine.schedule e ~at:(Des.Time.us 30) (note "c"));
+  ignore (Des.Engine.schedule e ~at:(Des.Time.us 10) (note "a"));
+  ignore (Des.Engine.schedule e ~at:(Des.Time.us 20) (note "b"));
+  Des.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let engine_fifo_same_time () =
+  let e = Des.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore
+      (Des.Engine.schedule e ~at:(Des.Time.us 5) (fun () -> log := i :: !log))
+  done;
+  Des.Engine.run e;
+  Alcotest.(check (list int))
+    "same-instant events fire in scheduling order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let engine_clock_advances () =
+  let e = Des.Engine.create () in
+  let seen = ref (-1) in
+  ignore
+    (Des.Engine.schedule e ~at:(Des.Time.ms 3) (fun () ->
+         seen := Des.Engine.now e));
+  Des.Engine.run e;
+  check_int "now inside event" (Des.Time.ms 3) !seen;
+  check_int "now after drain" (Des.Time.ms 3) (Des.Engine.now e)
+
+let engine_run_until () =
+  let e = Des.Engine.create () in
+  let fired = ref 0 in
+  ignore (Des.Engine.schedule e ~at:(Des.Time.ms 1) (fun () -> incr fired));
+  ignore (Des.Engine.schedule e ~at:(Des.Time.ms 5) (fun () -> incr fired));
+  Des.Engine.run ~until:(Des.Time.ms 2) e;
+  check_int "only first fired" 1 !fired;
+  check_int "clock at limit" (Des.Time.ms 2) (Des.Engine.now e);
+  check_int "one pending" 1 (Des.Engine.pending e);
+  Des.Engine.run e;
+  check_int "rest fired" 2 !fired
+
+let engine_cancel () =
+  let e = Des.Engine.create () in
+  let fired = ref false in
+  let h = Des.Engine.schedule e ~at:(Des.Time.ms 1) (fun () -> fired := true) in
+  Des.Engine.cancel h;
+  Des.Engine.run e;
+  check_bool "cancelled never fires" false !fired;
+  check_int "pending zero" 0 (Des.Engine.pending e)
+
+let engine_schedule_in_past_rejected () =
+  let e = Des.Engine.create () in
+  ignore (Des.Engine.schedule e ~at:(Des.Time.ms 2) (fun () -> ()));
+  Des.Engine.run e;
+  Alcotest.check_raises "past raises"
+    (Invalid_argument "Engine.schedule: at=1.000ms is before now=2.000ms")
+    (fun () -> ignore (Des.Engine.schedule e ~at:(Des.Time.ms 1) (fun () -> ())))
+
+let engine_negative_delay_rejected () =
+  let e = Des.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Des.Engine.schedule_after e ~delay:(-1) (fun () -> ())))
+
+let engine_nested_scheduling () =
+  let e = Des.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Des.Engine.schedule e ~at:(Des.Time.us 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Des.Engine.schedule_after e ~delay:(Des.Time.us 1) (fun () ->
+                log := "inner" :: !log))));
+  Des.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_int "events fired" 2 (Des.Engine.events_fired e)
+
+let engine_step () =
+  let e = Des.Engine.create () in
+  check_bool "step on empty" false (Des.Engine.step e);
+  ignore (Des.Engine.schedule e ~at:(Des.Time.us 1) (fun () -> ()));
+  check_bool "step fires" true (Des.Engine.step e);
+  check_bool "drained" false (Des.Engine.step e)
+
+let engine_qcheck_order =
+  QCheck.Test.make ~count:100
+    ~name:"engine fires any schedule set in nondecreasing time order"
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let e = Des.Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun t ->
+          ignore (Des.Engine.schedule e ~at:t (fun () -> seen := t :: !seen)))
+        times;
+      Des.Engine.run e;
+      List.rev !seen = List.sort Int.compare times)
+
+(* --- Timer ------------------------------------------------------------- *)
+
+let timer_one_shot () =
+  let e = Des.Engine.create () in
+  let fired = ref 0 in
+  let t = Des.Timer.create e ~f:(fun () -> incr fired) in
+  Des.Timer.arm t ~delay:(Des.Time.ms 1);
+  check_bool "armed" true (Des.Timer.is_armed t);
+  Des.Engine.run e;
+  check_int "fired once" 1 !fired;
+  check_bool "disarmed after fire" false (Des.Timer.is_armed t)
+
+let timer_rearm_resets () =
+  let e = Des.Engine.create () in
+  let fire_time = ref 0 in
+  let t = Des.Timer.create e ~f:(fun () -> fire_time := Des.Engine.now e) in
+  Des.Timer.arm t ~delay:(Des.Time.ms 1);
+  (* Re-arm at t=0.5ms for 2ms more: expiry moves to 2.5ms. *)
+  ignore
+    (Des.Engine.schedule e ~at:(Des.Time.us 500) (fun () ->
+         Des.Timer.arm t ~delay:(Des.Time.ms 2)));
+  Des.Engine.run e;
+  check_int "re-armed expiry" (Des.Time.us 2500) !fire_time
+
+let timer_stop () =
+  let e = Des.Engine.create () in
+  let fired = ref false in
+  let t = Des.Timer.create e ~f:(fun () -> fired := true) in
+  Des.Timer.arm t ~delay:(Des.Time.ms 1);
+  Des.Timer.stop t;
+  Des.Timer.stop t;
+  Des.Engine.run e;
+  check_bool "stopped" false !fired
+
+let timer_every () =
+  let e = Des.Engine.create () in
+  let fires = ref [] in
+  let t =
+    Des.Timer.every e ~period:(Des.Time.ms 2) (fun () ->
+        fires := Des.Engine.now e :: !fires)
+  in
+  ignore
+    (Des.Engine.schedule e ~at:(Des.Time.ms 7) (fun () -> Des.Timer.stop t));
+  Des.Engine.run ~until:(Des.Time.ms 20) e;
+  Alcotest.(check (list int))
+    "periodic fires until stopped"
+    [ Des.Time.ms 2; Des.Time.ms 4; Des.Time.ms 6 ]
+    (List.rev !fires)
+
+let timer_every_start () =
+  let e = Des.Engine.create () in
+  let fires = ref [] in
+  let t =
+    Des.Timer.every e ~period:(Des.Time.ms 5) ~start:(Des.Time.ms 1)
+      (fun () -> fires := Des.Engine.now e :: !fires)
+  in
+  Des.Engine.run ~until:(Des.Time.ms 12) e;
+  Des.Timer.stop t;
+  Alcotest.(check (list int))
+    "custom start"
+    [ Des.Time.ms 1; Des.Time.ms 6; Des.Time.ms 11 ]
+    (List.rev !fires)
+
+let () =
+  Alcotest.run "des"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick time_units;
+          Alcotest.test_case "float roundtrip" `Quick time_float_roundtrip;
+          Alcotest.test_case "pp" `Quick time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick heap_basic;
+          Alcotest.test_case "sorted drain" `Quick heap_sorted_drain;
+          Alcotest.test_case "clear" `Quick heap_clear;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ heap_qcheck ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+          Alcotest.test_case "split labels differ" `Quick rng_split_labels_differ;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick rng_gaussian_moments;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ rng_bounds ] );
+      ( "engine",
+        [
+          Alcotest.test_case "orders events" `Quick engine_orders_events;
+          Alcotest.test_case "fifo same time" `Quick engine_fifo_same_time;
+          Alcotest.test_case "clock advances" `Quick engine_clock_advances;
+          Alcotest.test_case "run until" `Quick engine_run_until;
+          Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "past rejected" `Quick engine_schedule_in_past_rejected;
+          Alcotest.test_case "negative delay rejected" `Quick
+            engine_negative_delay_rejected;
+          Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
+          Alcotest.test_case "step" `Quick engine_step;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ engine_qcheck_order ] );
+      ( "timer",
+        [
+          Alcotest.test_case "one shot" `Quick timer_one_shot;
+          Alcotest.test_case "rearm resets" `Quick timer_rearm_resets;
+          Alcotest.test_case "stop" `Quick timer_stop;
+          Alcotest.test_case "every" `Quick timer_every;
+          Alcotest.test_case "every with start" `Quick timer_every_start;
+        ] );
+    ]

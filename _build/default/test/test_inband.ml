@@ -1,0 +1,715 @@
+(* Tests for the paper's core: Algorithms 1 and 2, server stats, the
+   feedback controller and the balancer datapath. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let us = Des.Time.us
+let ms = Des.Time.ms
+
+(* --- Config ------------------------------------------------------------- *)
+
+let config_default_valid () =
+  check_bool "default validates" true
+    (Inband.Config.validate Inband.Config.default = Ok ())
+
+let config_paper_constants () =
+  let c = Inband.Config.default in
+  check_int "k = 7" 7 (Array.length c.Inband.Config.timeouts);
+  check_int "delta_1 = 64us" (us 64) c.Inband.Config.timeouts.(0);
+  check_int "delta_7 = 4096us" (us 4096) c.Inband.Config.timeouts.(6);
+  check_int "E = 64ms" (ms 64) c.Inband.Config.epoch;
+  Alcotest.(check (float 1e-9)) "alpha = 10%" 0.10 c.Inband.Config.alpha
+
+let config_rejects_bad () =
+  let bad f = Inband.Config.validate f <> Ok () in
+  let d = Inband.Config.default in
+  check_bool "one timeout" true
+    (bad { d with Inband.Config.timeouts = [| us 64 |] });
+  check_bool "descending" true
+    (bad { d with Inband.Config.timeouts = [| us 128; us 64 |] });
+  check_bool "alpha 0" true (bad { d with Inband.Config.alpha = 0.0 });
+  check_bool "alpha 1" true (bad { d with Inband.Config.alpha = 1.0 });
+  check_bool "min_weight 0.5" true (bad { d with Inband.Config.min_weight = 0.5 });
+  check_bool "threshold < 1" true
+    (bad { d with Inband.Config.relative_threshold = 0.9 });
+  check_bool "initial index out of range" true
+    (bad { d with Inband.Config.initial_timeout_index = 7 })
+
+(* --- Algorithm 1: FIXEDTIMEOUT ------------------------------------------- *)
+
+(* Hand-computed transcript. delta = 100us. Flow starts at t=0.
+   Packets (us):   0   10   20   250   260   600   610   615
+   Gaps     :          10   10   230    10   340    10     5
+   New batch at 250 (gap 230 > 100): sample = 250 - 0   = 250us.
+   New batch at 600 (gap 340 > 100): sample = 600 - 250 = 350us. *)
+let fixed_timeout_transcript () =
+  let ft = Inband.Fixed_timeout.create ~delta:(us 100) ~now:0 in
+  let expect = [
+    (us 10, None); (us 20, None);
+    (us 250, Some (us 250)); (us 260, None);
+    (us 600, Some (us 350)); (us 610, None); (us 615, None);
+  ] in
+  List.iter
+    (fun (now, expected) ->
+      let got = Inband.Fixed_timeout.on_packet ft ~now in
+      Alcotest.(check (option int))
+        (Fmt.str "packet at %a" Des.Time.pp now)
+        expected got)
+    expect;
+  check_int "two samples total" 2 (Inband.Fixed_timeout.samples_produced ft)
+
+let fixed_timeout_gap_exactly_delta_is_same_batch () =
+  (* Algorithm 1 line 2 uses a strict inequality. *)
+  let ft = Inband.Fixed_timeout.create ~delta:(us 100) ~now:0 in
+  Alcotest.(check (option int)) "gap = delta stays in batch" None
+    (Inband.Fixed_timeout.on_packet ft ~now:(us 100));
+  Alcotest.(check (option int)) "gap just over delta splits"
+    (Some (us 201))
+    (Inband.Fixed_timeout.on_packet ft ~now:(us 201))
+
+let fixed_timeout_first_packet_no_sample () =
+  let ft = Inband.Fixed_timeout.create ~delta:(us 50) ~now:(ms 5) in
+  Alcotest.(check (option int)) "packet at creation time" None
+    (Inband.Fixed_timeout.on_packet ft ~now:(ms 5))
+
+let fixed_timeout_rejects_bad_delta () =
+  Alcotest.check_raises "delta 0" (Invalid_argument "Fixed_timeout.create: delta")
+    (fun () -> ignore (Inband.Fixed_timeout.create ~delta:0 ~now:0))
+
+(* A batchy synthetic flow: batches of [batch] packets [intra] apart,
+   batch heads [rtt] apart, for [n] batches. *)
+let batchy ~rtt ~intra ~batch ~n =
+  List.concat
+    (List.init n (fun b -> List.init batch (fun p -> (b * rtt) + (p * intra))))
+
+let fixed_timeout_counts_on_batchy_flow () =
+  let rtt = us 500 and intra = us 10 in
+  let timeline = batchy ~rtt ~intra ~batch:4 ~n:100 in
+  let run delta =
+    let ft = Inband.Fixed_timeout.create ~delta ~now:0 in
+    List.fold_left
+      (fun acc now ->
+        match Inband.Fixed_timeout.on_packet ft ~now with
+        | Some _ -> acc + 1
+        | None -> acc)
+      0 (List.tl timeline)
+  in
+  (* Correct delta: one sample per batch boundary (99). *)
+  check_int "good delta counts batches" 99 (run (us 100));
+  (* Too-low delta: every 10us gap splits (3 per batch + boundaries). *)
+  check_int "low delta over-samples" (99 + 300) (run (us 5));
+  (* Too-high delta: no gap exceeds it, no samples at all. *)
+  check_int "high delta starves" 0 (run (ms 2))
+
+(* --- Sample cliff / Algorithm 2 ------------------------------------------- *)
+
+let cliff_pick_basic () =
+  check_int "clean cliff" 1 (Inband.Ensemble.cliff_pick [| 500; 490; 2; 0; 0 |]);
+  check_int "all equal picks last nonzero edge" 4
+    (Inband.Ensemble.cliff_pick [| 10; 10; 10; 10; 10; 0; 0 |]);
+  check_int "zeros everywhere picks 0" 0
+    (Inband.Ensemble.cliff_pick [| 0; 0; 0; 0 |]);
+  (* i only ranges to k-2, so with flat counts the tie goes to index 0
+     and the largest timeout is never selectable. *)
+  check_int "flat counts tie to index 0" 0
+    (Inband.Ensemble.cliff_pick [| 5; 5; 5 |])
+
+let cliff_pick_min_fraction_guards_noise () =
+  (* Trailing noise: a handful of junk samples then zero would win the
+     raw argmax; the qualification floor must reject it. *)
+  let counts = [| 1042; 284; 71; 70; 0; 0; 0 |] in
+  check_int "raw rule falls for the noise cliff" 3
+    (Inband.Ensemble.cliff_pick counts);
+  check_int "guarded rule picks the real cliff" 1
+    (Inband.Ensemble.cliff_pick ~min_fraction:0.1 counts)
+
+let ensemble_converges_on_batchy_flow () =
+  let config = Inband.Config.default in
+  let e = Inband.Ensemble.create ~config in
+  let flow = Inband.Ensemble.create_flow e ~now:0 in
+  let timeline = batchy ~rtt:(us 500) ~intra:(us 10) ~batch:4 ~n:400 in
+  let samples =
+    List.filter_map
+      (fun now -> Inband.Ensemble.on_packet e flow ~now)
+      (List.tl timeline)
+  in
+  (* Intra gap 10us < chosen delta < inter gap 470us: only 64, 128 or
+     256us qualify. *)
+  let chosen = Inband.Ensemble.chosen_timeout e flow in
+  check_bool
+    (Fmt.str "chosen %a in (10us, 470us)" Des.Time.pp chosen)
+    true
+    (chosen > us 10 && chosen < us 470);
+  check_bool "epochs completed" true (Inband.Ensemble.epochs_completed e > 1);
+  (* Post-convergence samples equal the true RTT. *)
+  (match List.rev samples with
+  | last :: _ -> check_int "last sample = true RTT" (us 500) last
+  | [] -> Alcotest.fail "no samples");
+  (* The first epoch reports under the initial (too large) delta and
+     yields nothing; afterwards roughly one sample per batch. *)
+  check_bool "produced roughly one sample per batch" true
+    (List.length samples > 250)
+
+let ensemble_adapts_to_rtt_change () =
+  let config = Inband.Config.default in
+  let e = Inband.Ensemble.create ~config in
+  let flow = Inband.Ensemble.create_flow e ~now:0 in
+  (* Phase 1: RTT 300us for 300 batches; phase 2: RTT 2ms for 200. *)
+  let t1 = batchy ~rtt:(us 300) ~intra:(us 10) ~batch:4 ~n:300 in
+  let offset = 300 * us 300 in
+  let t2 =
+    List.map (fun t -> t + offset)
+      (batchy ~rtt:(ms 2) ~intra:(us 10) ~batch:4 ~n:200)
+  in
+  let samples = ref [] in
+  List.iter
+    (fun now ->
+      match Inband.Ensemble.on_packet e flow ~now with
+      | Some s -> samples := (now, s) :: !samples
+      | None -> ())
+    (List.tl (t1 @ t2));
+  let late =
+    List.filter_map
+      (fun (at, s) -> if at > offset + ms 100 then Some s else None)
+      !samples
+  in
+  check_bool "samples after the change" true (List.length late > 20);
+  let median =
+    let sorted = List.sort compare late in
+    List.nth sorted (List.length sorted / 2)
+  in
+  check_int "tracks the new RTT" (ms 2) median
+
+let ensemble_per_flow_scope () =
+  let config =
+    { Inband.Config.default with Inband.Config.cliff_scope = Inband.Config.Per_flow }
+  in
+  let e = Inband.Ensemble.create ~config in
+  (* Two flows with very different RTTs each converge to their own delta. *)
+  let fast = Inband.Ensemble.create_flow e ~now:0 in
+  let slow = Inband.Ensemble.create_flow e ~now:0 in
+  let fast_t = batchy ~rtt:(us 400) ~intra:(us 5) ~batch:3 ~n:600 in
+  let slow_t = batchy ~rtt:(ms 3) ~intra:(us 5) ~batch:3 ~n:80 in
+  List.iter (fun now -> ignore (Inband.Ensemble.on_packet e fast ~now)) (List.tl fast_t);
+  List.iter (fun now -> ignore (Inband.Ensemble.on_packet e slow ~now)) (List.tl slow_t);
+  let cf = Inband.Ensemble.chosen_timeout e fast in
+  let cs = Inband.Ensemble.chosen_timeout e slow in
+  check_bool "fast flow delta below its idle gap" true (cf < us 400);
+  check_bool "slow flow delta larger" true (cs > cf)
+
+let ensemble_counter_reset_on_epoch () =
+  let e = Inband.Ensemble.create ~config:Inband.Config.default in
+  let flow = Inband.Ensemble.create_flow e ~now:0 in
+  List.iter
+    (fun now -> ignore (Inband.Ensemble.on_packet e flow ~now))
+    (List.tl (batchy ~rtt:(us 500) ~intra:(us 10) ~batch:4 ~n:100));
+  (* 100 batches * 500us = 50ms < one epoch: counters nonzero. *)
+  check_bool "counters accumulate" true
+    (Array.exists (fun c -> c > 0) (Inband.Ensemble.current_counts e));
+  (* Crossing the epoch boundary resets them. *)
+  ignore (Inband.Ensemble.on_packet e flow ~now:(ms 65));
+  let counts = Inband.Ensemble.current_counts e in
+  check_bool "reset after rollover" true
+    (Array.for_all (fun c -> c <= 1) counts)
+
+(* --- Syn_rtt ------------------------------------------------------------- *)
+
+let syn_rtt_measures_handshake () =
+  let t = Inband.Syn_rtt.create () in
+  Alcotest.(check (option int)) "syn itself yields nothing" None
+    (Inband.Syn_rtt.on_packet t ~now:(us 100) ~syn:true);
+  Alcotest.(check (option int)) "handshake ack yields the gap"
+    (Some (us 250))
+    (Inband.Syn_rtt.on_packet t ~now:(us 350) ~syn:false);
+  check_bool "sampled" true (Inband.Syn_rtt.sampled t);
+  Alcotest.(check (option int)) "at most one sample" None
+    (Inband.Syn_rtt.on_packet t ~now:(us 999) ~syn:false)
+
+let syn_rtt_retransmitted_syn_rearms () =
+  let t = Inband.Syn_rtt.create () in
+  ignore (Inband.Syn_rtt.on_packet t ~now:0 ~syn:true);
+  ignore (Inband.Syn_rtt.on_packet t ~now:(ms 1) ~syn:true);
+  Alcotest.(check (option int)) "measured from the latest SYN"
+    (Some (us 200))
+    (Inband.Syn_rtt.on_packet t ~now:(ms 1 + us 200) ~syn:false)
+
+let syn_rtt_data_before_syn_ignored () =
+  let t = Inband.Syn_rtt.create () in
+  Alcotest.(check (option int)) "mid-flow pickup yields nothing" None
+    (Inband.Syn_rtt.on_packet t ~now:(us 10) ~syn:false);
+  check_bool "not sampled" false (Inband.Syn_rtt.sampled t)
+
+let fixed_timeout_conservation =
+  QCheck.Test.make ~count:200
+    ~name:"fixed timeout: samples sum to the span between batch heads"
+    QCheck.(pair (int_range 1 5000) (list_of_size Gen.(int_range 1 200) (int_range 1 2000)))
+    (fun (delta_us, gaps_us) ->
+      (* Build an arrival timeline from positive gaps; every sample is a
+         gap between successive batch heads, so the samples must sum to
+         (last batch head - first packet time). *)
+      let delta = us delta_us in
+      let times =
+        List.fold_left
+          (fun acc gap -> (List.hd acc + us gap) :: acc)
+          [ 0 ] gaps_us
+        |> List.rev
+      in
+      let ft = Inband.Fixed_timeout.create ~delta ~now:0 in
+      let total, last_head =
+        List.fold_left
+          (fun (total, last_head) now ->
+            match Inband.Fixed_timeout.on_packet ft ~now with
+            | Some s -> (total + s, now)
+            | None -> (total, last_head))
+          (0, 0) (List.tl times)
+      in
+      total = last_head)
+
+let ensemble_scope_equivalence =
+  QCheck.Test.make ~count:50
+    ~name:"single flow: Global and Per_flow scopes report identically"
+    QCheck.(pair (int_range 100 900) (int_range 50 400))
+    (fun (rtt_us, n_batches) ->
+      let timeline = batchy ~rtt:(us rtt_us) ~intra:(us 7) ~batch:3 ~n:n_batches in
+      let run scope =
+        let config = { Inband.Config.default with Inband.Config.cliff_scope = scope } in
+        let e = Inband.Ensemble.create ~config in
+        let flow = Inband.Ensemble.create_flow e ~now:0 in
+        List.filter_map
+          (fun now -> Inband.Ensemble.on_packet e flow ~now)
+          (List.tl timeline)
+      in
+      run Inband.Config.Global = run Inband.Config.Per_flow)
+
+(* --- Server_stats ----------------------------------------------------------- *)
+
+let server_stats_basic () =
+  let s = Inband.Server_stats.create ~n:3 ~ewma_alpha:0.5 () in
+  check_bool "no estimate yet" true (Inband.Server_stats.estimate s 0 = None);
+  check_bool "no worst yet" true (Inband.Server_stats.worst s = None);
+  Inband.Server_stats.record s ~server:0 ~sample:(us 100) ~at:(ms 1);
+  Inband.Server_stats.record s ~server:2 ~sample:(us 500) ~at:(ms 2);
+  check_int "samples with data" 2 (Inband.Server_stats.servers_with_samples s);
+  (match Inband.Server_stats.worst s with
+  | Some (i, v) ->
+      check_int "worst is server 2" 2 i;
+      Alcotest.(check (float 1.0)) "worst value" 500_000.0 v
+  | None -> Alcotest.fail "expected worst");
+  (match Inband.Server_stats.best s with
+  | Some (i, _) -> check_int "best is server 0" 0 i
+  | None -> Alcotest.fail "expected best");
+  check_int "count" 1 (Inband.Server_stats.sample_count s 0);
+  check_bool "last at" true (Inband.Server_stats.last_sample_at s 2 = Some (ms 2));
+  check_int "histogram populated" 1
+    (Stats.Histogram.count (Inband.Server_stats.hist s 2))
+
+let server_stats_ewma_smooths () =
+  let s = Inband.Server_stats.create ~n:1 ~ewma_alpha:0.5 () in
+  Inband.Server_stats.record s ~server:0 ~sample:(us 100) ~at:0;
+  Inband.Server_stats.record s ~server:0 ~sample:(us 300) ~at:0;
+  Alcotest.(check (float 1.0)) "ewma" 200_000.0
+    (Option.get (Inband.Server_stats.estimate s 0))
+
+let server_stats_windowed_median_robust () =
+  let s = Inband.Server_stats.create ~n:1 ~ewma_alpha:0.5 ~window:5 () in
+  (* Four normal samples and one monster tail: the median shrugs it
+     off where the EWMA would jump. *)
+  List.iter
+    (fun v -> Inband.Server_stats.record s ~server:0 ~sample:v ~at:0)
+    [ us 100; us 110; us 90; Des.Time.ms 50; us 105 ];
+  Alcotest.(check (float 1.0)) "median ignores the tail" 105_000.0
+    (Option.get (Inband.Server_stats.estimate s 0));
+  (* The ring is circular: five more slow samples flip the estimate. *)
+  for _ = 1 to 5 do
+    Inband.Server_stats.record s ~server:0 ~sample:(Des.Time.ms 2) ~at:0
+  done;
+  Alcotest.(check (float 1.0)) "sustained shift moves the median" 2_000_000.0
+    (Option.get (Inband.Server_stats.estimate s 0))
+
+let server_stats_partial_window () =
+  let s = Inband.Server_stats.create ~n:1 ~ewma_alpha:0.5 ~window:8 () in
+  Inband.Server_stats.record s ~server:0 ~sample:(us 70) ~at:0;
+  Alcotest.(check (float 1.0)) "median of one" 70_000.0
+    (Option.get (Inband.Server_stats.estimate s 0))
+
+(* --- Controller --------------------------------------------------------------- *)
+
+let mk_controller ?(config = Inband.Config.default) ?(n = 2) () =
+  let names = Array.init n (fun i -> Fmt.str "s%d" i) in
+  let pool = Maglev.Pool.create ~table_size:1021 ~names () in
+  (Inband.Controller.create ~config ~pool, pool)
+
+let controller_shift_arithmetic () =
+  let config =
+    { Inband.Config.default with Inband.Config.control_interval = 0 }
+  in
+  let c, _pool = mk_controller ~config ~n:3 () in
+  (* Server 2 slow, others fast: one sample each to populate, then the
+     shift targets server 2. *)
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  (match Inband.Controller.on_sample c ~now:(ms 2) ~server:2 (us 900) with
+  | Some action ->
+      check_int "victim" 2 action.Inband.Controller.victim;
+      Alcotest.(check (float 1e-9)) "shift = alpha" 0.10
+        action.Inband.Controller.shifted;
+      let w = action.Inband.Controller.weights_after in
+      Alcotest.(check (float 1e-6)) "victim loses alpha" ((1.0 /. 3.0) -. 0.10) w.(2);
+      Alcotest.(check (float 1e-6)) "others gain alpha/2" ((1.0 /. 3.0) +. 0.05) w.(0);
+      Alcotest.(check (float 1e-6)) "weights sum to 1" 1.0
+        (Array.fold_left ( +. ) 0.0 w)
+  | None -> Alcotest.fail "expected an action")
+
+let controller_needs_two_servers_with_samples () =
+  let config = { Inband.Config.default with Inband.Config.control_interval = 0 } in
+  let c, _ = mk_controller ~config ()
+  in
+  check_bool "single-server samples do not act" true
+    (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 900) = None);
+  check_bool "still nothing" true
+    (Inband.Controller.on_sample c ~now:(ms 2) ~server:0 (us 950) = None)
+
+let controller_respects_min_weight () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.control_interval = 0;
+      min_weight = 0.05;
+    }
+  in
+  let c, _ = mk_controller ~config () in
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  for i = 2 to 40 do
+    ignore (Inband.Controller.on_sample c ~now:(ms i) ~server:1 (us 900))
+  done;
+  let w = Inband.Controller.weights c in
+  check_bool "victim floored" true (w.(1) >= 0.049);
+  check_bool "acted repeatedly then stopped at floor" true
+    (Inband.Controller.action_count c >= 4);
+  Alcotest.(check (float 1e-6)) "sum 1" 1.0 (Array.fold_left ( +. ) 0.0 w)
+
+let controller_interval_spacing () =
+  let config =
+    { Inband.Config.default with Inband.Config.control_interval = ms 10 }
+  in
+  let c, _ = mk_controller ~config () in
+  ignore (Inband.Controller.on_sample c ~now:(us 100) ~server:0 (us 100));
+  let a1 = Inband.Controller.on_sample c ~now:(us 200) ~server:1 (us 900) in
+  check_bool "first action allowed" true (a1 <> None);
+  let a2 = Inband.Controller.on_sample c ~now:(us 300) ~server:1 (us 900) in
+  check_bool "second action suppressed inside interval" true (a2 = None);
+  let a3 = Inband.Controller.on_sample c ~now:(ms 11) ~server:1 (us 900) in
+  check_bool "allowed after interval" true (a3 <> None)
+
+let controller_relative_threshold () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.control_interval = 0;
+      relative_threshold = 2.0;
+    }
+  in
+  let c, _ = mk_controller ~config () in
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  check_bool "1.5x gap below threshold: no action" true
+    (Inband.Controller.on_sample c ~now:(ms 2) ~server:1 (us 150) = None);
+  check_bool "3x gap acts" true
+    (Inband.Controller.on_sample c ~now:(ms 3) ~server:1 (us 900) <> None)
+
+let controller_recovery_pulls_to_uniform () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.control_interval = 0;
+      recovery_rate = 0.5 (* per second towards uniform *);
+      relative_threshold = 5.0;
+    }
+  in
+  let c, _ = mk_controller ~config () in
+  (* Build a skew: 10x gap exceeds the 5x threshold. *)
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  ignore (Inband.Controller.on_sample c ~now:(ms 2) ~server:1 (us 1000));
+  (* Feed low samples until server 1's EWMA decays below the threshold;
+     a couple of early ones may still shift. *)
+  for i = 3 to 6 do
+    ignore (Inband.Controller.on_sample c ~now:(ms i) ~server:1 (us 100))
+  done;
+  let skewed = (Inband.Controller.weights c).(1) in
+  check_bool "skewed below uniform" true (skewed < 0.5);
+  (* A second later, still below threshold: only recovery acts, pulling
+     halfway back to uniform. *)
+  ignore
+    (Inband.Controller.on_sample c ~now:(Des.Time.sec 1 + ms 6) ~server:1
+       (us 100));
+  let after = (Inband.Controller.weights c).(1) in
+  check_bool
+    (Fmt.str "recovered towards uniform: %.3f -> %.3f" skewed after)
+    true
+    (after > skewed +. 0.05)
+
+let controller_weight_simplex_qcheck =
+  QCheck.Test.make ~count:50
+    ~name:"weights remain a simplex under arbitrary sample sequences"
+    QCheck.(list_of_size Gen.(int_range 10 100) (pair (int_bound 2) (int_range 50 5000)))
+    (fun events ->
+      let config =
+        { Inband.Config.default with Inband.Config.control_interval = 0 }
+      in
+      let names = [| "a"; "b"; "c" |] in
+      let pool = Maglev.Pool.create ~table_size:1021 ~names () in
+      let c = Inband.Controller.create ~config ~pool in
+      List.iteri
+        (fun i (server, lat_us) ->
+          ignore
+            (Inband.Controller.on_sample c ~now:(ms (i + 1)) ~server
+               (us lat_us)))
+        events;
+      let w = Inband.Controller.weights c in
+      let sum = Array.fold_left ( +. ) 0.0 w in
+      Float.abs (sum -. 1.0) < 1e-6
+      && Array.for_all (fun v -> v >= 0.0 && v <= 1.0) w)
+
+let controller_first_action_after () =
+  let config = { Inband.Config.default with Inband.Config.control_interval = 0 } in
+  let c, _ = mk_controller ~config () in
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  ignore (Inband.Controller.on_sample c ~now:(ms 2) ~server:1 (us 900));
+  ignore (Inband.Controller.on_sample c ~now:(ms 50) ~server:1 (us 900));
+  check_bool "before any" true
+    (Inband.Controller.first_action_after c 0 = Some (ms 2));
+  check_bool "between" true
+    (Inband.Controller.first_action_after c (ms 10) = Some (ms 50));
+  check_bool "after all" true
+    (Inband.Controller.first_action_after c (ms 60) = None)
+
+(* --- Balancer ------------------------------------------------------------------ *)
+
+type bal_rig = {
+  engine : Des.Engine.t;
+  fabric : Netsim.Fabric.t;
+  balancer : Inband.Balancer.t;
+  arrivals : (int * Netsim.Packet.t) list ref; (* (server_ip, pkt) *)
+}
+
+let vip = Netsim.Addr.v 1 11211
+
+let make_bal_rig ?(policy = Inband.Policy.Static_maglev) ?config ?(n = 3) () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let server_ips = Array.init n (fun i -> 10 + i) in
+  let balancer =
+    Inband.Balancer.create fabric ~vip ~server_ips ?policy:(Some policy)
+      ?config ~table_size:1021 ()
+  in
+  let arrivals = ref [] in
+  Array.iter
+    (fun ip ->
+      Netsim.Fabric.register fabric ~ip (fun pkt ->
+          arrivals := (ip, pkt) :: !arrivals);
+      Netsim.Fabric.add_link fabric ~src:1 ~dst:ip
+        (Netsim.Link.create engine ~delay:(us 10) ()))
+    server_ips;
+  Netsim.Fabric.register fabric ~ip:100 (fun _ -> ());
+  Netsim.Fabric.add_link fabric ~src:100 ~dst:1
+    (Netsim.Link.create engine ~delay:(us 10) ());
+  { engine; fabric; balancer; arrivals }
+
+let send_from_client rig ~port ?(flags = Netsim.Packet.flag_ack) ?(payload = "p")
+    () =
+  Netsim.Fabric.send rig.fabric ~from:100
+    (Netsim.Packet.make ~src:(Netsim.Addr.v 100 port) ~dst:vip ~seq:0 ~ack:0
+       ~flags ~payload)
+
+let balancer_forwards_and_pins () =
+  let rig = make_bal_rig () in
+  for _ = 1 to 5 do
+    send_from_client rig ~port:7777 ()
+  done;
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  let servers = List.map fst !(rig.arrivals) in
+  check_int "all five forwarded" 5 (List.length servers);
+  (match servers with
+  | first :: rest ->
+      check_bool "per-connection affinity" true
+        (List.for_all (fun s -> s = first) rest)
+  | [] -> Alcotest.fail "no arrivals");
+  check_int "one tracked flow" 1 (Inband.Balancer.active_flows rig.balancer);
+  check_int "packets counted" 5 (Inband.Balancer.packets_forwarded rig.balancer)
+
+let balancer_affinity_survives_weight_change () =
+  let rig = make_bal_rig ~policy:Inband.Policy.Latency_aware () in
+  send_from_client rig ~port:4242 ();
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  let before = List.map fst !(rig.arrivals) in
+  (* Force a dramatic weight change behind the flow's back. *)
+  let pool = Inband.Balancer.pool rig.balancer in
+  Maglev.Pool.set_weights pool [| 0.98; 0.01; 0.01 |];
+  Maglev.Pool.rebuild pool;
+  send_from_client rig ~port:4242 ();
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  let after = List.map fst !(rig.arrivals) in
+  check_bool "same server before and after rebuild" true
+    (List.hd before = List.hd after)
+
+let balancer_round_robin_cycles () =
+  let rig = make_bal_rig ~policy:Inband.Policy.Round_robin () in
+  for port = 1 to 6 do
+    send_from_client rig ~port ()
+  done;
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  let counts = Array.make 3 0 in
+  List.iter
+    (fun (ip, _) -> counts.(ip - 10) <- counts.(ip - 10) + 1)
+    !(rig.arrivals);
+  Alcotest.(check (array int)) "two flows each" [| 2; 2; 2 |] counts
+
+let balancer_least_conn_prefers_idle () =
+  let rig = make_bal_rig ~policy:Inband.Policy.Least_conn () in
+  (* Three live flows land on three distinct servers. *)
+  for port = 1 to 3 do
+    send_from_client rig ~port ()
+  done;
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  Alcotest.(check (array int)) "spread one each" [| 1; 1; 1 |]
+    (Inband.Balancer.active_conns rig.balancer)
+
+let balancer_fin_releases_conn_gauge () =
+  let rig = make_bal_rig ~policy:Inband.Policy.Least_conn () in
+  send_from_client rig ~port:1 ();
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  check_int "one live" 1
+    (Array.fold_left ( + ) 0 (Inband.Balancer.active_conns rig.balancer));
+  send_from_client rig ~port:1 ~flags:Netsim.Packet.flag_fin_ack ();
+  Des.Engine.run ~until:(Des.Time.sec 2) rig.engine;
+  check_int "fin releases" 0
+    (Array.fold_left ( + ) 0 (Inband.Balancer.active_conns rig.balancer))
+
+let balancer_sweep_evicts_idle_flows () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.flow_idle_timeout = ms 100;
+      sweep_interval = ms 50;
+    }
+  in
+  let rig = make_bal_rig ~config () in
+  send_from_client rig ~port:9 ();
+  Des.Engine.run ~until:(ms 30) rig.engine;
+  check_int "tracked while fresh" 1 (Inband.Balancer.active_flows rig.balancer);
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  check_int "evicted when idle" 0 (Inband.Balancer.active_flows rig.balancer)
+
+let balancer_taps_and_hooks_fire () =
+  let rig = make_bal_rig ~policy:Inband.Policy.Latency_aware () in
+  let tapped = ref 0 in
+  Inband.Balancer.add_tap rig.balancer (fun _ -> incr tapped);
+  let hooked = ref 0 in
+  Inband.Balancer.set_sample_hook rig.balancer
+    (fun ~at:_ ~flow:_ ~server:_ ~sample:_ -> incr hooked);
+  (* Batchy traffic on one flow: 3-packet bursts 500us apart, spanning
+     several 64ms epochs so the ensemble converges to a reporting
+     delta. *)
+  let rec burst b =
+    if b < 300 then begin
+      ignore
+        (Des.Engine.schedule rig.engine ~at:(b * us 500) (fun () ->
+             for _ = 1 to 3 do
+               send_from_client rig ~port:5 ()
+             done;
+             burst (b + 1)))
+    end
+  in
+  burst 0;
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  check_int "tap saw every packet" 900 !tapped;
+  check_bool "estimator produced samples through the hook" true (!hooked > 0);
+  check_int "hook count matches balancer counter" !hooked
+    (Inband.Balancer.samples_produced rig.balancer)
+
+let balancer_controller_only_for_latency_aware () =
+  let a = make_bal_rig ~policy:Inband.Policy.Static_maglev () in
+  check_bool "maglev has no controller" true
+    (Inband.Balancer.controller a.balancer = None);
+  let b = make_bal_rig ~policy:Inband.Policy.Latency_aware () in
+  check_bool "latency-aware has one" true
+    (Inband.Balancer.controller b.balancer <> None)
+
+let balancer_rejects_empty_pool () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  Alcotest.check_raises "no servers"
+    (Invalid_argument "Balancer.create: no servers") (fun () ->
+      ignore (Inband.Balancer.create fabric ~vip ~server_ips:[||] ()))
+
+let () =
+  Alcotest.run "inband"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "default valid" `Quick config_default_valid;
+          Alcotest.test_case "paper constants" `Quick config_paper_constants;
+          Alcotest.test_case "rejects bad" `Quick config_rejects_bad;
+        ] );
+      ( "fixed_timeout",
+        [
+          Alcotest.test_case "transcript" `Quick fixed_timeout_transcript;
+          Alcotest.test_case "strict inequality" `Quick
+            fixed_timeout_gap_exactly_delta_is_same_batch;
+          Alcotest.test_case "first packet" `Quick fixed_timeout_first_packet_no_sample;
+          Alcotest.test_case "bad delta" `Quick fixed_timeout_rejects_bad_delta;
+          Alcotest.test_case "batchy counts" `Quick fixed_timeout_counts_on_batchy_flow;
+        ] );
+      ( "ensemble",
+        [
+          Alcotest.test_case "cliff pick" `Quick cliff_pick_basic;
+          Alcotest.test_case "cliff min fraction" `Quick
+            cliff_pick_min_fraction_guards_noise;
+          Alcotest.test_case "converges" `Quick ensemble_converges_on_batchy_flow;
+          Alcotest.test_case "adapts to rtt change" `Quick
+            ensemble_adapts_to_rtt_change;
+          Alcotest.test_case "per-flow scope" `Quick ensemble_per_flow_scope;
+          Alcotest.test_case "epoch reset" `Quick ensemble_counter_reset_on_epoch;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ fixed_timeout_conservation; ensemble_scope_equivalence ] );
+      ( "syn_rtt",
+        [
+          Alcotest.test_case "measures handshake" `Quick syn_rtt_measures_handshake;
+          Alcotest.test_case "retransmitted syn" `Quick
+            syn_rtt_retransmitted_syn_rearms;
+          Alcotest.test_case "mid-flow pickup" `Quick syn_rtt_data_before_syn_ignored;
+        ] );
+      ( "server_stats",
+        [
+          Alcotest.test_case "basic" `Quick server_stats_basic;
+          Alcotest.test_case "ewma smooths" `Quick server_stats_ewma_smooths;
+          Alcotest.test_case "windowed median robust" `Quick
+            server_stats_windowed_median_robust;
+          Alcotest.test_case "partial window" `Quick server_stats_partial_window;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "shift arithmetic" `Quick controller_shift_arithmetic;
+          Alcotest.test_case "needs two servers" `Quick
+            controller_needs_two_servers_with_samples;
+          Alcotest.test_case "min weight floor" `Quick controller_respects_min_weight;
+          Alcotest.test_case "interval spacing" `Quick controller_interval_spacing;
+          Alcotest.test_case "relative threshold" `Quick controller_relative_threshold;
+          Alcotest.test_case "recovery" `Quick controller_recovery_pulls_to_uniform;
+          Alcotest.test_case "first action after" `Quick controller_first_action_after;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ controller_weight_simplex_qcheck ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "forwards and pins" `Quick balancer_forwards_and_pins;
+          Alcotest.test_case "affinity vs weight change" `Quick
+            balancer_affinity_survives_weight_change;
+          Alcotest.test_case "round robin" `Quick balancer_round_robin_cycles;
+          Alcotest.test_case "least conn" `Quick balancer_least_conn_prefers_idle;
+          Alcotest.test_case "fin releases" `Quick balancer_fin_releases_conn_gauge;
+          Alcotest.test_case "sweep evicts" `Quick balancer_sweep_evicts_idle_flows;
+          Alcotest.test_case "taps and hooks" `Quick balancer_taps_and_hooks_fire;
+          Alcotest.test_case "controller presence" `Quick
+            balancer_controller_only_for_latency_aware;
+          Alcotest.test_case "rejects empty pool" `Quick balancer_rejects_empty_pool;
+        ] );
+    ]

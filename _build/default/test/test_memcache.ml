@@ -1,0 +1,506 @@
+(* Tests for the memcached protocol, store, interference and server. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+module P = Memcache.Protocol
+
+(* --- Protocol encoding ---------------------------------------------------- *)
+
+let encode_get () =
+  check_str "get wire format" "get foo\r\n" (P.encode_request (P.Get { key = "foo" }))
+
+let encode_set () =
+  check_str "set wire format" "set k 7 0 3\r\nabc\r\n"
+    (P.encode_request (P.Set { key = "k"; flags = 7; exptime = 0; value = "abc" }))
+
+let encode_responses () =
+  check_str "value" "VALUE k 0 2\r\nhi\r\nEND\r\n"
+    (P.encode_response (P.Value { key = "k"; flags = 0; value = "hi" }));
+  check_str "miss" "END\r\n" (P.encode_response P.Miss);
+  check_str "stored" "STORED\r\n" (P.encode_response P.Stored);
+  check_str "error" "ERROR boom\r\n" (P.encode_response (P.Error "boom"))
+
+let request_key () =
+  check_str "get key" "a" (P.request_key (P.Get { key = "a" }));
+  check_str "set key" "b"
+    (P.request_key (P.Set { key = "b"; flags = 0; exptime = 0; value = "" }))
+
+(* --- Protocol parsing ------------------------------------------------------ *)
+
+let parse_one_get () =
+  let r = P.Reader.requests () in
+  match P.Reader.feed r "get foo\r\n" with
+  | Ok [ P.Get { key } ] -> check_str "key" "foo" key
+  | Ok l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_one_set () =
+  let r = P.Reader.requests () in
+  match P.Reader.feed r "set k 1 2 5\r\nhello\r\n" with
+  | Ok [ P.Set { key; flags; exptime; value } ] ->
+      check_str "key" "k" key;
+      check_int "flags" 1 flags;
+      check_int "exptime" 2 exptime;
+      check_str "value" "hello" value
+  | Ok l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_pipelined_requests () =
+  let r = P.Reader.requests () in
+  match P.Reader.feed r "get a\r\nget b\r\nset c 0 0 1\r\nx\r\n" with
+  | Ok [ P.Get { key = "a" }; P.Get { key = "b" }; P.Set { key = "c"; _ } ] -> ()
+  | Ok l -> Alcotest.failf "expected 3 requests, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_value_with_crlf_inside () =
+  (* Binary-safe values: the byte count, not CRLF scanning, delimits. *)
+  let r = P.Reader.requests () in
+  match P.Reader.feed r "set k 0 0 6\r\na\r\nb\rc\r\n" with
+  | Ok [ P.Set { value; _ } ] -> check_str "raw value" "a\r\nb\rc" value
+  | Ok l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_responses () =
+  let r = P.Reader.responses () in
+  match
+    P.Reader.feed r "VALUE k 0 2\r\nhi\r\nEND\r\nEND\r\nSTORED\r\nERROR x\r\n"
+  with
+  | Ok [ P.Value { value = "hi"; _ }; P.Miss; P.Stored; P.Error "x" ] -> ()
+  | Ok l -> Alcotest.failf "expected 4 responses, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let parse_bad_request_line () =
+  let r = P.Reader.requests () in
+  match P.Reader.feed r "frobnicate\r\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let parse_incremental_bytes () =
+  (* Feeding one byte at a time must produce the same messages. *)
+  let wire = "set k 0 0 5\r\nhello\r\nget j\r\n" in
+  let r = P.Reader.requests () in
+  let messages = ref [] in
+  String.iter
+    (fun c ->
+      match P.Reader.feed r (String.make 1 c) with
+      | Ok ms -> messages := !messages @ ms
+      | Error e -> Alcotest.fail e)
+    wire;
+  (match !messages with
+  | [ P.Set { value = "hello"; _ }; P.Get { key = "j" } ] -> ()
+  | l -> Alcotest.failf "got %d messages" (List.length l));
+  check_int "nothing buffered" 0 (P.Reader.buffered r)
+
+let roundtrip_request_qcheck =
+  let key_gen = QCheck.Gen.(map (fun s -> "k" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 20))) in
+  let req_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun key -> P.Get { key }) key_gen;
+          map3
+            (fun key flags value -> P.Set { key; flags; exptime = 0; value })
+            key_gen (int_bound 100)
+            (string_size ~gen:(char_range '!' '~') (int_range 0 200));
+        ])
+  in
+  QCheck.Test.make ~count:300 ~name:"request encode/parse roundtrip"
+    (QCheck.make req_gen) (fun req ->
+      let r = P.Reader.requests () in
+      match P.Reader.feed r (P.encode_request req) with
+      | Ok [ parsed ] -> parsed = req
+      | Ok _ | Error _ -> false)
+
+let roundtrip_chunked_qcheck =
+  QCheck.Test.make ~count:200
+    ~name:"response stream parses identically under any chunking"
+    QCheck.(pair (int_bound 10_000) (int_range 1 7))
+    (fun (seed, chunk_max) ->
+      let responses =
+        [
+          P.Value { key = "alpha"; flags = 3; value = String.make 40 'v' };
+          P.Miss;
+          P.Stored;
+          P.Value { key = "beta"; flags = 0; value = "x\r\ny" };
+        ]
+      in
+      let wire = String.concat "" (List.map P.encode_response responses) in
+      let rng = Des.Rng.create ~seed in
+      let r = P.Reader.responses () in
+      let parsed = ref [] in
+      let off = ref 0 in
+      let ok = ref true in
+      while !off < String.length wire do
+        let len =
+          Stdlib.min (1 + Des.Rng.int rng chunk_max) (String.length wire - !off)
+        in
+        (match P.Reader.feed r (String.sub wire !off len) with
+        | Ok ms -> parsed := !parsed @ ms
+        | Error _ -> ok := false);
+        off := !off + len
+      done;
+      !ok && !parsed = responses)
+
+let reader_fuzz_no_exception =
+  QCheck.Test.make ~count:500 ~name:"readers never raise on arbitrary bytes"
+    QCheck.(string_of_size Gen.(int_range 0 300))
+    (fun garbage ->
+      let req = P.Reader.requests () in
+      let resp = P.Reader.responses () in
+      let safe r =
+        match P.Reader.feed r garbage with Ok _ | Error _ -> true
+      in
+      safe req && safe resp)
+
+(* --- Store ------------------------------------------------------------------ *)
+
+let store_set_get () =
+  let s = Memcache.Store.create () in
+  check_bool "miss" true (Memcache.Store.get s ~key:"a" = None);
+  Memcache.Store.set s ~key:"a" ~flags:5 ~value:"v1";
+  check_bool "hit" true (Memcache.Store.get s ~key:"a" = Some (5, "v1"));
+  Memcache.Store.set s ~key:"a" ~flags:6 ~value:"longer";
+  check_bool "replaced" true (Memcache.Store.get s ~key:"a" = Some (6, "longer"));
+  check_int "size" 1 (Memcache.Store.size s);
+  check_int "bytes tracks replacement" 6 (Memcache.Store.bytes s)
+
+let store_preload () =
+  let s = Memcache.Store.create () in
+  Memcache.Store.preload s ~count:100 ~key_of:(Fmt.str "key-%d") ~value_size:32;
+  check_int "preloaded" 100 (Memcache.Store.size s);
+  check_int "bytes" 3200 (Memcache.Store.bytes s);
+  check_bool "sample key" true (Memcache.Store.get s ~key:"key-42" <> None)
+
+(* --- Interference ------------------------------------------------------------ *)
+
+let interference_none () =
+  let engine = Des.Engine.create () in
+  let i = Memcache.Interference.none engine in
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  check_int "never pauses" 0 (Memcache.Interference.extra_delay i);
+  check_int "count" 0 (Memcache.Interference.pauses_so_far i)
+
+let interference_periodic () =
+  let engine = Des.Engine.create () in
+  let rng = Des.Rng.create ~seed:1 in
+  let i =
+    Memcache.Interference.periodic engine ~rng
+      ~gap:(Stats.Dist.Constant 10.0e6)
+      ~duration:(Stats.Dist.Constant 3.0e6)
+  in
+  Des.Engine.run ~until:(Des.Time.ms 11) engine;
+  check_int "inside first pause" (Des.Time.ms 2)
+    (Memcache.Interference.extra_delay i);
+  Des.Engine.run ~until:(Des.Time.ms 14) engine;
+  check_int "pause over" 0 (Memcache.Interference.extra_delay i);
+  Des.Engine.run ~until:(Des.Time.ms 45) engine;
+  check_int "keeps pausing" 4 (Memcache.Interference.pauses_so_far i)
+
+(* --- Server over the network --------------------------------------------------- *)
+
+type rig = {
+  engine : Des.Engine.t;
+  server : Memcache.Server.t;
+  conn : Tcpsim.Conn.t;
+  responses : P.response list ref;
+}
+
+let make_rig ?config () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let vip = Netsim.Addr.v 2 11211 in
+  let rng = Des.Rng.create ~seed:3 in
+  let server =
+    Memcache.Server.create fabric ~host_ip:2 ~listen_addr:vip ?config ~rng ()
+  in
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:1 in
+  let mk () = Netsim.Link.create engine ~delay:(Des.Time.us 20) () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 (mk ());
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:1 (mk ());
+  let conn =
+    Tcpsim.Endpoint.connect client_ep ~local:(Netsim.Addr.v 1 9999) ~remote:vip ()
+  in
+  let responses = ref [] in
+  let reader = P.Reader.responses () in
+  Tcpsim.Conn.set_on_data conn (fun chunk ->
+      match P.Reader.feed reader chunk with
+      | Ok ms -> responses := !responses @ ms
+      | Error e -> Alcotest.fail e);
+  { engine; server; conn; responses }
+
+let server_serves_get_set () =
+  let rig = make_rig () in
+  Tcpsim.Conn.set_on_connect rig.conn (fun () ->
+      Tcpsim.Conn.send rig.conn
+        (P.encode_request (P.Set { key = "k"; flags = 1; exptime = 0; value = "vv" }));
+      Tcpsim.Conn.send rig.conn (P.encode_request (P.Get { key = "k" }));
+      Tcpsim.Conn.send rig.conn (P.encode_request (P.Get { key = "absent" })));
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  (match !(rig.responses) with
+  | [ P.Stored; P.Value { key = "k"; flags = 1; value = "vv" }; P.Miss ] -> ()
+  | l -> Alcotest.failf "unexpected responses (%d)" (List.length l));
+  check_int "gets counted" 2 (Memcache.Server.gets_served rig.server);
+  check_int "sets counted" 1 (Memcache.Server.sets_served rig.server);
+  check_int "total" 3 (Memcache.Server.requests_served rig.server)
+
+let server_responses_in_request_order () =
+  (* Even with several workers, one connection's pipeline must come back
+     in order (memcached semantics). *)
+  let config =
+    {
+      Memcache.Server.default_config with
+      workers = 8;
+      service_get = Stats.Dist.Uniform { lo = 10_000.0; hi = 500_000.0 };
+    }
+  in
+  let rig = make_rig ~config () in
+  Tcpsim.Conn.set_on_connect rig.conn (fun () ->
+      for i = 0 to 19 do
+        Tcpsim.Conn.send rig.conn
+          (P.encode_request
+             (P.Set { key = Fmt.str "k%d" i; flags = i; exptime = 0; value = "x" }))
+      done;
+      for i = 0 to 19 do
+        Tcpsim.Conn.send rig.conn (P.encode_request (P.Get { key = Fmt.str "k%d" i }))
+      done);
+  Des.Engine.run ~until:(Des.Time.sec 5) rig.engine;
+  let values =
+    List.filter_map
+      (function P.Value { flags; _ } -> Some flags | P.Miss | P.Stored | P.Error _ -> None)
+      !(rig.responses)
+  in
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i)) values
+
+let server_sojourn_recorded () =
+  let rig = make_rig () in
+  Tcpsim.Conn.set_on_connect rig.conn (fun () ->
+      Tcpsim.Conn.send rig.conn (P.encode_request (P.Get { key = "a" })));
+  Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+  let h = Memcache.Server.sojourn rig.server in
+  check_int "one sojourn sample" 1 (Stats.Histogram.count h);
+  check_bool "positive" true (Stats.Histogram.min_value h > 0)
+
+let server_interference_inflates_service () =
+  let engine_probe config =
+    let rig = make_rig ?config () in
+    Tcpsim.Conn.set_on_connect rig.conn (fun () ->
+        Tcpsim.Conn.send rig.conn (P.encode_request (P.Get { key = "a" })));
+    Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
+    Stats.Histogram.max_value (Memcache.Server.sojourn rig.server)
+  in
+  ignore engine_probe;
+  (* Build a server whose interference pauses everything for 5 ms right
+     away, then compare sojourn with the clean server. *)
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let vip = Netsim.Addr.v 2 11211 in
+  let rng = Des.Rng.create ~seed:4 in
+  let interference =
+    Memcache.Interference.periodic engine ~rng
+      ~gap:(Stats.Dist.Constant 10_000.0) (* a pause starts every 10 us *)
+      ~duration:(Stats.Dist.Constant 5.0e6)
+  in
+  let server =
+    Memcache.Server.create fabric ~host_ip:2 ~listen_addr:vip ~interference ~rng ()
+  in
+  ignore server;
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:1 in
+  let mk () = Netsim.Link.create engine ~delay:(Des.Time.us 20) () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 (mk ());
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:1 (mk ());
+  let conn =
+    Tcpsim.Endpoint.connect client_ep ~local:(Netsim.Addr.v 1 9999) ~remote:vip ()
+  in
+  let got_response_at = ref 0 in
+  Tcpsim.Conn.set_on_data conn (fun _ -> got_response_at := Des.Engine.now engine);
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn (P.encode_request (P.Get { key = "a" })));
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  check_bool "stall delayed the response past 5ms" true
+    (!got_response_at > Des.Time.ms 5)
+
+let server_parallel_connections_use_workers () =
+  (* Two connections issuing long requests simultaneously: with two
+     workers both are served concurrently — total time ~ one service. *)
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let vip = Netsim.Addr.v 2 11211 in
+  let rng = Des.Rng.create ~seed:5 in
+  let config =
+    {
+      Memcache.Server.default_config with
+      workers = 2;
+      service_get = Stats.Dist.Constant 10_000_000.0 (* 10 ms *);
+    }
+  in
+  let server =
+    Memcache.Server.create fabric ~host_ip:2 ~listen_addr:vip ~config ~rng ()
+  in
+  ignore server;
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:1 in
+  let mk () = Netsim.Link.create engine ~delay:(Des.Time.us 20) () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 (mk ());
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:1 (mk ());
+  let finished = ref [] in
+  let start port =
+    let conn =
+      Tcpsim.Endpoint.connect client_ep ~local:(Netsim.Addr.v 1 port) ~remote:vip ()
+    in
+    Tcpsim.Conn.set_on_data conn (fun _ ->
+        finished := Des.Engine.now engine :: !finished);
+    Tcpsim.Conn.set_on_connect conn (fun () ->
+        Tcpsim.Conn.send conn (P.encode_request (P.Get { key = "a" })))
+  in
+  start 9001;
+  start 9002;
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  check_int "both served" 2 (List.length !finished);
+  List.iter
+    (fun at -> check_bool "served in parallel (~10ms, not ~20ms)" true (at < Des.Time.ms 15))
+    !finished
+
+(* --- Frontend (dependent server) ---------------------------------------- *)
+
+(* Client -> frontend -> backend chain over real links. *)
+let frontend_rig ~dependency_ratio =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let rng = Des.Rng.create ~seed:8 in
+  let fe_addr = Netsim.Addr.v 2 11211 in
+  let be_addr = Netsim.Addr.v 3 11311 in
+  let backend =
+    Memcache.Server.create fabric ~host_ip:3 ~listen_addr:be_addr
+      ~rng:(Des.Rng.split rng ~label:"be") ()
+  in
+  Memcache.Store.set (Memcache.Server.store backend) ~key:"k" ~flags:7
+    ~value:"from-backend";
+  let frontend =
+    Memcache.Frontend.create fabric ~host_ip:2 ~listen_addr:fe_addr
+      ~upstream:be_addr
+      ~config:{ Memcache.Frontend.default_config with dependency_ratio }
+      ~rng:(Des.Rng.split rng ~label:"fe") ()
+  in
+  Memcache.Store.set (Memcache.Frontend.store frontend) ~key:"k" ~flags:1
+    ~value:"from-frontend";
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:1 in
+  let mk () = Netsim.Link.create engine ~delay:(Des.Time.us 20) () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 (mk ());
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:1 (mk ());
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:3 (mk ());
+  Netsim.Fabric.add_link fabric ~src:3 ~dst:2 (mk ());
+  let conn =
+    Tcpsim.Endpoint.connect client_ep ~local:(Netsim.Addr.v 1 7000)
+      ~remote:fe_addr ()
+  in
+  let responses = ref [] in
+  let reader = P.Reader.responses () in
+  Tcpsim.Conn.set_on_data conn (fun chunk ->
+      match P.Reader.feed reader chunk with
+      | Ok ms -> responses := !responses @ ms
+      | Error e -> Alcotest.fail e);
+  (engine, frontend, conn, responses)
+
+let frontend_forwards_to_backend () =
+  let engine, frontend, conn, responses = frontend_rig ~dependency_ratio:1.0 in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn (P.encode_request (P.Get { key = "k" })));
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  (match !responses with
+  | [ P.Value { value; flags; _ } ] ->
+      check_str "backend value wins" "from-backend" value;
+      check_int "backend flags" 7 flags
+  | l -> Alcotest.failf "unexpected responses (%d)" (List.length l));
+  check_int "one upstream call" 1 (Memcache.Frontend.upstream_calls frontend);
+  check_int "served" 1 (Memcache.Frontend.requests_served frontend);
+  check_int "nothing outstanding" 0
+    (Memcache.Frontend.upstream_outstanding frontend)
+
+let frontend_serves_locally_without_dependency () =
+  let engine, frontend, conn, responses = frontend_rig ~dependency_ratio:0.0 in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn (P.encode_request (P.Get { key = "k" })));
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  (match !responses with
+  | [ P.Value { value; _ } ] -> check_str "local value" "from-frontend" value
+  | l -> Alcotest.failf "unexpected responses (%d)" (List.length l));
+  check_int "no upstream calls" 0 (Memcache.Frontend.upstream_calls frontend)
+
+let frontend_pipelines_in_order () =
+  let engine, _frontend, conn, responses = frontend_rig ~dependency_ratio:1.0 in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      for i = 0 to 9 do
+        Tcpsim.Conn.send conn
+          (P.encode_request
+             (P.Set { key = Fmt.str "p%d" i; flags = i; exptime = 0; value = "v" }))
+      done;
+      for i = 0 to 9 do
+        Tcpsim.Conn.send conn (P.encode_request (P.Get { key = Fmt.str "p%d" i }))
+      done);
+  Des.Engine.run ~until:(Des.Time.sec 2) engine;
+  let flags =
+    List.filter_map
+      (function P.Value { flags; _ } -> Some flags | P.Miss | P.Stored | P.Error _ -> None)
+      !responses
+  in
+  Alcotest.(check (list int)) "responses in request order"
+    (List.init 10 (fun i -> i))
+    flags
+
+let () =
+  Alcotest.run "memcache"
+    [
+      ( "encode",
+        [
+          Alcotest.test_case "get" `Quick encode_get;
+          Alcotest.test_case "set" `Quick encode_set;
+          Alcotest.test_case "responses" `Quick encode_responses;
+          Alcotest.test_case "request_key" `Quick request_key;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "one get" `Quick parse_one_get;
+          Alcotest.test_case "one set" `Quick parse_one_set;
+          Alcotest.test_case "pipelined" `Quick parse_pipelined_requests;
+          Alcotest.test_case "binary-safe value" `Quick parse_value_with_crlf_inside;
+          Alcotest.test_case "responses" `Quick parse_responses;
+          Alcotest.test_case "bad line" `Quick parse_bad_request_line;
+          Alcotest.test_case "byte-by-byte" `Quick parse_incremental_bytes;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              roundtrip_request_qcheck;
+              roundtrip_chunked_qcheck;
+              reader_fuzz_no_exception;
+            ] );
+      ( "store",
+        [
+          Alcotest.test_case "set/get" `Quick store_set_get;
+          Alcotest.test_case "preload" `Quick store_preload;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "none" `Quick interference_none;
+          Alcotest.test_case "periodic" `Quick interference_periodic;
+        ] );
+      ( "frontend",
+        [
+          Alcotest.test_case "forwards to backend" `Quick
+            frontend_forwards_to_backend;
+          Alcotest.test_case "serves locally" `Quick
+            frontend_serves_locally_without_dependency;
+          Alcotest.test_case "pipeline order" `Quick frontend_pipelines_in_order;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "get/set over tcp" `Quick server_serves_get_set;
+          Alcotest.test_case "pipeline order" `Quick
+            server_responses_in_request_order;
+          Alcotest.test_case "sojourn recorded" `Quick server_sojourn_recorded;
+          Alcotest.test_case "interference inflates" `Quick
+            server_interference_inflates_service;
+          Alcotest.test_case "parallel workers" `Quick
+            server_parallel_connections_use_workers;
+        ] );
+    ]

@@ -1,0 +1,352 @@
+(* Tests for the network substrate: addresses, flow keys, packets,
+   links and the fabric. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let addr a b = Netsim.Addr.v a b
+
+let mk_packet ?(src = addr 100 10000) ?(dst = addr 1 11211) ?(seq = 0)
+    ?(ack = 0) ?(flags = Netsim.Packet.flag_ack) ?(payload = "") () =
+  Netsim.Packet.make ~src ~dst ~seq ~ack ~flags ~payload
+
+(* --- Addr / Flow_key ---------------------------------------------------- *)
+
+let addr_basics () =
+  let a = addr 10 80 in
+  check_int "ip" 10 (Netsim.Addr.ip a);
+  check_int "port" 80 (Netsim.Addr.port a);
+  check_bool "equal" true (Netsim.Addr.equal a (addr 10 80));
+  check_bool "not equal" false (Netsim.Addr.equal a (addr 10 81));
+  check_bool "compare orders by ip first" true
+    (Netsim.Addr.compare (addr 1 9999) (addr 2 0) < 0);
+  Alcotest.(check string) "pp" "10:80" (Fmt.str "%a" Netsim.Addr.pp a)
+
+let flow_key_basics () =
+  let k1 = Netsim.Flow_key.v ~src:(addr 100 1) ~dst:(addr 1 2) in
+  let k2 = Netsim.Flow_key.v ~src:(addr 100 1) ~dst:(addr 1 2) in
+  let k3 = Netsim.Flow_key.v ~src:(addr 1 2) ~dst:(addr 100 1) in
+  check_bool "equal" true (Netsim.Flow_key.equal k1 k2);
+  check_bool "direction matters" false (Netsim.Flow_key.equal k1 k3);
+  check_int "equal keys hash equal" (Netsim.Flow_key.hash k1)
+    (Netsim.Flow_key.hash k2);
+  check_bool "hash non-negative" true (Netsim.Flow_key.hash k3 >= 0)
+
+let flow_key_hash_spreads () =
+  (* Sequential ports must not collide into few hash values mod a small
+     table — this is what Maglev consumes. *)
+  let seen = Hashtbl.create 64 in
+  for port = 10_000 to 10_999 do
+    let k = Netsim.Flow_key.v ~src:(addr 100 port) ~dst:(addr 1 11211) in
+    Hashtbl.replace seen (Netsim.Flow_key.hash k mod 101) ()
+  done;
+  check_bool "covers most of a 101-slot table" true (Hashtbl.length seen > 90)
+
+let flow_key_table () =
+  let module T = Netsim.Flow_key.Table in
+  let t = T.create 16 in
+  let k1 = Netsim.Flow_key.v ~src:(addr 100 1) ~dst:(addr 1 2) in
+  T.add t k1 "x";
+  check_bool "found" true
+    (T.find_opt t (Netsim.Flow_key.v ~src:(addr 100 1) ~dst:(addr 1 2))
+    = Some "x");
+  T.remove t k1;
+  check_int "removed" 0 (T.length t)
+
+(* --- Packet ------------------------------------------------------------- *)
+
+let packet_wire_size () =
+  let p = mk_packet ~payload:"hello" () in
+  check_int "wire size" (Netsim.Packet.header_bytes + 5)
+    (Netsim.Packet.wire_size p);
+  check_int "payload len" 5 (Netsim.Packet.payload_len p)
+
+let packet_pure_ack () =
+  check_bool "pure ack" true (Netsim.Packet.is_pure_ack (mk_packet ()));
+  check_bool "data is not pure ack" false
+    (Netsim.Packet.is_pure_ack (mk_packet ~payload:"x" ()));
+  check_bool "syn is not pure ack" false
+    (Netsim.Packet.is_pure_ack (mk_packet ~flags:Netsim.Packet.flag_syn_ack ()));
+  check_bool "fin is not pure ack" false
+    (Netsim.Packet.is_pure_ack (mk_packet ~flags:Netsim.Packet.flag_fin_ack ()))
+
+let packet_ids_unique () =
+  let a = mk_packet () and b = mk_packet () in
+  check_bool "fresh ids" true (a.Netsim.Packet.id <> b.Netsim.Packet.id)
+
+let packet_flow () =
+  let p = mk_packet () in
+  let k = Netsim.Packet.flow p in
+  check_bool "flow src" true (Netsim.Addr.equal k.Netsim.Flow_key.src (addr 100 10000));
+  check_bool "flow dst" true (Netsim.Addr.equal k.Netsim.Flow_key.dst (addr 1 11211))
+
+(* --- Link --------------------------------------------------------------- *)
+
+let with_link ?rate_bps ?queue_capacity ?loss_prob ?jitter ?rng ~delay f =
+  let engine = Des.Engine.create () in
+  let link =
+    Netsim.Link.create engine ~delay ?rate_bps ?queue_capacity ?loss_prob
+      ?jitter ?rng ()
+  in
+  let arrivals = ref [] in
+  Netsim.Link.connect link (fun pkt ->
+      arrivals := (Des.Engine.now engine, pkt) :: !arrivals);
+  f engine link (fun () -> List.rev !arrivals)
+
+let link_delivers_after_delay () =
+  with_link ~delay:(Des.Time.us 50) ~rate_bps:0 (fun engine link arrivals ->
+      Netsim.Link.send link (mk_packet ());
+      Des.Engine.run engine;
+      match arrivals () with
+      | [ (at, _) ] -> check_int "prop delay only" (Des.Time.us 50) at
+      | l -> Alcotest.failf "expected 1 arrival, got %d" (List.length l))
+
+let link_serialization_delay () =
+  (* 1000-byte payload + 54B headers at 1 Gb/s = 8.432 us of tx time. *)
+  with_link ~delay:(Des.Time.us 10) ~rate_bps:1_000_000_000
+    (fun engine link arrivals ->
+      Netsim.Link.send link (mk_packet ~payload:(String.make 1000 'x') ());
+      Des.Engine.run engine;
+      match arrivals () with
+      | [ (at, _) ] -> check_int "tx + prop" (8_432 + Des.Time.us 10) at
+      | l -> Alcotest.failf "expected 1 arrival, got %d" (List.length l))
+
+let link_fifo_order () =
+  with_link ~delay:(Des.Time.us 5) ~rate_bps:1_000_000_000
+    (fun engine link arrivals ->
+      let p1 = mk_packet ~payload:"aaaa" () in
+      let p2 = mk_packet ~payload:"bb" () in
+      Netsim.Link.send link p1;
+      Netsim.Link.send link p2;
+      Des.Engine.run engine;
+      match arrivals () with
+      | [ (_, q1); (_, q2) ] ->
+          check_int "first in first out" p1.Netsim.Packet.id q1.Netsim.Packet.id;
+          check_int "second" p2.Netsim.Packet.id q2.Netsim.Packet.id
+      | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l))
+
+let link_queue_overflow_drops () =
+  with_link ~delay:(Des.Time.us 5) ~rate_bps:1_000_000 ~queue_capacity:2
+    (fun engine link arrivals ->
+      for _ = 1 to 10 do
+        Netsim.Link.send link (mk_packet ~payload:"pppp" ())
+      done;
+      Des.Engine.run engine;
+      (* One in transmission + 2 queued; 7 dropped. *)
+      check_int "drops" 7 (Netsim.Link.drops link);
+      check_int "delivered" 3 (List.length (arrivals ()));
+      check_int "packets_sent counter" 3 (Netsim.Link.packets_sent link))
+
+let link_random_loss () =
+  let rng = Des.Rng.create ~seed:9 in
+  with_link ~delay:(Des.Time.us 1) ~loss_prob:0.5 ~rng (fun engine link arrivals ->
+      for _ = 1 to 1000 do
+        Netsim.Link.send link (mk_packet ())
+      done;
+      Des.Engine.run engine;
+      let delivered = List.length (arrivals ()) in
+      check_int "deliveries + drops = sends" 1000
+        (delivered + Netsim.Link.drops link);
+      check_bool "roughly half lost" true (delivered > 400 && delivered < 600))
+
+let link_extra_delay_injection () =
+  with_link ~delay:(Des.Time.us 10) ~rate_bps:0 (fun engine link arrivals ->
+      Netsim.Link.send link (mk_packet ());
+      ignore
+        (Des.Engine.schedule engine ~at:(Des.Time.ms 1) (fun () ->
+             Netsim.Link.set_extra_delay link (Des.Time.ms 1);
+             Netsim.Link.send link (mk_packet ())));
+      Des.Engine.run engine;
+      match arrivals () with
+      | [ (t1, _); (t2, _) ] ->
+          check_int "first without extra" (Des.Time.us 10) t1;
+          check_int "second with extra"
+            (Des.Time.ms 1 + Des.Time.ms 1 + Des.Time.us 10)
+            t2;
+          check_int "extra_delay getter" (Des.Time.ms 1)
+            (Netsim.Link.extra_delay link)
+      | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l))
+
+let link_bytes_counted () =
+  with_link ~delay:(Des.Time.us 1) (fun engine link _ ->
+      let p = mk_packet ~payload:"12345" () in
+      Netsim.Link.send link p;
+      Des.Engine.run engine;
+      check_int "bytes" (Netsim.Packet.wire_size p) (Netsim.Link.bytes_sent link))
+
+let link_requires_connection () =
+  let engine = Des.Engine.create () in
+  let link = Netsim.Link.create engine ~delay:(Des.Time.us 1) () in
+  Alcotest.check_raises "send before connect"
+    (Invalid_argument "Link.send: not connected") (fun () ->
+      Netsim.Link.send link (mk_packet ()))
+
+let link_bad_config () =
+  let engine = Des.Engine.create () in
+  Alcotest.check_raises "loss without rng"
+    (Invalid_argument "Link.create: loss/jitter require an rng") (fun () ->
+      ignore (Netsim.Link.create engine ~delay:1 ~loss_prob:0.1 ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Link.create: negative delay") (fun () ->
+      ignore (Netsim.Link.create engine ~delay:(-1) ()))
+
+let link_conservation_qcheck =
+  QCheck.Test.make ~count:50
+    ~name:"link conserves packets: delivered + dropped = sent"
+    QCheck.(triple (int_range 1 500) (int_range 0 80) (int_bound 10_000))
+    (fun (n, loss_pct, seed) ->
+      let engine = Des.Engine.create () in
+      let rng = Des.Rng.create ~seed in
+      let link =
+        Netsim.Link.create engine ~delay:(Des.Time.us 5) ~queue_capacity:32
+          ~loss_prob:(float_of_int loss_pct /. 100.0)
+          ~rng ()
+      in
+      let delivered = ref 0 in
+      Netsim.Link.connect link (fun _ -> incr delivered);
+      for _ = 1 to n do
+        Netsim.Link.send link (mk_packet ())
+      done;
+      Des.Engine.run engine;
+      !delivered + Netsim.Link.drops link = n
+      && !delivered = Netsim.Link.packets_sent link)
+
+(* --- Fabric ------------------------------------------------------------- *)
+
+let fabric_routes_by_next_hop () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let got_at_2 = ref 0 and got_at_3 = ref 0 in
+  Netsim.Fabric.register fabric ~ip:2 (fun _ -> incr got_at_2);
+  Netsim.Fabric.register fabric ~ip:3 (fun _ -> incr got_at_3);
+  let mk () = Netsim.Link.create engine ~delay:(Des.Time.us 1) () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 (mk ());
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:3 (mk ());
+  Netsim.Fabric.register fabric ~ip:1 (fun _ -> ());
+  (* Default next hop = destination ip. *)
+  Netsim.Fabric.send fabric ~from:1 (mk_packet ~src:(addr 1 1) ~dst:(addr 2 1) ());
+  (* Explicit next hop overrides (DSR forwarding): dst says 2, carry to 3. *)
+  Netsim.Fabric.send fabric ~from:1 ~next_hop:3
+    (mk_packet ~src:(addr 1 1) ~dst:(addr 2 1) ());
+  Des.Engine.run engine;
+  check_int "default hop" 1 !got_at_2;
+  check_int "explicit hop" 1 !got_at_3
+
+let fabric_errors () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  Netsim.Fabric.register fabric ~ip:2 (fun _ -> ());
+  Alcotest.check_raises "reserved ip"
+    (Invalid_argument "Fabric.register: ip 0 is reserved") (fun () ->
+      Netsim.Fabric.register fabric ~ip:0 (fun _ -> ()));
+  Alcotest.check_raises "duplicate ip"
+    (Invalid_argument "Fabric.register: ip 2 already registered") (fun () ->
+      Netsim.Fabric.register fabric ~ip:2 (fun _ -> ()));
+  Alcotest.check_raises "link to unregistered host"
+    (Invalid_argument "Fabric.add_link: destination 9 not registered")
+    (fun () ->
+      Netsim.Fabric.add_link fabric ~src:2 ~dst:9
+        (Netsim.Link.create engine ~delay:1 ()))
+
+let fabric_replace_handler () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let first = ref 0 and second = ref 0 in
+  Netsim.Fabric.register fabric ~ip:2 (fun _ -> incr first);
+  Netsim.Fabric.register fabric ~ip:1 (fun _ -> ());
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2
+    (Netsim.Link.create engine ~delay:1 ());
+  Netsim.Fabric.replace_handler fabric ~ip:2 (fun _ -> incr second);
+  Netsim.Fabric.send fabric ~from:1 (mk_packet ~src:(addr 1 1) ~dst:(addr 2 1) ());
+  Des.Engine.run engine;
+  check_int "old handler not called" 0 !first;
+  check_int "new handler called" 1 !second
+
+let fabric_missing_link () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  Netsim.Fabric.register fabric ~ip:1 (fun _ -> ());
+  check_bool "send raises" true
+    (try
+       Netsim.Fabric.send fabric ~from:1
+         (mk_packet ~src:(addr 1 1) ~dst:(addr 2 1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let fabric_link_between () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  Netsim.Fabric.register fabric ~ip:2 (fun _ -> ());
+  let link = Netsim.Link.create engine ~delay:1 () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 link;
+  check_bool "found" true (Netsim.Fabric.link_between fabric ~src:1 ~dst:2 == link);
+  check_bool "absent" true
+    (try
+       ignore (Netsim.Fabric.link_between fabric ~src:2 ~dst:1);
+       false
+     with Not_found -> true)
+
+(* --- Trace -------------------------------------------------------------- *)
+
+let trace_records () =
+  let engine = Des.Engine.create () in
+  let trace = Netsim.Trace.create engine in
+  ignore
+    (Des.Engine.schedule engine ~at:(Des.Time.us 7) (fun () ->
+         Netsim.Trace.tap trace (mk_packet ~payload:"ab" ())));
+  Des.Engine.run engine;
+  check_int "length" 1 (Netsim.Trace.length trace);
+  (match Netsim.Trace.entries trace with
+  | [ e ] ->
+      check_int "timestamp" (Des.Time.us 7) e.Netsim.Trace.at;
+      check_int "payload" 2 e.Netsim.Trace.payload_len;
+      check_bool "not pure ack" true (not e.Netsim.Trace.pure_ack)
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
+  let csv = Netsim.Trace.to_csv trace in
+  check_bool "csv has header" true
+    (String.length csv > 0 && String.sub csv 0 4 = "t_ns");
+  Netsim.Trace.clear trace;
+  check_int "cleared" 0 (Netsim.Trace.length trace)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "basics" `Quick addr_basics;
+          Alcotest.test_case "flow key" `Quick flow_key_basics;
+          Alcotest.test_case "hash spreads" `Quick flow_key_hash_spreads;
+          Alcotest.test_case "flow table" `Quick flow_key_table;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "wire size" `Quick packet_wire_size;
+          Alcotest.test_case "pure ack" `Quick packet_pure_ack;
+          Alcotest.test_case "unique ids" `Quick packet_ids_unique;
+          Alcotest.test_case "flow" `Quick packet_flow;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivers after delay" `Quick
+            link_delivers_after_delay;
+          Alcotest.test_case "serialization" `Quick link_serialization_delay;
+          Alcotest.test_case "fifo" `Quick link_fifo_order;
+          Alcotest.test_case "queue overflow" `Quick link_queue_overflow_drops;
+          Alcotest.test_case "random loss" `Quick link_random_loss;
+          Alcotest.test_case "extra delay injection" `Quick
+            link_extra_delay_injection;
+          Alcotest.test_case "bytes counted" `Quick link_bytes_counted;
+          Alcotest.test_case "requires connection" `Quick link_requires_connection;
+          Alcotest.test_case "bad config" `Quick link_bad_config;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ link_conservation_qcheck ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "routes by next hop" `Quick fabric_routes_by_next_hop;
+          Alcotest.test_case "errors" `Quick fabric_errors;
+          Alcotest.test_case "replace handler" `Quick fabric_replace_handler;
+          Alcotest.test_case "missing link" `Quick fabric_missing_link;
+          Alcotest.test_case "link_between" `Quick fabric_link_between;
+        ] );
+      ("trace", [ Alcotest.test_case "records" `Quick trace_records ]);
+    ]

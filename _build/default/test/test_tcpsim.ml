@@ -1,0 +1,472 @@
+(* Tests for the miniature TCP: handshake, transfer, retransmission,
+   ACK policies, teardown. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Rto ----------------------------------------------------------------- *)
+
+let rto_initial () =
+  let r = Tcpsim.Rto.create () in
+  check_int "initial" (Des.Time.ms 10) (Tcpsim.Rto.current r);
+  check_bool "no srtt yet" true (Tcpsim.Rto.srtt r = None)
+
+let rto_first_sample () =
+  let r = Tcpsim.Rto.create () in
+  Tcpsim.Rto.observe r (Des.Time.ms 4);
+  check_int "srtt is the sample" (Des.Time.ms 4)
+    (Option.get (Tcpsim.Rto.srtt r));
+  (* rto = srtt + 4 * rttvar = 4ms + 4*2ms = 12ms. *)
+  check_int "rto after first sample" (Des.Time.ms 12) (Tcpsim.Rto.current r)
+
+let rto_smoothing () =
+  let r = Tcpsim.Rto.create () in
+  Tcpsim.Rto.observe r (Des.Time.ms 4);
+  Tcpsim.Rto.observe r (Des.Time.ms 4);
+  (* rttvar = 0.75*2ms + 0.25*0 = 1.5ms; srtt stays 4ms; rto = 10ms. *)
+  check_int "rto tightens" (Des.Time.ms 10) (Tcpsim.Rto.current r);
+  check_int "samples" 2 (Tcpsim.Rto.samples r)
+
+let rto_backoff_and_reset () =
+  let r = Tcpsim.Rto.create ~min_rto:(Des.Time.ms 1) ~max_rto:(Des.Time.ms 100) () in
+  Tcpsim.Rto.observe r (Des.Time.ms 2);
+  let base = Tcpsim.Rto.current r in
+  Tcpsim.Rto.backoff r;
+  check_int "doubled" (2 * base) (Tcpsim.Rto.current r);
+  Tcpsim.Rto.backoff r;
+  check_int "doubled again" (4 * base) (Tcpsim.Rto.current r);
+  Tcpsim.Rto.observe r (Des.Time.ms 2);
+  (* The factor resets; the base itself tightened (rttvar decayed):
+     srtt 2ms + 4 * 0.75ms = 5ms. *)
+  check_int "sample resets backoff" (Des.Time.ms 5) (Tcpsim.Rto.current r)
+
+let rto_bounds () =
+  let r = Tcpsim.Rto.create ~min_rto:(Des.Time.ms 5) ~max_rto:(Des.Time.ms 20) () in
+  Tcpsim.Rto.observe r (Des.Time.us 10);
+  check_int "floor" (Des.Time.ms 5) (Tcpsim.Rto.current r);
+  for _ = 1 to 10 do
+    Tcpsim.Rto.backoff r
+  done;
+  check_bool "ceiling" true (Tcpsim.Rto.current r <= Des.Time.ms 20)
+
+(* --- Reassembly ---------------------------------------------------------- *)
+
+let reasm_in_order () =
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:100 in
+  Alcotest.(check string) "delivers" "abc" (Tcpsim.Reassembly.insert r ~seq:100 "abc");
+  check_int "advances" 103 (Tcpsim.Reassembly.rcv_nxt r)
+
+let reasm_out_of_order () =
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  Alcotest.(check string) "gap holds delivery" ""
+    (Tcpsim.Reassembly.insert r ~seq:3 "def");
+  check_int "pending" 3 (Tcpsim.Reassembly.pending r);
+  Alcotest.(check string) "fill releases both" "abcdef"
+    (Tcpsim.Reassembly.insert r ~seq:0 "abc");
+  check_int "nothing pending" 0 (Tcpsim.Reassembly.pending r);
+  check_int "rcv_nxt" 6 (Tcpsim.Reassembly.rcv_nxt r)
+
+let reasm_duplicate () =
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  ignore (Tcpsim.Reassembly.insert r ~seq:0 "abc");
+  Alcotest.(check string) "full duplicate ignored" ""
+    (Tcpsim.Reassembly.insert r ~seq:0 "abc");
+  Alcotest.(check string) "partial overlap trimmed" "de"
+    (Tcpsim.Reassembly.insert r ~seq:1 "bcde")
+
+let reasm_overlapping_ooo () =
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  ignore (Tcpsim.Reassembly.insert r ~seq:5 "fg");
+  ignore (Tcpsim.Reassembly.insert r ~seq:5 "fgh") (* longer wins *);
+  Alcotest.(check string) "drains the longer one" "abcdefgh"
+    (Tcpsim.Reassembly.insert r ~seq:0 "abcde")
+
+let reasm_qcheck_stream =
+  QCheck.Test.make ~count:200
+    ~name:"any segment arrival order reassembles the stream"
+    QCheck.(pair (string_of_size Gen.(int_range 1 200)) (int_bound 1000))
+    (fun (payload, seed) ->
+      (* Cut into segments, shuffle, insert; must reproduce the input. *)
+      let rng = Des.Rng.create ~seed in
+      let segments = ref [] in
+      let off = ref 0 in
+      while !off < String.length payload do
+        let len =
+          Stdlib.min (1 + Des.Rng.int rng 7) (String.length payload - !off)
+        in
+        segments := (!off, String.sub payload !off len) :: !segments;
+        off := !off + len
+      done;
+      let arr = Array.of_list !segments in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Des.Rng.int rng (i + 1) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+      let out = Buffer.create 64 in
+      Array.iter
+        (fun (seq, data) ->
+          Buffer.add_string out (Tcpsim.Reassembly.insert r ~seq data))
+        arr;
+      Buffer.contents out = payload)
+
+(* --- Connection harness --------------------------------------------------- *)
+
+type world = {
+  engine : Des.Engine.t;
+  client_ep : Tcpsim.Endpoint.t;
+  server_ep : Tcpsim.Endpoint.t;
+  c2s : Netsim.Link.t;
+  s2c : Netsim.Link.t;
+}
+
+let make_world ?(delay = Des.Time.us 50) ?loss_prob ?seed () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let client_ep = Tcpsim.Endpoint.create fabric ~host_ip:1 in
+  let server_ep = Tcpsim.Endpoint.create fabric ~host_ip:2 in
+  let rng =
+    match seed with Some s -> Some (Des.Rng.create ~seed:s) | None -> None
+  in
+  let mk () = Netsim.Link.create engine ~delay ?loss_prob ?rng () in
+  let c2s = mk () and s2c = mk () in
+  Netsim.Fabric.add_link fabric ~src:1 ~dst:2 c2s;
+  Netsim.Fabric.add_link fabric ~src:2 ~dst:1 s2c;
+  { engine; client_ep; server_ep; c2s; s2c }
+
+let server_addr = Netsim.Addr.v 2 80
+let client_addr = Netsim.Addr.v 1 5000
+
+let echo_server ?config w =
+  Tcpsim.Endpoint.listen w.server_ep ~addr:server_addr ?config (fun conn ->
+      Tcpsim.Conn.set_on_data conn (fun s -> Tcpsim.Conn.send conn s);
+      Tcpsim.Conn.set_on_eof conn (fun () -> Tcpsim.Conn.close conn))
+
+let sink_server ?config w received =
+  Tcpsim.Endpoint.listen w.server_ep ~addr:server_addr ?config (fun conn ->
+      Tcpsim.Conn.set_on_data conn (fun s -> Buffer.add_string received s);
+      Tcpsim.Conn.set_on_eof conn (fun () -> Tcpsim.Conn.close conn))
+
+(* --- Handshake / transfer -------------------------------------------------- *)
+
+let handshake_completes () =
+  let w = make_world () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  let connected_at = ref (-1) in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      connected_at := Des.Engine.now w.engine);
+  check_bool "starts in Syn_sent" true (Tcpsim.Conn.state conn = Tcpsim.Conn.Syn_sent);
+  Des.Engine.run ~until:(Des.Time.ms 10) w.engine;
+  check_bool "established" true (Tcpsim.Conn.state conn = Tcpsim.Conn.Established);
+  (* SYN out 50us, SYN-ACK back 50us (plus tiny tx). *)
+  check_bool "connected after one RTT" true
+    (!connected_at >= Des.Time.us 100 && !connected_at < Des.Time.us 120)
+
+let echo_roundtrip () =
+  let w = make_world () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  let echoed = Buffer.create 16 in
+  Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn "hello world");
+  Tcpsim.Conn.set_on_data conn (fun s -> Buffer.add_string echoed s);
+  Des.Engine.run ~until:(Des.Time.ms 50) w.engine;
+  Alcotest.(check string) "echoed back" "hello world" (Buffer.contents echoed)
+
+let large_transfer_segmented () =
+  let w = make_world () in
+  let received = Buffer.create 65536 in
+  sink_server w received;
+  let payload = String.init 50_000 (fun i -> Char.chr (i mod 251)) in
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn payload;
+      Tcpsim.Conn.close conn);
+  Des.Engine.run ~until:(Des.Time.sec 2) w.engine;
+  check_bool "byte-identical" true (Buffer.contents received = payload);
+  check_int "acked all app bytes" 50_000 (Tcpsim.Conn.bytes_sent conn)
+
+let window_limits_inflight () =
+  let w = make_world ~delay:(Des.Time.ms 2) () in
+  let received = Buffer.create 65536 in
+  sink_server w received;
+  let config = { Tcpsim.Conn.default_config with window = 4096; mss = 1000 } in
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~config ~local:client_addr
+      ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn (String.make 20_000 'z'));
+  (* Connect completes at ~4ms (2ms links); the first burst goes out
+     then, and no ACK returns before ~8ms: exactly window bytes leave. *)
+  Des.Engine.run ~until:(Des.Time.ms 6) w.engine;
+  check_int "only window bytes sent" (20_000 - 4096)
+    (Tcpsim.Conn.send_queue_len conn);
+  Des.Engine.run ~until:(Des.Time.sec 2) w.engine;
+  check_int "eventually all delivered" 20_000 (Buffer.length received)
+
+let bidirectional_transfer () =
+  let w = make_world () in
+  Tcpsim.Endpoint.listen w.server_ep ~addr:server_addr (fun conn ->
+      Tcpsim.Conn.set_on_connect conn (fun () -> ());
+      Tcpsim.Conn.send conn "from-server";
+      Tcpsim.Conn.set_on_data conn (fun _ -> ()));
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  let got = Buffer.create 16 in
+  Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn "from-client");
+  Tcpsim.Conn.set_on_data conn (fun s -> Buffer.add_string got s);
+  Des.Engine.run ~until:(Des.Time.ms 50) w.engine;
+  Alcotest.(check string) "server push delivered" "from-server"
+    (Buffer.contents got)
+
+(* --- Teardown --------------------------------------------------------------- *)
+
+let clean_close_both_sides () =
+  let w = make_world () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  let closed = ref false in
+  Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn "x");
+  Tcpsim.Conn.set_on_data conn (fun _ -> Tcpsim.Conn.close conn);
+  Tcpsim.Conn.set_on_close conn (fun () -> closed := true);
+  Des.Engine.run ~until:(Des.Time.sec 1) w.engine;
+  check_bool "client closed" true !closed;
+  check_int "client table empty" 0
+    (Tcpsim.Endpoint.active_connections w.client_ep);
+  check_int "server table empty" 0
+    (Tcpsim.Endpoint.active_connections w.server_ep);
+  check_int "no strays" 0 (Tcpsim.Endpoint.stray_packets w.client_ep)
+
+let close_flushes_pending_data () =
+  let w = make_world () in
+  let received = Buffer.create 16 in
+  sink_server w received;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn (String.make 10_000 'q');
+      Tcpsim.Conn.close conn);
+  Des.Engine.run ~until:(Des.Time.sec 1) w.engine;
+  check_int "fin did not cut data" 10_000 (Buffer.length received);
+  check_bool "closed" true (Tcpsim.Conn.state conn = Tcpsim.Conn.Closed)
+
+let send_after_close_rejected () =
+  let w = make_world () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.close conn;
+  check_bool "send after close raises" true
+    (try
+       Tcpsim.Conn.send conn "nope";
+       false
+     with Invalid_argument _ -> true)
+
+let abort_sends_rst () =
+  let w = make_world () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn "x";
+      Tcpsim.Conn.abort conn);
+  Des.Engine.run ~until:(Des.Time.sec 1) w.engine;
+  check_bool "aborted locally" true (Tcpsim.Conn.state conn = Tcpsim.Conn.Closed);
+  check_int "server side torn down by RST" 0
+    (Tcpsim.Endpoint.active_connections w.server_ep)
+
+(* --- Loss and retransmission -------------------------------------------------- *)
+
+let retransmits_under_loss () =
+  let w = make_world ~loss_prob:0.2 ~seed:77 () in
+  let received = Buffer.create 65536 in
+  sink_server w received;
+  let payload = String.init 30_000 (fun i -> Char.chr (i mod 251)) in
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      Tcpsim.Conn.send conn payload;
+      Tcpsim.Conn.close conn);
+  Des.Engine.run ~until:(Des.Time.sec 30) w.engine;
+  check_bool "delivered intact despite 20% loss" true
+    (Buffer.contents received = payload);
+  check_bool "did retransmit" true (Tcpsim.Conn.retransmits conn > 0)
+
+let qcheck_stream_integrity_under_loss =
+  QCheck.Test.make ~count:20
+    ~name:"echo roundtrip intact under random loss and sizes"
+    QCheck.(pair (int_bound 1000) (int_range 1 20_000))
+    (fun (seed, size) ->
+      let w = make_world ~loss_prob:0.1 ~seed () in
+      echo_server w;
+      let payload = String.init size (fun i -> Char.chr (32 + (i mod 90))) in
+      let conn =
+        Tcpsim.Endpoint.connect w.client_ep ~local:client_addr
+          ~remote:server_addr ()
+      in
+      let echoed = Buffer.create size in
+      Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn payload);
+      Tcpsim.Conn.set_on_data conn (fun s ->
+          Buffer.add_string echoed s;
+          if Buffer.length echoed >= size then Tcpsim.Conn.close conn);
+      Des.Engine.run ~until:(Des.Time.sec 60) w.engine;
+      Buffer.contents echoed = payload)
+
+let gives_up_after_max_retransmits () =
+  (* Sever the network entirely: the connection must eventually die
+     rather than retransmit forever. *)
+  let w = make_world ~loss_prob:0.999999 ~seed:5 () in
+  ignore w.s2c;
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Des.Engine.run ~until:(Des.Time.sec 120) w.engine;
+  check_bool "gave up" true (Tcpsim.Conn.state conn = Tcpsim.Conn.Closed)
+
+(* --- RTT sampling and ACK policies ----------------------------------------------- *)
+
+let rtt_samples_track_path_delay () =
+  let w = make_world ~delay:(Des.Time.us 200) () in
+  echo_server w;
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  let samples = ref [] in
+  Tcpsim.Conn.set_on_rtt_sample conn (fun s -> samples := s :: !samples);
+  Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn "ping");
+  Des.Engine.run ~until:(Des.Time.ms 100) w.engine;
+  check_bool "has samples" true (List.length !samples > 0);
+  List.iter
+    (fun s ->
+      check_bool "sample near 400us RTT" true
+        (s >= Des.Time.us 400 && s < Des.Time.us 1200))
+    !samples;
+  check_bool "srtt set" true (Tcpsim.Conn.srtt conn <> None)
+
+let count_pure_acks policy =
+  let w = make_world () in
+  let tap_count = ref 0 in
+  (* Count pure ACKs from server to client by tapping the s2c link:
+     easiest is to wrap the client handler — instead use a tap link via
+     trace on packets the client endpoint receives. We approximate by
+     counting segments the server sends beyond data: use link stats. *)
+  let received = Buffer.create 1024 in
+  let config = { Tcpsim.Conn.default_config with ack_policy = policy } in
+  Tcpsim.Endpoint.listen w.server_ep ~addr:server_addr ~config (fun conn ->
+      Tcpsim.Conn.set_on_data conn (fun s -> Buffer.add_string received s);
+      Tcpsim.Conn.set_on_eof conn (fun () -> Tcpsim.Conn.close conn));
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () ->
+      (* 8 segments of 1000 bytes, spaced 1 ms apart. *)
+      let rec send_one i =
+        if i < 8 then begin
+          Tcpsim.Conn.send conn (String.make 1000 'd');
+          ignore
+            (Des.Engine.schedule_after w.engine ~delay:(Des.Time.ms 1)
+               (fun () -> send_one (i + 1)))
+        end
+      in
+      send_one 0);
+  ignore tap_count;
+  Des.Engine.run ~until:(Des.Time.ms 100) w.engine;
+  check_int "all data arrived" 8000 (Buffer.length received);
+  Netsim.Link.packets_sent w.s2c
+
+let ack_policy_immediate_vs_delayed () =
+  let imm = count_pure_acks Tcpsim.Conn.Ack_immediate in
+  let delayed =
+    count_pure_acks (Tcpsim.Conn.Ack_delayed { every = 4; timeout = Des.Time.ms 50 })
+  in
+  (* Immediate: one ACK per data segment (8) + handshake. Delayed(4):
+     roughly one ACK per 4 segments plus timeout stragglers. *)
+  check_bool "immediate acks more" true (imm > delayed);
+  check_bool "immediate at least 8" true (imm >= 8)
+
+let paced_acks_are_spaced () =
+  let w = make_world () in
+  let config =
+    { Tcpsim.Conn.default_config with ack_policy = Tcpsim.Conn.Ack_paced (Des.Time.ms 2) }
+  in
+  let received = Buffer.create 64 in
+  Tcpsim.Endpoint.listen w.server_ep ~addr:server_addr ~config (fun conn ->
+      Tcpsim.Conn.set_on_data conn (fun s -> Buffer.add_string received s));
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~local:client_addr ~remote:server_addr ()
+  in
+  Tcpsim.Conn.set_on_connect conn (fun () -> Tcpsim.Conn.send conn "abc");
+  Des.Engine.run ~until:(Des.Time.ms 1) w.engine;
+  let before = Netsim.Link.packets_sent w.s2c in
+  Des.Engine.run ~until:(Des.Time.ms 10) w.engine;
+  let after = Netsim.Link.packets_sent w.s2c in
+  (* The data ACK is held for the 2 ms pacing delay. *)
+  check_bool "ack held back" true (after > before)
+
+let () =
+  Alcotest.run "tcpsim"
+    [
+      ( "rto",
+        [
+          Alcotest.test_case "initial" `Quick rto_initial;
+          Alcotest.test_case "first sample" `Quick rto_first_sample;
+          Alcotest.test_case "smoothing" `Quick rto_smoothing;
+          Alcotest.test_case "backoff and reset" `Quick rto_backoff_and_reset;
+          Alcotest.test_case "bounds" `Quick rto_bounds;
+        ] );
+      ( "reassembly",
+        [
+          Alcotest.test_case "in order" `Quick reasm_in_order;
+          Alcotest.test_case "out of order" `Quick reasm_out_of_order;
+          Alcotest.test_case "duplicate" `Quick reasm_duplicate;
+          Alcotest.test_case "overlapping ooo" `Quick reasm_overlapping_ooo;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ reasm_qcheck_stream ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "handshake" `Quick handshake_completes;
+          Alcotest.test_case "echo roundtrip" `Quick echo_roundtrip;
+          Alcotest.test_case "large transfer" `Quick large_transfer_segmented;
+          Alcotest.test_case "window limits inflight" `Quick window_limits_inflight;
+          Alcotest.test_case "bidirectional" `Quick bidirectional_transfer;
+        ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "clean close" `Quick clean_close_both_sides;
+          Alcotest.test_case "close flushes data" `Quick close_flushes_pending_data;
+          Alcotest.test_case "send after close" `Quick send_after_close_rejected;
+          Alcotest.test_case "abort" `Quick abort_sends_rst;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "retransmits under loss" `Quick retransmits_under_loss;
+          Alcotest.test_case "gives up eventually" `Quick
+            gives_up_after_max_retransmits;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ qcheck_stream_integrity_under_loss ] );
+      ( "rtt_and_acks",
+        [
+          Alcotest.test_case "rtt samples" `Quick rtt_samples_track_path_delay;
+          Alcotest.test_case "immediate vs delayed acks" `Quick
+            ack_policy_immediate_vs_delayed;
+          Alcotest.test_case "paced acks" `Quick paced_acks_are_spaced;
+        ] );
+    ]
