@@ -111,7 +111,7 @@ let micro_tests () =
       Inband.Controller.create
         ~config:
           { Inband.Config.default with Inband.Config.control_interval = 0 }
-        ~pool:pool2
+        ~pool:pool2 ()
     in
     let now = ref 0 in
     Test.make ~name:"controller on_sample (incl rebuild m=4099)"

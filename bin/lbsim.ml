@@ -33,6 +33,22 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also dump the raw series as CSV.")
 
+let metrics_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "Dump the telemetry snapshot stream (every registered metric, \
+           sampled periodically) as label,t_s,metric,index,value CSV.")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt sec (Des.Time.ms 500)
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"Telemetry snapshot period, seconds.")
+
 let fig2_cmd =
   let run duration step_at step_ms window seed csv =
     let config =
@@ -74,7 +90,7 @@ let fig2_cmd =
 
 let fig3_cmd =
   let run duration inject_at inject_ms policies servers connections alpha seed
-      csv =
+      csv metrics_csv metrics_interval =
     let scenario =
       {
         Cluster.Scenario.default_config with
@@ -86,14 +102,20 @@ let fig3_cmd =
       }
     in
     let result =
-      Cluster.Fig3.run ~scenario ~policies ~duration ~inject_at
+      Cluster.Fig3.run ~scenario ~metrics_interval ~policies ~duration
+        ~inject_at
         ~inject_delay:(Des.Time.of_float_s (inject_ms /. 1e3))
         ()
     in
     Cluster.Fig3.print result;
-    match csv with
+    (match csv with
     | Some path ->
         Cluster.Csv.write_file ~path (Cluster.Csv.fig3_series result);
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    match metrics_csv with
+    | Some path ->
+        Cluster.Csv.write_file ~path (Cluster.Csv.fig3_metrics result);
         Fmt.pr "wrote %s@." path
     | None -> ()
   in
@@ -127,18 +149,31 @@ let fig3_cmd =
        ~doc:"Tail latency under a server delay injection (Fig 3).")
     Term.(
       const run $ duration $ inject_at $ inject_ms $ policies $ servers
-      $ connections $ alpha $ seed $ csv_arg)
+      $ connections $ alpha $ seed $ csv_arg $ metrics_csv_arg
+      $ metrics_interval_arg)
 
 (* --- sweeps ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run which =
+  let run which metrics_csv metrics_interval =
+    let dump_metrics result =
+      match metrics_csv with
+      | Some path ->
+          Cluster.Csv.write_file ~path (Cluster.Csv.fig3_metrics result);
+          Fmt.pr "wrote %s@." path
+      | None -> ()
+    in
     match which with
     | "alpha" -> Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ())
     | "epoch" -> Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ())
     | "timing" ->
         Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ())
-    | "policy" -> Cluster.Fig3.print (Cluster.Ablations.policy_comparison ())
+    | "policy" ->
+        let result =
+          Cluster.Ablations.policy_comparison ~metrics_interval ()
+        in
+        Cluster.Fig3.print result;
+        dump_metrics result
     | "far" -> Cluster.Ablations.print_far (Cluster.Ablations.far_clients ())
     | "herd" -> Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ())
     | "dependency" ->
@@ -160,14 +195,16 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Ablation sweeps: alpha, epoch, timing, policy, far, herd, \
-          dependency, estimator, source.")
-    Term.(const run $ which)
+          dependency, estimator, source. The policy sweep honours \
+          $(b,--metrics-csv)/$(b,--metrics-interval).")
+    Term.(const run $ which $ metrics_csv_arg $ metrics_interval_arg)
 
 (* --- run: free-form scenario ------------------------------------------- *)
 
 let run_cmd =
   let run duration policy servers clients connections pipeline get_ratio
-      inject_at inject_ms interfere zipf seed estimate_window threshold =
+      inject_at inject_ms interfere zipf seed estimate_window threshold
+      metrics =
     let lb =
       {
         Inband.Config.default with
@@ -229,19 +266,26 @@ let run_cmd =
       (Workload.Latency_log.count log);
     print_op "GET" Workload.Latency_log.Get;
     print_op "SET" Workload.Latency_log.Set;
+    let registry = Cluster.Scenario.telemetry s in
     Fmt.pr "per-server flows:";
     for i = 0 to servers - 1 do
-      Fmt.pr " %d" (Inband.Balancer.flows_assigned_to balancer i)
+      Fmt.pr " %.0f"
+        (Option.value ~default:0.0
+           (Telemetry.Registry.value registry ~index:i "lb.flows_to"))
     done;
     Fmt.pr "@.";
-    match Inband.Balancer.controller balancer with
+    (match Inband.Balancer.controller balancer with
     | Some c ->
         let w = Inband.Controller.weights c in
         Fmt.pr "controller: %d actions, final weights = [%a]@."
           (Inband.Controller.action_count c)
           Fmt.(array ~sep:(any "; ") (fmt "%.3f"))
           w
-    | None -> ()
+    | None -> ());
+    if metrics then begin
+      Fmt.pr "@.%s@." (Cluster.Report.section "telemetry registry");
+      Fmt.pr "%s@." (Cluster.Report.registry registry)
+    end
   in
   let duration =
     Arg.(value & opt sec (Des.Time.sec 10) & info [ "duration" ] ~doc:"Seconds.")
@@ -296,12 +340,18 @@ let run_cmd =
       & info [ "threshold" ]
           ~doc:"Act only when worst >= threshold x best estimate.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also print every registered telemetry metric as a table.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a free-form cluster scenario and print a summary.")
     Term.(
       const run $ duration $ pol $ servers $ clients $ connections $ pipeline
       $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
-      $ estimate_window $ threshold)
+      $ estimate_window $ threshold $ metrics)
 
 (* --- estimate: run the estimators over a packet-timestamp trace ------- *)
 

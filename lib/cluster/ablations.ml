@@ -176,8 +176,9 @@ let print_timing rows =
 (* --- A5: policy comparison --------------------------------------------- *)
 
 let policy_comparison ?(duration = Des.Time.sec 15)
-    ?(inject_at = Des.Time.sec 5) () =
-  Fig3.run ~policies:Inband.Policy.all ~duration ~inject_at ()
+    ?(inject_at = Des.Time.sec 5) ?metrics_interval () =
+  Fig3.run ?metrics_interval ~policies:Inband.Policy.all ~duration ~inject_at
+    ()
 
 
 (* --- A6: far, non-equidistant clients ---------------------------------- *)
@@ -365,28 +366,35 @@ let source_one ~fault ~configure ~duration =
   let ens_stats = Inband.Server_stats.create ~n:2 ~ewma_alpha:0.1 () in
   let syn_stats = Inband.Server_stats.create ~n:2 ~ewma_alpha:0.3 () in
   let ens_count = ref 0 and syn_count = ref 0 in
-  Inband.Balancer.set_sample_hook balancer (fun ~at ~flow:_ ~server ~sample ->
-      if at >= inject_at then begin
-        incr ens_count;
-        Inband.Server_stats.record ens_stats ~server ~sample ~at
-      end);
+  ignore
+  @@ Telemetry.Bus.subscribe (Inband.Balancer.sample_bus balancer)
+       (fun (ev : Inband.Balancer.sample_event) ->
+         if ev.at >= inject_at then begin
+           incr ens_count;
+           Inband.Server_stats.record ens_stats ~server:ev.server
+             ~sample:ev.sample ~at:ev.at
+         end);
   let syn_flows = Netsim.Flow_key.Table.create 256 in
-  Inband.Balancer.set_routed_hook balancer (fun ~at ~flow ~server pkt ->
-      let est =
-        match Netsim.Flow_key.Table.find_opt syn_flows flow with
-        | Some est -> est
-        | None ->
-            let est = Inband.Syn_rtt.create () in
-            Netsim.Flow_key.Table.add syn_flows flow est;
-            est
-      in
-      match
-        Inband.Syn_rtt.on_packet est ~now:at ~syn:pkt.Netsim.Packet.flags.syn
-      with
-      | Some sample when at >= inject_at ->
-          incr syn_count;
-          Inband.Server_stats.record syn_stats ~server ~sample ~at
-      | Some _ | None -> ());
+  ignore
+  @@ Telemetry.Bus.subscribe (Inband.Balancer.routed_bus balancer)
+       (fun (ev : Inband.Balancer.routed_event) ->
+         let est =
+           match Netsim.Flow_key.Table.find_opt syn_flows ev.flow with
+           | Some est -> est
+           | None ->
+               let est = Inband.Syn_rtt.create () in
+               Netsim.Flow_key.Table.add syn_flows ev.flow est;
+               est
+         in
+         match
+           Inband.Syn_rtt.on_packet est ~now:ev.at
+             ~syn:ev.packet.Netsim.Packet.flags.syn
+         with
+         | Some sample when ev.at >= inject_at ->
+             incr syn_count;
+             Inband.Server_stats.record syn_stats ~server:ev.server ~sample
+               ~at:ev.at
+         | Some _ | None -> ());
   Scenario.run s ~until:duration;
   let ratio stats =
     match

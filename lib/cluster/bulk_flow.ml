@@ -101,7 +101,8 @@ let run config =
     | (_, last) :: _ when last = delta -> ()
     | _ -> chosen_changes := (at, delta) :: !chosen_changes
   in
-  Inband.Balancer.add_tap balancer (fun _pkt ->
+  ignore
+  @@ Telemetry.Bus.subscribe (Inband.Balancer.packet_bus balancer) (fun _pkt ->
       incr packets;
       let now = Des.Engine.now engine in
       Array.iteri
@@ -122,9 +123,11 @@ let run config =
           | None -> ())
         fixed_instances;
       record_chosen now);
-  Inband.Balancer.set_sample_hook balancer
-    (fun ~at ~flow:_ ~server:_ ~sample ->
-      ensemble_samples := { at; value = sample } :: !ensemble_samples);
+  ignore
+  @@ Telemetry.Bus.subscribe (Inband.Balancer.sample_bus balancer)
+       (fun (ev : Inband.Balancer.sample_event) ->
+         ensemble_samples :=
+           { at = ev.at; value = ev.sample } :: !ensemble_samples);
   (* The backlogged sender. *)
   let client_tcp =
     { Tcpsim.Conn.default_config with window = config.window }

@@ -41,6 +41,32 @@ let fig3_series (result : Fig3.result) =
     result.Fig3.runs;
   Buffer.contents buf
 
+let metrics_rows ~runs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "label,t_s,metric,index,value\n";
+  List.iter
+    (fun (label, rows) ->
+      List.iter
+        (fun (r : Telemetry.Snapshot.row) ->
+          let index =
+            match r.index with Some i -> string_of_int i | None -> ""
+          in
+          Buffer.add_string buf
+            (Fmt.str "%s,%.6f,%s,%s,%.6f\n" label
+               (Des.Time.to_float_s r.at)
+               r.metric index r.value))
+        rows)
+    runs;
+  Buffer.contents buf
+
+let fig3_metrics (result : Fig3.result) =
+  metrics_rows
+    ~runs:
+      (List.map
+         (fun run ->
+           (Inband.Policy.to_string run.Fig3.policy, run.Fig3.metrics))
+         result.Fig3.runs)
+
 let write_file ~path contents =
   let oc = open_out path in
   Fun.protect

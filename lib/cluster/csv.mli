@@ -12,5 +12,13 @@ val fig2_samples : Fig2.result -> string
 val fig3_series : Fig3.result -> string
 (** Schema: [policy,t_s,count,p95_us,mean_us]. *)
 
+val metrics_rows : runs:(string * Telemetry.Snapshot.row list) list -> string
+(** Telemetry snapshot streams as long-form CSV. Schema:
+    [label,t_s,metric,index,value] — one row per (snapshot, metric)
+    reading; [index] is empty for scalar metrics. *)
+
+val fig3_metrics : Fig3.result -> string
+(** {!metrics_rows} over a Fig. 3 result, labelled by policy. *)
+
 val write_file : path:string -> string -> unit
 (** Write (truncate) [path]. Raises [Sys_error] on failure. *)

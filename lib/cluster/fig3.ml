@@ -14,6 +14,7 @@ type run_result = {
   pool_disruption : float;
   victim_share_before : float;
   victim_share_after : float;
+  metrics : Telemetry.Snapshot.row list;
 }
 
 type result = {
@@ -36,19 +37,23 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
   let s = Scenario.build config in
   Scenario.inject_server_delay s ~server:victim ~at:inject_at
     ~delay:inject_delay;
-  (* Snapshot per-server flow assignment at injection time to split the
-     victim's share into before/after. *)
-  let flows_at_inject = ref [||] in
+  (* An out-of-cadence snapshot at injection time captures the exact
+     per-server flow assignment, splitting the victim's share into
+     before/after; a final one closes the run. *)
+  let snapshots = Scenario.snapshots s in
   ignore
     (Des.Engine.schedule (Scenario.engine s) ~at:inject_at (fun () ->
-         let b = Scenario.balancer s in
-         flows_at_inject :=
-           Array.init (Inband.Balancer.n_servers b) (fun i ->
-               Inband.Balancer.flows_assigned_to b i)));
+         Telemetry.Snapshot.snap snapshots));
   Scenario.run s ~until:duration;
-  let log = Scenario.log s in
+  Telemetry.Snapshot.snap snapshots;
+  let registry = Scenario.telemetry s in
   let balancer = Scenario.balancer s in
-  let rows = Workload.Latency_log.series log ~op:Workload.Latency_log.Get ~q:0.95 in
+  let metrics = Telemetry.Snapshot.rows snapshots in
+  let rows =
+    match Telemetry.Registry.series registry "client.latency.get" with
+    | Some ts -> Stats.Timeseries.rows ts ~q:0.95
+    | None -> []
+  in
   let series =
     List.map
       (fun r ->
@@ -94,15 +99,25 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
     | None -> (None, 0, None)
   in
   let n = Inband.Balancer.n_servers balancer in
-  let total_flows snap =
-    Array.fold_left ( + ) 0 snap
-  in
+  let total_flows snap = Array.fold_left ( + ) 0 snap in
+  (* Per-server flow counts at injection time, read back from the
+     snapshot row stream (the snap scheduled at [inject_at]). *)
   let flows_before =
-    if Array.length !flows_at_inject = n then !flows_at_inject
-    else Array.make n 0
+    let latest = Array.make n 0 in
+    List.iter
+      (fun (r : Telemetry.Snapshot.row) ->
+        if r.at <= inject_at && r.metric = "lb.flows_to" then
+          match r.index with
+          | Some i when i < n -> latest.(i) <- int_of_float r.value
+          | Some _ | None -> ())
+      metrics;
+    latest
   in
   let flows_end =
-    Array.init n (fun i -> Inband.Balancer.flows_assigned_to balancer i)
+    Array.init n (fun i ->
+        match Telemetry.Registry.value registry ~index:i "lb.flows_to" with
+        | Some v -> int_of_float v
+        | None -> 0)
   in
   let flows_delta = Array.init n (fun i -> flows_end.(i) - flows_before.(i)) in
   let share snap =
@@ -110,15 +125,18 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
     if total = 0 then nan
     else float_of_int snap.(victim) /. float_of_int total
   in
+  let responses =
+    match Telemetry.Registry.value registry "client.responses" with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
   {
     policy;
     series;
     p95_before_us = baseline;
     p95_after_us = p95_after;
-    responses = Workload.Latency_log.count log;
-    throughput_rps =
-      float_of_int (Workload.Latency_log.count log)
-      /. Des.Time.to_float_s duration;
+    responses;
+    throughput_rps = float_of_int responses /. Des.Time.to_float_s duration;
     reaction_ms;
     recovery_ms;
     actions;
@@ -126,6 +144,7 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
     pool_disruption = Maglev.Pool.total_disruption (Inband.Balancer.pool balancer);
     victim_share_before = share flows_before;
     victim_share_after = share flows_delta;
+    metrics;
   }
 
 (* The default profile adds one stabiliser over the paper's always-act
@@ -141,10 +160,15 @@ let default_scenario =
       { Inband.Config.default with Inband.Config.relative_threshold = 1.3 };
   }
 
-let run ?(scenario = default_scenario)
+let run ?(scenario = default_scenario) ?metrics_interval
     ?(policies = [ Inband.Policy.Static_maglev; Inband.Policy.Latency_aware ])
     ?(duration = Des.Time.sec 30) ?(inject_at = Des.Time.sec 10)
     ?(inject_delay = Des.Time.ms 1) ?(recovery_factor = 1.5) () =
+  let scenario =
+    match metrics_interval with
+    | None -> scenario
+    | Some interval -> { scenario with Scenario.metrics_interval = interval }
+  in
   let runs =
     List.map
       (fun policy ->

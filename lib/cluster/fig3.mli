@@ -27,6 +27,10 @@ type run_result = {
   pool_disruption : float;
   victim_share_before : float;  (** Fraction of flows routed to server 1. *)
   victim_share_after : float;
+  metrics : Telemetry.Snapshot.row list;
+      (** The full telemetry snapshot stream of the run: every
+          registered metric sampled each [metrics_interval], plus
+          out-of-cadence snapshots at injection time and at the end. *)
 }
 
 type result = {
@@ -38,6 +42,7 @@ type result = {
 
 val run :
   ?scenario:Scenario.config ->
+  ?metrics_interval:Des.Time.t ->
   ?policies:Inband.Policy.t list ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->

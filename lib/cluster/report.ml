@@ -38,6 +38,25 @@ let ns v =
 let ns_int v = ns (float_of_int v)
 let pct f = Fmt.str "%.1f%%" (100.0 *. f)
 
+let registry reg =
+  let fmt_value metric v =
+    if Float.is_nan v then "-"
+    else if Filename.check_suffix metric "_ns" then ns v
+    else if Float.is_integer v then Fmt.str "%.0f" v
+    else Fmt.str "%.3f" v
+  in
+  let rows =
+    List.map
+      (fun { Telemetry.Registry.metric; index; value } ->
+        [
+          metric;
+          (match index with Some i -> string_of_int i | None -> "");
+          fmt_value metric value;
+        ])
+      (Telemetry.Registry.read reg)
+  in
+  table ~headers:[ "metric"; "idx"; "value" ] rows
+
 let section title =
   let bar = String.make (String.length title + 8) '=' in
   Fmt.str "%s\n=== %s ===\n%s" bar title bar

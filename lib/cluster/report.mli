@@ -13,5 +13,10 @@ val ns_int : int -> string
 val pct : float -> string
 (** Format a fraction as a percentage ("12.5%"). *)
 
+val registry : Telemetry.Registry.t -> string
+(** Render a registry's current readings as a table (one row per
+    metric, in registration order; [_ns]-suffixed metrics formatted
+    with {!ns}). *)
+
 val section : string -> string
 (** A banner line for experiment output. *)

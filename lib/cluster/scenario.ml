@@ -18,6 +18,7 @@ type config = {
   key_dist : Workload.Keyspace.dist;
   preload_value_size : int;
   latency_bucket : Des.Time.t;
+  metrics_interval : Des.Time.t;
   seed : int;
 }
 
@@ -42,6 +43,7 @@ let default_config =
     key_dist = Workload.Keyspace.Uniform;
     preload_value_size = 64;
     latency_bucket = Des.Time.ms 500;
+    metrics_interval = Des.Time.ms 500;
     seed = 0xfeed;
   }
 
@@ -55,6 +57,8 @@ type t = {
   vip : Netsim.Addr.t;
   config : config;
   lb_server_links : Netsim.Link.t array;
+  telemetry : Telemetry.Registry.t;
+  snapshots : Telemetry.Snapshot.t;
 }
 
 (* IP plan: VIP = 1, servers = 10, 11, …; clients = 100, 101, … *)
@@ -68,15 +72,20 @@ let build config =
   let root_rng = Des.Rng.create ~seed:config.seed in
   let vip = Netsim.Addr.v vip_ip 11211 in
   let server_ips = Array.init config.n_servers server_ip in
+  (* One registry for the whole cluster: every component registers its
+     metrics here, and the snapshotter samples them all periodically. *)
+  let telemetry = Telemetry.Registry.create () in
   (* The balancer registers the VIP host, so build it first. *)
   let balancer =
     Inband.Balancer.create fabric ~vip ~server_ips ~policy:config.policy
       ~config:config.lb ~table_size:config.table_size
       ~rng:(Des.Rng.split root_rng ~label:"p2c")
-      ()
+      ~telemetry ()
   in
-  let plain_link delay =
-    Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps ()
+  let plain_link ?metric ?index delay =
+    Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps
+      ?telemetry:(if metric = None then None else Some telemetry)
+      ?metric ?index ()
   in
   let return_link delay ~rng =
     match config.return_jitter with
@@ -104,7 +113,7 @@ let build config =
           | None -> config.server
         in
         Memcache.Server.create fabric ~host_ip:(server_ip i) ~listen_addr:vip
-          ~config:server_config ?interference ~rng ())
+          ~config:server_config ?interference ~telemetry ~index:i ~rng ())
   in
   (* Preload every server's store so GETs hit immediately. *)
   let keyspace_names =
@@ -122,7 +131,10 @@ let build config =
         ~value_size:config.preload_value_size)
     servers;
   (* Clients and the latency log. *)
-  let log = Workload.Latency_log.create engine ~bucket:config.latency_bucket () in
+  let log =
+    Workload.Latency_log.create engine ~bucket:config.latency_bucket
+      ~telemetry ()
+  in
   let clients =
     Array.init config.n_clients (fun j ->
         let rng = Des.Rng.split root_rng ~label:(Fmt.str "client-%d" j) in
@@ -133,7 +145,7 @@ let build config =
             ()
         in
         Workload.Memtier.create fabric ~host_ip:(client_ip j) ~vip ~keyspace
-          ~log ~config:config.memtier ~rng ())
+          ~log ~config:config.memtier ~telemetry ~index:j ~rng ())
   in
   (* Links. Request path: client→VIP, VIP→server. Return path (DSR):
      server→client directly. *)
@@ -144,11 +156,13 @@ let build config =
   in
   for j = 0 to config.n_clients - 1 do
     Netsim.Fabric.add_link fabric ~src:(client_ip j) ~dst:vip_ip
-      (plain_link (client_delay j))
+      (plain_link ~metric:"link.client_lb" ~index:j (client_delay j))
   done;
   let lb_server_links =
     Array.init config.n_servers (fun i ->
-        let link = plain_link config.lb_server_delay in
+        let link =
+          plain_link ~metric:"link.lb_server" ~index:i config.lb_server_delay
+        in
         Netsim.Fabric.add_link fabric ~src:vip_ip ~dst:(server_ip i) link;
         link)
   in
@@ -163,6 +177,10 @@ let build config =
         (return_link (config.server_client_delay + extra) ~rng)
     done
   done;
+  let snapshots =
+    Telemetry.Snapshot.start engine telemetry
+      ~interval:config.metrics_interval
+  in
   {
     engine;
     fabric;
@@ -173,6 +191,8 @@ let build config =
     vip;
     config;
     lb_server_links;
+    telemetry;
+    snapshots;
   }
 
 let engine t = t.engine
@@ -184,6 +204,8 @@ let log t = t.log
 let vip t = t.vip
 let config t = t.config
 let lb_server_link t i = t.lb_server_links.(i)
+let telemetry t = t.telemetry
+let snapshots t = t.snapshots
 
 let inject_server_delay t ~server ~at ~delay =
   let link = t.lb_server_links.(server) in

@@ -37,6 +37,8 @@ type config = {
   key_dist : Workload.Keyspace.dist;
   preload_value_size : int;
   latency_bucket : Des.Time.t;  (** Time-series bucket for the log. *)
+  metrics_interval : Des.Time.t;
+      (** Telemetry snapshot period (default 500 ms). *)
   seed : int;
 }
 
@@ -61,6 +63,17 @@ val config : t -> config
 
 val lb_server_link : t -> int -> Netsim.Link.t
 (** The LB→server link of one server (for delay injection). *)
+
+val telemetry : t -> Telemetry.Registry.t
+(** The cluster-wide metric registry. Every component registers here:
+    the balancer ([lb.*], [ctl.*]), servers ([server.*], indexed),
+    clients ([client.*], indexed), the latency log ([client.latency.*])
+    and the forward-path links ([link.client_lb.*], [link.lb_server.*],
+    indexed). *)
+
+val snapshots : t -> Telemetry.Snapshot.t
+(** The periodic snapshotter sampling {!telemetry} every
+    [metrics_interval]; started at build time. *)
 
 val inject_server_delay :
   t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit

@@ -5,6 +5,20 @@ type flow_state = {
   mutable live : bool; (* counted in the per-server connection gauge *)
 }
 
+type sample_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  server : int;
+  sample : Des.Time.t;
+}
+
+type routed_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  server : int;
+  packet : Netsim.Packet.t;
+}
+
 type t = {
   fabric : Netsim.Fabric.t;
   engine : Des.Engine.t;
@@ -20,25 +34,15 @@ type t = {
   conn_gauge : int array;
   rng : Des.Rng.t;
   mutable rr_next : int;
-  mutable taps : (Netsim.Packet.t -> unit) list;
-  mutable sample_hook :
-    (at:Des.Time.t ->
-    flow:Netsim.Flow_key.t ->
-    server:int ->
-    sample:Des.Time.t ->
-    unit)
-    option;
-  mutable routed_hook :
-    (at:Des.Time.t ->
-    flow:Netsim.Flow_key.t ->
-    server:int ->
-    Netsim.Packet.t ->
-    unit)
-    option;
-  mutable forwarded : int;
-  pkts_to : int array;
-  flows_to : int array;
-  mutable samples : int;
+  telemetry : Telemetry.Registry.t;
+  packet_bus : Netsim.Packet.t Telemetry.Bus.t;
+  sample_bus : sample_event Telemetry.Bus.t;
+  routed_bus : routed_event Telemetry.Bus.t;
+  m_forwarded : Telemetry.Registry.counter;
+  m_pkts_to : Telemetry.Registry.counter array;
+  m_flows_to : Telemetry.Registry.counter array;
+  m_samples : Telemetry.Registry.counter;
+  m_samples_to : Telemetry.Registry.counter array;
 }
 
 let select t key =
@@ -95,11 +99,12 @@ let flow_state t key ~now =
       in
       Netsim.Flow_key.Table.add t.flows key st;
       t.conn_gauge.(server) <- t.conn_gauge.(server) + 1;
-      t.flows_to.(server) <- t.flows_to.(server) + 1;
+      Telemetry.Registry.Counter.incr t.m_flows_to.(server);
       st
 
 let record_sample t ~now ~key ~server sample =
-  t.samples <- t.samples + 1;
+  Telemetry.Registry.Counter.incr t.m_samples;
+  Telemetry.Registry.Counter.incr t.m_samples_to.(server);
   (match t.controller with
   | Some controller ->
       ignore (Controller.on_sample controller ~now ~server sample)
@@ -108,12 +113,10 @@ let record_sample t ~now ~key ~server sample =
       | Some stats -> Server_stats.record stats ~server ~sample ~at:now
       | None -> ()
     end);
-  match t.sample_hook with
-  | Some hook -> hook ~at:now ~flow:key ~server ~sample
-  | None -> ()
+  Telemetry.Bus.publish t.sample_bus { at = now; flow = key; server; sample }
 
 let on_packet t (pkt : Netsim.Packet.t) =
-  List.iter (fun tap -> tap pkt) t.taps;
+  Telemetry.Bus.publish t.packet_bus pkt;
   let now = Des.Engine.now t.engine in
   let key = Netsim.Packet.flow pkt in
   let st = flow_state t key ~now in
@@ -121,17 +124,16 @@ let on_packet t (pkt : Netsim.Packet.t) =
   (match Ensemble.on_packet t.ensemble st.eflow ~now with
   | Some sample -> record_sample t ~now ~key ~server:st.server sample
   | None -> ());
-  (match t.routed_hook with
-  | Some hook -> hook ~at:now ~flow:key ~server:st.server pkt
-  | None -> ());
+  Telemetry.Bus.publish t.routed_bus
+    { at = now; flow = key; server = st.server; packet = pkt };
   if pkt.flags.fin || pkt.flags.rst then release t st;
-  t.forwarded <- t.forwarded + 1;
-  t.pkts_to.(st.server) <- t.pkts_to.(st.server) + 1;
+  Telemetry.Registry.Counter.incr t.m_forwarded;
+  Telemetry.Registry.Counter.incr t.m_pkts_to.(st.server);
   Netsim.Fabric.send t.fabric ~from:t.vip.Netsim.Addr.ip
     ~next_hop:t.server_ips.(st.server) pkt
 
 let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
-    ?(config = Config.default) ?(table_size = 4099) ?rng () =
+    ?(config = Config.default) ?(table_size = 4099) ?rng ?telemetry () =
   if Array.length server_ips = 0 then
     invalid_arg "Balancer.create: no servers";
   (match Config.validate config with
@@ -141,9 +143,14 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
   let n = Array.length server_ips in
   let names = Array.map (fun ip -> Fmt.str "server-%d" ip) server_ips in
   let pool = Maglev.Pool.create ~table_size ~names () in
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
   let controller =
     if Policy.uses_controller policy then
-      Some (Controller.create ~config ~pool)
+      Some (Controller.create ~config ~pool ~telemetry:registry ())
     else None
   in
   let own_stats =
@@ -156,6 +163,9 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
   in
   let rng =
     match rng with Some r -> r | None -> Des.Rng.create ~seed:0x1b5eed
+  in
+  let vec name =
+    Array.init n (fun i -> Telemetry.Registry.counter registry ~index:i name)
   in
   let t =
     {
@@ -173,15 +183,37 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       conn_gauge = Array.make n 0;
       rng;
       rr_next = 0;
-      taps = [];
-      sample_hook = None;
-      routed_hook = None;
-      forwarded = 0;
-      pkts_to = Array.make n 0;
-      flows_to = Array.make n 0;
-      samples = 0;
+      telemetry = registry;
+      packet_bus = Telemetry.Bus.create ();
+      sample_bus = Telemetry.Bus.create ();
+      routed_bus = Telemetry.Bus.create ();
+      m_forwarded = Telemetry.Registry.counter registry "lb.pkts_forwarded";
+      m_pkts_to = vec "lb.pkts_to";
+      m_flows_to = vec "lb.flows_to";
+      m_samples = Telemetry.Registry.counter registry "lb.samples";
+      m_samples_to = vec "lb.samples_to";
     }
   in
+  Telemetry.Registry.gauge_fn registry "lb.active_flows" (fun () ->
+      float_of_int (Netsim.Flow_key.Table.length t.flows));
+  for i = 0 to n - 1 do
+    Telemetry.Registry.gauge_fn registry ~index:i "lb.active_conns" (fun () ->
+        float_of_int t.conn_gauge.(i))
+  done;
+  let stats_of t =
+    match t.controller with
+    | Some controller -> Controller.stats controller
+    | None -> begin
+        match t.own_stats with Some stats -> stats | None -> assert false
+      end
+  in
+  for i = 0 to n - 1 do
+    Telemetry.Registry.gauge_fn registry ~index:i "lb.est_latency_ns"
+      (fun () ->
+        match Server_stats.estimate (stats_of t) i with
+        | Some est -> est
+        | None -> Float.nan)
+  done;
   Netsim.Fabric.register fabric ~ip:vip.Netsim.Addr.ip (fun pkt ->
       on_packet t pkt);
   ignore
@@ -189,9 +221,10 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
          sweep t));
   t
 
-let add_tap t tap = t.taps <- t.taps @ [ tap ]
-let set_sample_hook t hook = t.sample_hook <- Some hook
-let set_routed_hook t hook = t.routed_hook <- Some hook
+let telemetry t = t.telemetry
+let packet_bus t = t.packet_bus
+let sample_bus t = t.sample_bus
+let routed_bus t = t.routed_bus
 let policy t = t.policy
 let pool t = t.pool
 let controller t = t.controller
@@ -207,9 +240,10 @@ let server_stats t =
 
 let ensemble t = t.ensemble
 let n_servers t = Array.length t.server_ips
-let packets_forwarded t = t.forwarded
-let packets_to t i = t.pkts_to.(i)
-let flows_assigned_to t i = t.flows_to.(i)
+
+let packets_forwarded t = Telemetry.Registry.Counter.value t.m_forwarded
+let packets_to t i = Telemetry.Registry.Counter.value t.m_pkts_to.(i)
+let flows_assigned_to t i = Telemetry.Registry.Counter.value t.m_flows_to.(i)
 let active_flows t = Netsim.Flow_key.Table.length t.flows
 let active_conns t = Array.copy t.conn_gauge
-let samples_produced t = t.samples
+let samples_produced t = Telemetry.Registry.Counter.value t.m_samples

@@ -9,7 +9,12 @@
 
     Under {!Policy.Latency_aware} every estimator sample drives the
     feedback {!Controller}; under the other policies samples are still
-    collected (for instrumentation) but no control action is taken. *)
+    collected (for instrumentation) but no control action is taken.
+
+    All instrumentation flows through the telemetry layer: counters and
+    gauges live in a {!Telemetry.Registry} (metric names ["lb.*"],
+    per-server metrics indexed by backend number), and per-event
+    observers subscribe to the {!Telemetry.Bus} event streams below. *)
 
 type t
 
@@ -21,40 +26,50 @@ val create :
   ?config:Config.t ->
   ?table_size:int ->
   ?rng:Des.Rng.t ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** Registers the datapath as the fabric host for [vip]'s IP. Backend
     [i] of the pool forwards to next hop [server_ips.(i)]. [rng] is used
-    only by [P2c] (default: seeded stream).
+    only by [P2c] (default: seeded stream). Metrics are registered in
+    [telemetry] when given (one balancer per registry — names collide
+    otherwise), or in a private registry reachable via {!telemetry}.
 
     @raise Invalid_argument if [server_ips] is empty or the config is
     invalid. *)
 
-(** {1 Instrumentation} *)
+(** {1 Telemetry} *)
 
-val add_tap : t -> (Netsim.Packet.t -> unit) -> unit
-(** Observe every packet the LB sees (before forwarding). *)
+val telemetry : t -> Telemetry.Registry.t
+(** The registry holding the balancer's metrics: counters
+    ["lb.pkts_forwarded"], ["lb.samples"], per-server ["lb.pkts_to"],
+    ["lb.flows_to"], ["lb.samples_to"]; gauges ["lb.active_flows"],
+    per-server ["lb.active_conns"], ["lb.est_latency_ns"]; and, under
+    {!Policy.Latency_aware}, the controller's ["ctl.*"] metrics. *)
 
-val set_sample_hook :
-  t ->
-  (at:Des.Time.t ->
-  flow:Netsim.Flow_key.t ->
-  server:int ->
-  sample:Des.Time.t ->
-  unit) ->
-  unit
-(** Observe every in-band latency sample the estimator produces. *)
+type sample_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  server : int;
+  sample : Des.Time.t;  (** The estimated batch RTT, in ns. *)
+}
 
-val set_routed_hook :
-  t ->
-  (at:Des.Time.t ->
-  flow:Netsim.Flow_key.t ->
-  server:int ->
-  Netsim.Packet.t ->
-  unit) ->
-  unit
-(** Observe every packet together with the server it was routed to —
-    for alternative measurement sources (e.g. {!Syn_rtt}) that need
+type routed_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  server : int;
+  packet : Netsim.Packet.t;
+}
+
+val packet_bus : t -> Netsim.Packet.t Telemetry.Bus.t
+(** Every packet the LB sees (before forwarding). *)
+
+val sample_bus : t -> sample_event Telemetry.Bus.t
+(** Every in-band latency sample the estimator produces. *)
+
+val routed_bus : t -> routed_event Telemetry.Bus.t
+(** Every packet together with the server it was routed to — for
+    alternative measurement sources (e.g. {!Syn_rtt}) that need
     per-packet attribution. *)
 
 (** {1 State access} *)
@@ -70,12 +85,15 @@ val server_stats : t -> Server_stats.t
 val ensemble : t -> Ensemble.t
 
 val n_servers : t -> int
+
 val packets_forwarded : t -> int
+(** Reads the ["lb.pkts_forwarded"] registry counter. *)
+
 val packets_to : t -> int -> int
-(** Packets forwarded to one server. *)
+(** Packets forwarded to one server (["lb.pkts_to"]). *)
 
 val flows_assigned_to : t -> int -> int
-(** Connections ever assigned to one server. *)
+(** Connections ever assigned to one server (["lb.flows_to"]). *)
 
 val active_flows : t -> int
 (** Flow-table entries currently tracked. *)
@@ -84,3 +102,4 @@ val active_conns : t -> int array
 (** Per-server live connection gauge (drives least-conn / P2C). *)
 
 val samples_produced : t -> int
+(** Reads the ["lb.samples"] registry counter. *)

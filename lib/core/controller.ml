@@ -12,10 +12,10 @@ type t = {
   mutable last_update : Des.Time.t; (* last table rebuild (shift or recovery) *)
   mutable updated_once : bool;
   mutable actions_rev : action list;
-  mutable action_count : int;
+  m_actions : Telemetry.Registry.counter;
 }
 
-let create ~config ~pool =
+let create ~config ~pool ?telemetry () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Controller.create: " ^ msg));
@@ -24,21 +24,33 @@ let create ~config ~pool =
   let uniform = Array.make n (1.0 /. float_of_int n) in
   Maglev.Pool.set_weights pool uniform;
   Maglev.Pool.rebuild pool;
-  {
-    config;
-    pool;
-    stats =
-      Server_stats.create ~n ~ewma_alpha:config.Config.ewma_alpha
-        ~window:config.Config.estimate_window ();
-    last_update = 0;
-    updated_once = false;
-    actions_rev = [];
-    action_count = 0;
-  }
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let t =
+    {
+      config;
+      pool;
+      stats =
+        Server_stats.create ~n ~ewma_alpha:config.Config.ewma_alpha
+          ~window:config.Config.estimate_window ();
+      last_update = 0;
+      updated_once = false;
+      actions_rev = [];
+      m_actions = Telemetry.Registry.counter registry "ctl.actions";
+    }
+  in
+  for i = 0 to n - 1 do
+    Telemetry.Registry.gauge_fn registry ~index:i "ctl.weight" (fun () ->
+        (Maglev.Pool.weights t.pool).(i))
+  done;
+  t
 
 let stats t = t.stats
 let actions t = List.rev t.actions_rev
-let action_count t = t.action_count
+let action_count t = Telemetry.Registry.Counter.value t.m_actions
 let weights t = Maglev.Pool.weights t.pool
 
 let normalize w =
@@ -120,7 +132,7 @@ let on_sample t ~now ~server sample =
           }
         in
         t.actions_rev <- action :: t.actions_rev;
-        t.action_count <- t.action_count + 1;
+        Telemetry.Registry.Counter.incr t.m_actions;
         Some action
     | None ->
         if recovered then commit t ~now w;

@@ -18,8 +18,12 @@ type action = {
 
 type t
 
-val create : config:Config.t -> pool:Maglev.Pool.t -> t
-(** The pool's weights are reset to uniform.
+val create :
+  config:Config.t -> pool:Maglev.Pool.t -> ?telemetry:Telemetry.Registry.t ->
+  unit -> t
+(** The pool's weights are reset to uniform. When [telemetry] is given,
+    the controller registers an ["ctl.actions"] counter and per-server
+    ["ctl.weight"] gauges there (private registry otherwise).
 
     @raise Invalid_argument if the config fails validation or the pool
     has fewer than 2 backends. *)

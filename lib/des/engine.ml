@@ -10,7 +10,6 @@ type handle = event
 type t = {
   mutable now : Time.t;
   mutable next_seq : int;
-  mutable live : int;
   mutable fired : int;
   queue : event Heap.t;
 }
@@ -23,7 +22,6 @@ let create () =
   {
     now = Time.zero;
     next_seq = 0;
-    live = 0;
     fired = 0;
     queue = Heap.create ~cmp:compare_event;
   }
@@ -37,7 +35,6 @@ let schedule t ~at f =
          t.now);
   let ev = { time = at; seq = t.next_seq; cancelled = false; run = f } in
   t.next_seq <- t.next_seq + 1;
-  t.live <- t.live + 1;
   Heap.add t.queue ev;
   ev
 
@@ -47,8 +44,8 @@ let schedule_after t ~delay f =
 
 let cancel (ev : handle) = ev.cancelled <- true
 
-(* Pop skipping cancelled events; [live] only tracks uncancelled ones
-   lazily, so recount on pop. *)
+(* Pop skipping cancelled events, which stay in the queue until their
+   expiry time comes around. *)
 let rec pop_live t =
   match Heap.pop t.queue with
   | None -> None
@@ -59,7 +56,6 @@ let step t =
   | None -> false
   | Some ev ->
       t.now <- ev.time;
-      t.live <- t.live - 1;
       t.fired <- t.fired + 1;
       ev.run ();
       true
@@ -80,13 +76,7 @@ let run ?until t =
       done
 
 let pending t =
-  (* [live] can overcount if events were cancelled after insertion; it is
-     decremented on cancel-discovery in [pop_live] only via [step], so
-     compute exactly here. *)
-  let exact = ref 0 in
-  List.iter
-    (fun ev -> if not ev.cancelled then incr exact)
-    (Heap.to_sorted_list t.queue);
-  !exact
+  Heap.fold t.queue ~init:0 ~f:(fun n ev ->
+      if ev.cancelled then n else n + 1)
 
 let events_fired t = t.fired

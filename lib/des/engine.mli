@@ -42,7 +42,7 @@ val run : ?until:Time.t -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled, not-yet-cancelled events (cancelled events still
-    in the queue are not counted). *)
+    in the queue are not counted). O(n) over the queue, allocation-free. *)
 
 val events_fired : t -> int
 (** Total events executed since creation; a cheap progress metric. *)

@@ -60,6 +60,18 @@ let pop h =
     Some top
   end
 
+let iter h f =
+  for i = 0 to h.len - 1 do
+    f h.data.(i)
+  done
+
+let fold h ~init ~f =
+  let acc = ref init in
+  for i = 0 to h.len - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc
+
 let clear h =
   h.data <- [||];
   h.len <- 0

@@ -24,6 +24,14 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** [pop h] removes and returns the minimum element. O(log n). *)
 
+val iter : 'a t -> ('a -> unit) -> unit
+(** [iter h f] applies [f] to every element in unspecified (heap array)
+    order. O(n), no allocation. [f] must not modify the heap. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** [fold h ~init ~f] folds over every element in unspecified order.
+    O(n), no allocation. [f] must not modify the heap. *)
+
 val clear : 'a t -> unit
 (** Remove every element. *)
 

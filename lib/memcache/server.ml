@@ -34,20 +34,20 @@ type t = {
   ready : conn_state Queue.t;
   mutable free_workers : int;
   mutable queue_depth : int;
-  mutable gets : int;
-  mutable sets : int;
+  m_gets : Telemetry.Registry.counter;
+  m_sets : Telemetry.Registry.counter;
   sojourn : Stats.Histogram.t;
 }
 
 let process t = function
   | Protocol.Get { key } -> begin
-      t.gets <- t.gets + 1;
+      Telemetry.Registry.Counter.incr t.m_gets;
       match Store.get t.store ~key with
       | Some (flags, value) -> Protocol.Value { key; flags; value }
       | None -> Protocol.Miss
     end
   | Protocol.Set { key; flags; value; _ } ->
-      t.sets <- t.sets + 1;
+      Telemetry.Registry.Counter.incr t.m_sets;
       Store.set t.store ~key ~flags ~value;
       Protocol.Stored
 
@@ -135,10 +135,15 @@ let accept t conn =
       maybe_close cs)
 
 let create fabric ~host_ip ~listen_addr ?(config = default_config)
-    ?interference ~rng () =
+    ?interference ?telemetry ?index ~rng () =
   let engine = Netsim.Fabric.engine fabric in
   let interference =
     match interference with Some i -> i | None -> Interference.none engine
+  in
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
   in
   let t =
     {
@@ -150,20 +155,27 @@ let create fabric ~host_ip ~listen_addr ?(config = default_config)
       ready = Queue.create ();
       free_workers = config.workers;
       queue_depth = 0;
-      gets = 0;
-      sets = 0;
+      m_gets = Telemetry.Registry.counter registry ?index "server.gets";
+      m_sets = Telemetry.Registry.counter registry ?index "server.sets";
       sojourn = Stats.Histogram.create ();
     }
   in
+  Telemetry.Registry.gauge_fn registry ?index "server.queue_depth" (fun () ->
+      float_of_int t.queue_depth);
+  Telemetry.Registry.gauge_fn registry ?index "server.busy_workers" (fun () ->
+      float_of_int (t.config.workers - t.free_workers));
+  Telemetry.Registry.attach_histogram registry ?index "server.sojourn_ns"
+    t.sojourn;
   let endpoint = Tcpsim.Endpoint.create fabric ~host_ip in
   Tcpsim.Endpoint.listen endpoint ~addr:listen_addr ~config:config.tcp
     (fun conn -> accept t conn);
   t
 
 let store t = t.store
-let requests_served t = t.gets + t.sets
-let gets_served t = t.gets
-let sets_served t = t.sets
+
+let gets_served t = Telemetry.Registry.Counter.value t.m_gets
+let sets_served t = Telemetry.Registry.Counter.value t.m_sets
+let requests_served t = gets_served t + sets_served t
 let queue_depth t = t.queue_depth
 let busy_workers t = t.config.workers - t.free_workers
 let sojourn t = t.sojourn

@@ -29,11 +29,19 @@ val create :
   listen_addr:Netsim.Addr.t ->
   ?config:config ->
   ?interference:Interference.t ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?index:int ->
   rng:Des.Rng.t ->
   unit ->
   t
 (** Build the server host: creates its TCP endpoint on [host_ip] and
-    listens on [listen_addr] (use the VIP address to model DSR). *)
+    listens on [listen_addr] (use the VIP address to model DSR).
+
+    When [telemetry] is given, the server registers its metrics there
+    under [index] (typically the backend's position in the pool):
+    counters [server.gets]/[server.sets], gauges [server.queue_depth]/
+    [server.busy_workers], and the [server.sojourn_ns] histogram.
+    Without it the metrics live in a private registry. *)
 
 val store : t -> Store.t
 (** The backing store, e.g. for preloading the keyspace. *)

@@ -10,35 +10,45 @@ type t = {
   mutable busy : bool;
   mutable sink : (Packet.t -> unit) option;
   mutable extra : Des.Time.t;
-  mutable sent : int;
-  mutable bytes : int;
-  mutable drops : int;
+  m_sent : Telemetry.Registry.counter;
+  m_bytes : Telemetry.Registry.counter;
+  m_drops : Telemetry.Registry.counter;
 }
 
 let create engine ~delay ?(rate_bps = 10_000_000_000) ?(queue_capacity = 1024)
-    ?(loss_prob = 0.0) ?jitter ?rng () =
+    ?(loss_prob = 0.0) ?jitter ?rng ?telemetry ?(metric = "link") ?index () =
   if delay < 0 then invalid_arg "Link.create: negative delay";
   if rate_bps < 0 then invalid_arg "Link.create: negative rate";
   if loss_prob < 0.0 || loss_prob >= 1.0 then
     invalid_arg "Link.create: loss_prob must be in [0, 1)";
   if (loss_prob > 0.0 || jitter <> None) && rng = None then
     invalid_arg "Link.create: loss/jitter require an rng";
-  {
-    engine;
-    delay;
-    rate_bps;
-    queue_capacity;
-    loss_prob;
-    jitter;
-    rng;
-    queue = Queue.create ();
-    busy = false;
-    sink = None;
-    extra = 0;
-    sent = 0;
-    bytes = 0;
-    drops = 0;
-  }
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let t =
+    {
+      engine;
+      delay;
+      rate_bps;
+      queue_capacity;
+      loss_prob;
+      jitter;
+      rng;
+      queue = Queue.create ();
+      busy = false;
+      sink = None;
+      extra = 0;
+      m_sent = Telemetry.Registry.counter registry ?index (metric ^ ".sent");
+      m_bytes = Telemetry.Registry.counter registry ?index (metric ^ ".bytes");
+      m_drops = Telemetry.Registry.counter registry ?index (metric ^ ".drops");
+    }
+  in
+  Telemetry.Registry.gauge_fn registry ?index (metric ^ ".queue") (fun () ->
+      float_of_int (Queue.length t.queue + if t.busy then 1 else 0));
+  t
 
 let connect t sink =
   if t.sink <> None then invalid_arg "Link.connect: already connected";
@@ -77,11 +87,11 @@ let rec start_tx t =
       ignore
         (Des.Engine.schedule_after t.engine ~delay:(tx_time t pkt)
            (fun () ->
-             if lost t then t.drops <- t.drops + 1
+             if lost t then Telemetry.Registry.Counter.incr t.m_drops
              else begin
                let prop = t.delay + t.extra + jitter_of t in
-               t.sent <- t.sent + 1;
-               t.bytes <- t.bytes + Packet.wire_size pkt;
+               Telemetry.Registry.Counter.incr t.m_sent;
+               Telemetry.Registry.Counter.add t.m_bytes (Packet.wire_size pkt);
                ignore
                  (Des.Engine.schedule_after t.engine ~delay:prop (fun () ->
                       deliver t pkt))
@@ -90,7 +100,8 @@ let rec start_tx t =
 
 let send t pkt =
   if t.sink = None then invalid_arg "Link.send: not connected";
-  if Queue.length t.queue >= t.queue_capacity then t.drops <- t.drops + 1
+  if Queue.length t.queue >= t.queue_capacity then
+    Telemetry.Registry.Counter.incr t.m_drops
   else begin
     Queue.add pkt t.queue;
     if not t.busy then start_tx t
@@ -101,7 +112,7 @@ let set_extra_delay t d =
   t.extra <- d
 
 let extra_delay t = t.extra
-let packets_sent t = t.sent
-let bytes_sent t = t.bytes
-let drops t = t.drops
+let packets_sent t = Telemetry.Registry.Counter.value t.m_sent
+let bytes_sent t = Telemetry.Registry.Counter.value t.m_bytes
+let drops t = Telemetry.Registry.Counter.value t.m_drops
 let queue_len t = Queue.length t.queue + if t.busy then 1 else 0

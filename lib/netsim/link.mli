@@ -17,6 +17,9 @@ val create :
   ?loss_prob:float ->
   ?jitter:Stats.Dist.t ->
   ?rng:Des.Rng.t ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?metric:string ->
+  ?index:int ->
   unit ->
   t
 (** [create engine ~delay ()] is a link with propagation delay [delay].
@@ -30,8 +33,14 @@ val create :
     - [jitter]: extra per-packet propagation delay drawn from this
       distribution, in nanoseconds.
     - [rng] is required iff [loss_prob > 0] or [jitter] is given.
+    - [telemetry]/[metric]/[index]: register the link's counters
+      ([metric].sent/.bytes/.drops, default prefix ["link"]) and queue
+      gauge ([metric].queue) in this registry, optionally indexed —
+      e.g. one ["link.lb_server"] family indexed by backend. Without
+      [telemetry] the metrics live in a private registry.
 
-    @raise Invalid_argument on inconsistent options. *)
+    @raise Invalid_argument on inconsistent options (including a
+    [metric]/[index] pair already registered). *)
 
 val connect : t -> (Packet.t -> unit) -> unit
 (** Set the delivery callback (the receiving host). Must be called before

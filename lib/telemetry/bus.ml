@@ -1,0 +1,26 @@
+type 'a subscriber = { id : int; f : 'a -> unit }
+
+type 'a t = {
+  mutable subs : 'a subscriber list; (* subscription order *)
+  mutable next_id : int;
+}
+
+type subscription = int
+
+let create () = { subs = []; next_id = 0 }
+
+let subscribe t f =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.subs <- t.subs @ [ { id; f } ];
+  id
+
+let unsubscribe t id = t.subs <- List.filter (fun s -> s.id <> id) t.subs
+
+let publish t event =
+  (* Snapshot so callbacks may (un)subscribe without affecting this
+     delivery round. *)
+  let subs = t.subs in
+  List.iter (fun s -> s.f event) subs
+
+let subscribers t = List.length t.subs

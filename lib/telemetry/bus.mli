@@ -1,0 +1,34 @@
+(** Typed publish/subscribe event bus.
+
+    A bus carries one event type; producers {!publish} and any number of
+    consumers {!subscribe}. Subscribers fire synchronously, in
+    subscription order, which keeps whole simulations deterministic.
+    This replaces the ad-hoc single-slot hook fields that instrumented
+    the datapath before the telemetry layer existed: a bus supports many
+    independent listeners and lets them detach again. *)
+
+type 'a t
+(** A bus carrying events of type ['a]. *)
+
+type subscription
+(** A handle identifying one subscriber on one bus. *)
+
+val create : unit -> 'a t
+(** A bus with no subscribers. *)
+
+val subscribe : 'a t -> ('a -> unit) -> subscription
+(** [subscribe t f] calls [f] on every subsequent {!publish}. Subscribers
+    added earlier fire earlier. *)
+
+val unsubscribe : 'a t -> subscription -> unit
+(** Detach one subscriber. Unknown or already-detached subscriptions are
+    ignored. *)
+
+val publish : 'a t -> 'a -> unit
+(** Deliver an event to every current subscriber, synchronously. A
+    subscriber list snapshot is taken first, so subscribing or
+    unsubscribing from inside a callback takes effect from the next
+    publish. *)
+
+val subscribers : 'a t -> int
+(** Number of currently attached subscribers. *)

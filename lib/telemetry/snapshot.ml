@@ -1,0 +1,62 @@
+type row = {
+  at : Des.Time.t;
+  metric : string;
+  index : int option;
+  value : float;
+}
+
+type t = {
+  engine : Des.Engine.t;
+  registry : Registry.t;
+  interval : Des.Time.t;
+  timer : Des.Timer.t;
+  mutable rows_rev : row list;
+  mutable snaps : int;
+  series : (string * int option, Stats.Timeseries.t) Hashtbl.t;
+}
+
+let snap t =
+  let at = Des.Engine.now t.engine in
+  t.snaps <- t.snaps + 1;
+  List.iter
+    (fun { Registry.metric; index; value } ->
+      t.rows_rev <- { at; metric; index; value } :: t.rows_rev;
+      (* The bucketed mirror only accepts what Histogram can store:
+         finite non-negative values. *)
+      if Float.is_finite value && value >= 0.0 then begin
+        let key = (metric, index) in
+        let ts =
+          match Hashtbl.find_opt t.series key with
+          | Some ts -> ts
+          | None ->
+              let ts = Stats.Timeseries.create ~bucket:t.interval in
+              Hashtbl.add t.series key ts;
+              ts
+        in
+        Stats.Timeseries.record ts ~at (int_of_float value)
+      end)
+    (Registry.read t.registry)
+
+let start engine registry ~interval =
+  if interval <= 0 then invalid_arg "Telemetry.Snapshot.start: interval";
+  let rec t =
+    lazy
+      {
+        engine;
+        registry;
+        interval;
+        timer =
+          Des.Timer.every engine ~period:interval (fun () ->
+              snap (Lazy.force t));
+        rows_rev = [];
+        snaps = 0;
+        series = Hashtbl.create 64;
+      }
+  in
+  Lazy.force t
+
+let stop t = Des.Timer.stop t.timer
+let rows t = List.rev t.rows_rev
+let snap_count t = t.snaps
+let interval t = t.interval
+let series t ?index name = Hashtbl.find_opt t.series (name, index)

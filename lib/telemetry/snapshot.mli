@@ -1,0 +1,43 @@
+(** Periodic sampler of a metric {!Registry}.
+
+    A snapshotter reads every registered counter, gauge and histogram on
+    a DES timer and accumulates the readings twice over: as a flat,
+    chronological row stream (for CSV dumps and time-indexed lookups)
+    and as one {!Stats.Timeseries} per metric (for bucketed quantile
+    extraction, same machinery as the figure pipelines). *)
+
+type row = {
+  at : Des.Time.t;  (** Simulated time the reading was taken. *)
+  metric : string;
+  index : int option;
+  value : float;
+}
+
+type t
+
+val start : Des.Engine.t -> Registry.t -> interval:Des.Time.t -> t
+(** [start engine registry ~interval] samples every metric each
+    [interval], first at [interval]. Extra out-of-cadence snapshots can
+    be taken with {!snap} (e.g. at a fault-injection instant).
+
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val snap : t -> unit
+(** Take one snapshot now, in addition to the periodic cadence. *)
+
+val stop : t -> unit
+(** Stop the periodic timer. Already-collected rows remain readable. *)
+
+val rows : t -> row list
+(** All rows, chronological (metrics in registration order within one
+    snapshot). *)
+
+val snap_count : t -> int
+(** Snapshots taken so far (periodic and manual). *)
+
+val interval : t -> Des.Time.t
+
+val series : t -> ?index:int -> string -> Stats.Timeseries.t option
+(** Per-metric series of sampled readings, bucketed at [interval].
+    Non-finite and negative readings (e.g. a gauge with no value yet)
+    are present in {!rows} but skipped here. *)

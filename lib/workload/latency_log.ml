@@ -10,22 +10,36 @@ type t = {
   set_hist : Stats.Histogram.t;
   get_series : Stats.Timeseries.t;
   set_series : Stats.Timeseries.t;
-  mutable count : int;
+  m_count : Telemetry.Registry.counter;
 }
 
-let create engine ?(bucket = Des.Time.ms 500) () =
-  {
-    engine;
-    get_hist = Stats.Histogram.create ();
-    set_hist = Stats.Histogram.create ();
-    get_series = Stats.Timeseries.create ~bucket;
-    set_series = Stats.Timeseries.create ~bucket;
-    count = 0;
-  }
+let create engine ?(bucket = Des.Time.ms 500) ?telemetry () =
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let t =
+    {
+      engine;
+      get_hist = Stats.Histogram.create ();
+      set_hist = Stats.Histogram.create ();
+      get_series = Stats.Timeseries.create ~bucket;
+      set_series = Stats.Timeseries.create ~bucket;
+      m_count = Telemetry.Registry.counter registry "client.responses";
+    }
+  in
+  Telemetry.Registry.attach_histogram registry "client.latency_get_ns"
+    t.get_hist;
+  Telemetry.Registry.attach_histogram registry "client.latency_set_ns"
+    t.set_hist;
+  Telemetry.Registry.attach_series registry "client.latency.get" t.get_series;
+  Telemetry.Registry.attach_series registry "client.latency.set" t.set_series;
+  t
 
 let record t ~op ~latency =
   let now = Des.Engine.now t.engine in
-  t.count <- t.count + 1;
+  Telemetry.Registry.Counter.incr t.m_count;
   match op with
   | Get ->
       Stats.Histogram.record t.get_hist latency;
@@ -34,7 +48,7 @@ let record t ~op ~latency =
       Stats.Histogram.record t.set_hist latency;
       Stats.Timeseries.record t.set_series ~at:now latency
 
-let count t = t.count
+let count t = Telemetry.Registry.Counter.value t.m_count
 let hist t = function Get -> t.get_hist | Set -> t.set_hist
 
 let series t ~op ~q =

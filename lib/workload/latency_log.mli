@@ -11,8 +11,16 @@ val pp_op : Format.formatter -> op -> unit
 
 type t
 
-val create : Des.Engine.t -> ?bucket:Des.Time.t -> unit -> t
-(** [bucket] is the time-series bucket width (default 500 ms). *)
+val create :
+  Des.Engine.t -> ?bucket:Des.Time.t -> ?telemetry:Telemetry.Registry.t ->
+  unit -> t
+(** [bucket] is the time-series bucket width (default 500 ms).
+
+    When [telemetry] is given, the log registers its metrics there: the
+    [client.responses] counter, per-op latency histograms
+    ([client.latency_get_ns]/[client.latency_set_ns]) and the bucketed
+    time series ([client.latency.get]/[client.latency.set], readable
+    via {!Telemetry.Registry.series}). *)
 
 val record : t -> op:op -> latency:Des.Time.t -> unit
 (** Record one completed request at the current simulated time. *)

@@ -45,16 +45,21 @@ type t = {
   slots : slot array;
   mutable next_port : int;
   mutable running : bool;
-  mutable sent : int;
-  mutable received : int;
-  mutable reconnects : int;
-  mutable errors : int;
+  m_sent : Telemetry.Registry.counter;
+  m_received : Telemetry.Registry.counter;
+  m_reconnects : Telemetry.Registry.counter;
+  m_errors : Telemetry.Registry.counter;
 }
 
-let create fabric ~host_ip ~vip ~keyspace ~log ?(config = default_config) ~rng
-    () =
+let create fabric ~host_ip ~vip ~keyspace ~log ?(config = default_config)
+    ?telemetry ?index ~rng () =
   if config.connections <= 0 || config.pipeline <= 0 then
     invalid_arg "Memtier.create: connections/pipeline must be positive";
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
   let endpoint = Tcpsim.Endpoint.create fabric ~host_ip in
   {
     fabric;
@@ -78,10 +83,11 @@ let create fabric ~host_ip ~vip ~keyspace ~log ?(config = default_config) ~rng
           });
     next_port = 10_000;
     running = false;
-    sent = 0;
-    received = 0;
-    reconnects = 0;
-    errors = 0;
+    m_sent = Telemetry.Registry.counter registry ?index "client.sent";
+    m_received = Telemetry.Registry.counter registry ?index "client.received";
+    m_reconnects =
+      Telemetry.Registry.counter registry ?index "client.reconnects";
+    m_errors = Telemetry.Registry.counter registry ?index "client.errors";
   }
 
 let make_request t =
@@ -114,7 +120,7 @@ let rec issue t slot =
         let op, request = make_request t in
         Queue.add { op; issued_at = Des.Engine.now t.engine } slot.outstanding;
         Tcpsim.Conn.send conn (Memcache.Protocol.encode_request request);
-        t.sent <- t.sent + 1;
+        Telemetry.Registry.Counter.incr t.m_sent;
         slot.sent_on_conn <- slot.sent_on_conn + 1
   end
 
@@ -148,12 +154,12 @@ and close_slot _t slot =
 
 and on_response t slot response =
   (match response with
-  | Memcache.Protocol.Error _ -> t.errors <- t.errors + 1
+  | Memcache.Protocol.Error _ -> Telemetry.Registry.Counter.incr t.m_errors
   | Value _ | Miss | Stored -> ());
   match Queue.take_opt slot.outstanding with
-  | None -> t.errors <- t.errors + 1
+  | None -> Telemetry.Registry.Counter.incr t.m_errors
   | Some { op; issued_at } ->
-      t.received <- t.received + 1;
+      Telemetry.Registry.Counter.incr t.m_received;
       Latency_log.record t.log ~op
         ~latency:(Des.Engine.now t.engine - issued_at);
       maybe_trigger_next t slot
@@ -181,12 +187,12 @@ and open_slot t slot =
         match Memcache.Protocol.Reader.feed slot.reader chunk with
         | Ok responses -> List.iter (on_response t slot) responses
         | Error _ ->
-            t.errors <- t.errors + 1;
+            Telemetry.Registry.Counter.incr t.m_errors;
             Tcpsim.Conn.abort conn);
     Tcpsim.Conn.set_on_close conn (fun () ->
         slot.conn <- None;
         if t.running then begin
-          t.reconnects <- t.reconnects + 1;
+          Telemetry.Registry.Counter.incr t.m_reconnects;
           ignore
             (Des.Engine.schedule_after t.engine
                ~delay:t.config.reconnect_delay (fun () -> open_slot t slot))
@@ -214,7 +220,7 @@ let stop t =
       t.slots
   end
 
-let requests_sent t = t.sent
-let responses_received t = t.received
-let reconnects t = t.reconnects
-let protocol_errors t = t.errors
+let requests_sent t = Telemetry.Registry.Counter.value t.m_sent
+let responses_received t = Telemetry.Registry.Counter.value t.m_received
+let reconnects t = Telemetry.Registry.Counter.value t.m_reconnects
+let protocol_errors t = Telemetry.Registry.Counter.value t.m_errors

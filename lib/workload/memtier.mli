@@ -36,11 +36,18 @@ val create :
   keyspace:Keyspace.t ->
   log:Latency_log.t ->
   ?config:config ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?index:int ->
   rng:Des.Rng.t ->
   unit ->
   t
 (** Build the client host (creates its TCP endpoint on [host_ip]). Does
-    not start sending. *)
+    not start sending.
+
+    When [telemetry] is given, the client registers its counters there
+    under [index]: [client.sent], [client.received],
+    [client.reconnects], [client.errors]. Without it the metrics live
+    in a private registry. *)
 
 val start : t -> unit
 (** Open all connections and begin the closed loop. *)

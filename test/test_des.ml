@@ -52,6 +52,21 @@ let heap_clear () =
   check_bool "cleared" true (Des.Heap.is_empty h);
   check_bool "pop on empty" true (Des.Heap.pop h = None)
 
+let heap_iter_fold () =
+  let h = Des.Heap.create ~cmp:Int.compare in
+  List.iter (Des.Heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  let seen = ref [] in
+  Des.Heap.iter h (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int))
+    "iter visits every element" [ 1; 2; 3; 5; 8; 9 ]
+    (List.sort Int.compare !seen);
+  check_int "fold sums all" 28 (Des.Heap.fold h ~init:0 ~f:( + ));
+  check_int "fold counts all" 6 (Des.Heap.fold h ~init:0 ~f:(fun n _ -> n + 1));
+  check_int "non-destructive" 6 (Des.Heap.size h);
+  let empty = Des.Heap.create ~cmp:Int.compare in
+  check_int "fold on empty = init" 42
+    (Des.Heap.fold empty ~init:42 ~f:(fun _ _ -> 0))
+
 let heap_qcheck =
   QCheck.Test.make ~count:300 ~name:"heap drains every input in sorted order"
     QCheck.(list int)
@@ -172,7 +187,9 @@ let engine_cancel () =
   let e = Des.Engine.create () in
   let fired = ref false in
   let h = Des.Engine.schedule e ~at:(Des.Time.ms 1) (fun () -> fired := true) in
+  ignore (Des.Engine.schedule e ~at:(Des.Time.ms 2) (fun () -> ()));
   Des.Engine.cancel h;
+  check_int "cancelled excluded while still queued" 1 (Des.Engine.pending e);
   Des.Engine.run e;
   check_bool "cancelled never fires" false !fired;
   check_int "pending zero" 0 (Des.Engine.pending e)
@@ -302,6 +319,7 @@ let () =
           Alcotest.test_case "basic" `Quick heap_basic;
           Alcotest.test_case "sorted drain" `Quick heap_sorted_drain;
           Alcotest.test_case "clear" `Quick heap_clear;
+          Alcotest.test_case "iter and fold" `Quick heap_iter_fold;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ heap_qcheck ] );
       ( "rng",

@@ -337,7 +337,7 @@ let server_stats_partial_window () =
 let mk_controller ?(config = Inband.Config.default) ?(n = 2) () =
   let names = Array.init n (fun i -> Fmt.str "s%d" i) in
   let pool = Maglev.Pool.create ~table_size:1021 ~names () in
-  (Inband.Controller.create ~config ~pool, pool)
+  (Inband.Controller.create ~config ~pool (), pool)
 
 let controller_shift_arithmetic () =
   let config =
@@ -456,7 +456,7 @@ let controller_weight_simplex_qcheck =
       in
       let names = [| "a"; "b"; "c" |] in
       let pool = Maglev.Pool.create ~table_size:1021 ~names () in
-      let c = Inband.Controller.create ~config ~pool in
+      let c = Inband.Controller.create ~config ~pool () in
       List.iteri
         (fun i (server, lat_us) ->
           ignore
@@ -598,13 +598,18 @@ let balancer_sweep_evicts_idle_flows () =
   Des.Engine.run ~until:(Des.Time.sec 1) rig.engine;
   check_int "evicted when idle" 0 (Inband.Balancer.active_flows rig.balancer)
 
-let balancer_taps_and_hooks_fire () =
+let balancer_buses_fire () =
   let rig = make_bal_rig ~policy:Inband.Policy.Latency_aware () in
   let tapped = ref 0 in
-  Inband.Balancer.add_tap rig.balancer (fun _ -> incr tapped);
+  ignore
+    (Telemetry.Bus.subscribe
+       (Inband.Balancer.packet_bus rig.balancer)
+       (fun _ -> incr tapped));
   let hooked = ref 0 in
-  Inband.Balancer.set_sample_hook rig.balancer
-    (fun ~at:_ ~flow:_ ~server:_ ~sample:_ -> incr hooked);
+  ignore
+    (Telemetry.Bus.subscribe
+       (Inband.Balancer.sample_bus rig.balancer)
+       (fun (_ : Inband.Balancer.sample_event) -> incr hooked));
   (* Batchy traffic on one flow: 3-packet bursts 500us apart, spanning
      several 64ms epochs so the ensemble converges to a reporting
      delta. *)
@@ -707,7 +712,7 @@ let () =
           Alcotest.test_case "least conn" `Quick balancer_least_conn_prefers_idle;
           Alcotest.test_case "fin releases" `Quick balancer_fin_releases_conn_gauge;
           Alcotest.test_case "sweep evicts" `Quick balancer_sweep_evicts_idle_flows;
-          Alcotest.test_case "taps and hooks" `Quick balancer_taps_and_hooks_fire;
+          Alcotest.test_case "telemetry buses" `Quick balancer_buses_fire;
           Alcotest.test_case "controller presence" `Quick
             balancer_controller_only_for_latency_aware;
           Alcotest.test_case "rejects empty pool" `Quick balancer_rejects_empty_pool;
