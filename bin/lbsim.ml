@@ -5,6 +5,8 @@
      lbsim fig2   [--duration 6] [--step-at 3] [--step-ms 1.0] ...
      lbsim fig3   [--duration 30] [--inject-at 10] [--policy ...] ...
      lbsim sweep  (alpha | epoch | timing | policy)
+     lbsim run    [--faults FILE] ...  (free-form scenario, fault timeline)
+     lbsim churn  [--faults FILE] [--assert-recovery]
      lbsim estimate --help      (run the estimator over a bulk flow) *)
 
 open Cmdliner
@@ -201,10 +203,42 @@ let sweep_cmd =
 
 (* --- run: free-form scenario ------------------------------------------- *)
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Replay a fault timeline from $(docv) (grammar: 'AT TARGET \
+           FAULT [for DURATION]' per line, e.g. '2s link:lb->s1 \
+           delay+1ms for 3s'; targets link:lb->sN, link:cN->lb, \
+           server:N, backend:N).")
+
+let load_faults = function
+  | None -> None
+  | Some path -> begin
+      match Faults.Timeline.load ~path with
+      | Ok timeline -> Some timeline
+      | Error msg ->
+          Fmt.epr "%s: %s@." path msg;
+          exit 2
+    end
+
+let print_fault_intervals injector =
+  List.iter
+    (fun (i : Faults.Injector.interval) ->
+      Fmt.pr "fault %s: applied at %a%s@."
+        (Faults.Timeline.to_spec i.Faults.Injector.event)
+        Des.Time.pp i.Faults.Injector.applied_at
+        (match i.Faults.Injector.reverted_at with
+        | Some t -> Fmt.str ", cleared at %a" Des.Time.pp t
+        | None -> ""))
+    (Faults.Injector.intervals injector)
+
 let run_cmd =
   let run duration policy servers clients connections pipeline get_ratio
       inject_at inject_ms interfere zipf seed estimate_window threshold
-      metrics =
+      metrics faults =
     let lb =
       {
         Inband.Config.default with
@@ -248,7 +282,11 @@ let run_cmd =
         Cluster.Scenario.inject_server_delay s ~server:(servers - 1) ~at
           ~delay:(Des.Time.of_float_s (inject_ms /. 1e3))
     | None -> ());
+    let injector =
+      Option.map (Cluster.Scenario.install_faults s) (load_faults faults)
+    in
     Cluster.Scenario.run s ~until:duration;
+    Option.iter print_fault_intervals injector;
     let log = Cluster.Scenario.log s in
     let balancer = Cluster.Scenario.balancer s in
     let hist op = Workload.Latency_log.hist log op in
@@ -351,7 +389,60 @@ let run_cmd =
     Term.(
       const run $ duration $ pol $ servers $ clients $ connections $ pipeline
       $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
-      $ estimate_window $ threshold $ metrics)
+      $ estimate_window $ threshold $ metrics $ faults_arg)
+
+(* --- churn: multi-fault timeline with per-fault latencies --------------- *)
+
+let churn_cmd =
+  let run duration seed faults assert_recovery csv metrics_csv =
+    let timeline =
+      match load_faults faults with
+      | Some timeline -> timeline
+      | None -> Cluster.Churn.default_timeline
+    in
+    let scenario =
+      { Cluster.Churn.default_scenario with Cluster.Scenario.seed }
+    in
+    let result = Cluster.Churn.run ~scenario ~duration ~timeline () in
+    Cluster.Churn.print result;
+    (match csv with
+    | Some path ->
+        Cluster.Csv.write_file ~path (Cluster.Csv.churn_faults result);
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    (match metrics_csv with
+    | Some path ->
+        Cluster.Csv.write_file ~path (Cluster.Csv.churn_metrics result);
+        Fmt.pr "wrote %s@." path
+    | None -> ());
+    if assert_recovery && not (Cluster.Churn.all_recovered result) then begin
+      Fmt.epr "churn: controller did not recover from every fault@.";
+      exit 1
+    end
+  in
+  let duration =
+    Arg.(
+      value
+      & opt sec (Des.Time.sec 14)
+      & info [ "duration" ] ~doc:"Run length, seconds.")
+  in
+  let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  let assert_recovery =
+    Arg.(
+      value & flag
+      & info [ "assert-recovery" ]
+          ~doc:
+            "Exit nonzero unless every fault was detected, cleared, and \
+             the weights healed back to uniform (CI smoke check).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Replay a multi-fault timeline against the latency-aware LB and \
+          report per-fault detection/recovery latency.")
+    Term.(
+      const run $ duration $ seed $ faults_arg $ assert_recovery $ csv_arg
+      $ metrics_csv_arg)
 
 (* --- estimate: run the estimators over a packet-timestamp trace ------- *)
 
@@ -447,6 +538,6 @@ let main_cmd =
        ~doc:
          "Packet-level simulator for in-band feedback control at load \
           balancers (HotNets '22 reproduction).")
-    [ fig2_cmd; fig3_cmd; sweep_cmd; estimate_cmd; run_cmd ]
+    [ fig2_cmd; fig3_cmd; sweep_cmd; estimate_cmd; run_cmd; churn_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

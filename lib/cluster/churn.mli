@@ -1,0 +1,64 @@
+(** Multi-fault churn scenario: a fault timeline replayed against the
+    latency-aware LB, reporting per-fault detection and recovery
+    latency.
+
+    The default run puts three backends behind the controller (with
+    [recovery_rate > 0] so cleared faults heal back to uniform
+    weights) and replays {!default_timeline}: a 1 ms delay step on
+    server 1's link, a 15 % loss burst on server 2's link, then a 3×
+    service-time slowdown on server 0 — each reverted after its
+    duration. For every ground-truth fault interval recorded by the
+    injector it reports:
+
+    - {b detection}: fault application → first control action at or
+      after it;
+    - {b recovery}: fault clearance → first telemetry snapshot where
+      the fault's victim backend is back at a meaningful weight (at
+      least [recovered_fraction] of its uniform 1/n share) — the
+      controller stopped penalising it and the recovery pull handed
+      its traffic back. *)
+
+type fault_report = {
+  interval : Faults.Injector.interval;
+  detection_ms : float option;
+  recovery_ms : float option;
+  recovered : bool;
+      (** The victim's weight healed before the run ended. *)
+}
+
+type result = {
+  duration : Des.Time.t;
+  timeline : Faults.Timeline.t;
+  reports : fault_report list;  (** In fault-application order. *)
+  actions : int;
+  final_weights : float array option;
+  p95_us : float;  (** Whole-run client GET p95. *)
+  responses : int;
+  metrics : Telemetry.Snapshot.row list;
+}
+
+val default_scenario : Scenario.config
+(** Three servers, latency-aware policy, damped control loop
+    ([relative_threshold = 2.0], [control_interval = 50ms]),
+    [recovery_rate = 0.4]/s, windowed-median estimates
+    ([estimate_window = 33], the A9 profile). *)
+
+val default_timeline : Faults.Timeline.t
+
+val run :
+  ?scenario:Scenario.config ->
+  ?duration:Des.Time.t ->
+  ?timeline:Faults.Timeline.t ->
+  ?recovered_fraction:float ->
+  unit ->
+  result
+(** Defaults: {!default_scenario}, 14 s, {!default_timeline},
+    [recovered_fraction = 0.5]. Out-of-cadence telemetry snapshots are
+    taken at each fault's start and clearance so recovery scans have
+    instants to look at. *)
+
+val all_recovered : result -> bool
+(** Every fault was detected and its victim's weight healed — the CI
+    smoke assertion. *)
+
+val print : result -> unit

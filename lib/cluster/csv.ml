@@ -67,6 +67,28 @@ let fig3_metrics (result : Fig3.result) =
            (Inband.Policy.to_string run.Fig3.policy, run.Fig3.metrics))
          result.Fig3.runs)
 
+let churn_faults (result : Churn.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "fault,applied_s,cleared_s,detection_ms,recovery_ms,recovered\n";
+  let opt_ms = function Some ms -> Fmt.str "%.3f" ms | None -> "" in
+  List.iter
+    (fun (r : Churn.fault_report) ->
+      let i = r.interval in
+      Buffer.add_string buf
+        (Fmt.str "%s,%.6f,%s,%s,%s,%b\n"
+           (Faults.Timeline.to_spec i.Faults.Injector.event)
+           (Des.Time.to_float_s i.Faults.Injector.applied_at)
+           (match i.Faults.Injector.reverted_at with
+           | Some t -> Fmt.str "%.6f" (Des.Time.to_float_s t)
+           | None -> "")
+           (opt_ms r.detection_ms) (opt_ms r.recovery_ms) r.recovered))
+    result.Churn.reports;
+  Buffer.contents buf
+
+let churn_metrics (result : Churn.result) =
+  metrics_rows ~runs:[ ("churn", result.Churn.metrics) ]
+
 let write_file ~path contents =
   let oc = open_out path in
   Fun.protect

@@ -20,5 +20,13 @@ val metrics_rows : runs:(string * Telemetry.Snapshot.row list) list -> string
 val fig3_metrics : Fig3.result -> string
 (** {!metrics_rows} over a Fig. 3 result, labelled by policy. *)
 
+val churn_faults : Churn.result -> string
+(** Schema: [fault,applied_s,cleared_s,detection_ms,recovery_ms,recovered]
+    — one row per ground-truth fault interval; the fault column is the
+    timeline spec of the event. Empty cells mean "never". *)
+
+val churn_metrics : Churn.result -> string
+(** {!metrics_rows} over a churn run, labelled ["churn"]. *)
+
 val write_file : path:string -> string -> unit
 (** Write (truncate) [path]. Raises [Sys_error] on failure. *)

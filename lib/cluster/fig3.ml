@@ -32,11 +32,25 @@ let median_float values =
   | sorted -> List.nth sorted (List.length sorted / 2)
 
 let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
-    ~recovery_factor =
+    ~recovery_factor ~injection =
   let config = { scenario with Scenario.policy } in
   let s = Scenario.build config in
-  Scenario.inject_server_delay s ~server:victim ~at:inject_at
-    ~delay:inject_delay;
+  (* Both arms schedule the delay step before the injection-time snap,
+     so same-instant event order — and hence the whole run — is
+     identical; the timeline arm additionally records the ground-truth
+     interval and fault.* telemetry. *)
+  (match injection with
+  | `Direct ->
+      Scenario.inject_server_delay s ~server:victim ~at:inject_at
+        ~delay:inject_delay
+  | `Timeline ->
+      ignore
+        (Scenario.install_faults s
+           [
+             Faults.Timeline.event ~at:inject_at
+               ~target:(Faults.Timeline.Link (Fmt.str "lb->s%d" victim))
+               ~fault:(Faults.Timeline.Delay inject_delay) ();
+           ]));
   (* An out-of-cadence snapshot at injection time captures the exact
      per-server flow assignment, splitting the victim's share into
      before/after; a final one closes the run. *)
@@ -163,7 +177,8 @@ let default_scenario =
 let run ?(scenario = default_scenario) ?metrics_interval
     ?(policies = [ Inband.Policy.Static_maglev; Inband.Policy.Latency_aware ])
     ?(duration = Des.Time.sec 30) ?(inject_at = Des.Time.sec 10)
-    ?(inject_delay = Des.Time.ms 1) ?(recovery_factor = 1.5) () =
+    ?(inject_delay = Des.Time.ms 1) ?(recovery_factor = 1.5)
+    ?(injection = `Timeline) () =
   let scenario =
     match metrics_interval with
     | None -> scenario
@@ -173,7 +188,7 @@ let run ?(scenario = default_scenario) ?metrics_interval
     List.map
       (fun policy ->
         run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
-          ~recovery_factor)
+          ~recovery_factor ~injection)
       policies
   in
   { duration; inject_at; inject_delay; runs }

@@ -48,6 +48,7 @@ val run :
   ?inject_at:Des.Time.t ->
   ?inject_delay:Des.Time.t ->
   ?recovery_factor:float ->
+  ?injection:[ `Timeline | `Direct ] ->
   unit ->
   result
 (** Defaults: [Static_maglev] and [Latency_aware]; 30 s runs with the
@@ -57,6 +58,13 @@ val run :
     The default scenario sets [relative_threshold = 1.3] — one
     stabiliser over the paper's always-act rule, without which the
     controller wanders before the injection (DESIGN.md §5); pass your
-    own [scenario] for the paper-exact profile. *)
+    own [scenario] for the paper-exact profile.
+
+    [injection] selects how the delay step is applied: [`Timeline]
+    (default) replays a one-event fault timeline through
+    {!Scenario.install_faults}; [`Direct] calls
+    {!Scenario.inject_server_delay} directly. The two are
+    event-for-event identical (same seed ⇒ same series); [`Direct]
+    survives as the cross-check. *)
 
 val print : result -> unit

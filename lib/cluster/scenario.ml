@@ -56,6 +56,7 @@ type t = {
   log : Workload.Latency_log.t;
   vip : Netsim.Addr.t;
   config : config;
+  client_lb_links : Netsim.Link.t array;
   lb_server_links : Netsim.Link.t array;
   telemetry : Telemetry.Registry.t;
   snapshots : Telemetry.Snapshot.t;
@@ -82,10 +83,13 @@ let build config =
       ~rng:(Des.Rng.split root_rng ~label:"p2c")
       ~telemetry ()
   in
-  let plain_link ?metric ?index delay =
+  (* Forward-path links carry an rng so the fault layer can turn on
+     loss bursts; each gets its own label-split stream, so unused rngs
+     don't perturb any other stream. *)
+  let plain_link ?metric ?index ?rng delay =
     Netsim.Link.create engine ~delay ~rate_bps:config.link_rate_bps
       ?telemetry:(if metric = None then None else Some telemetry)
-      ?metric ?index ()
+      ?metric ?index ?rng ()
   in
   let return_link delay ~rng =
     match config.return_jitter with
@@ -154,14 +158,22 @@ let build config =
     | Some d -> d
     | None -> config.client_lb_delay
   in
-  for j = 0 to config.n_clients - 1 do
-    Netsim.Fabric.add_link fabric ~src:(client_ip j) ~dst:vip_ip
-      (plain_link ~metric:"link.client_lb" ~index:j (client_delay j))
-  done;
+  let client_lb_links =
+    Array.init config.n_clients (fun j ->
+        let link =
+          plain_link ~metric:"link.client_lb" ~index:j
+            ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "link-c%d" j))
+            (client_delay j)
+        in
+        Netsim.Fabric.add_link fabric ~src:(client_ip j) ~dst:vip_ip link;
+        link)
+  in
   let lb_server_links =
     Array.init config.n_servers (fun i ->
         let link =
-          plain_link ~metric:"link.lb_server" ~index:i config.lb_server_delay
+          plain_link ~metric:"link.lb_server" ~index:i
+            ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "link-s%d" i))
+            config.lb_server_delay
         in
         Netsim.Fabric.add_link fabric ~src:vip_ip ~dst:(server_ip i) link;
         link)
@@ -190,6 +202,7 @@ let build config =
     log;
     vip;
     config;
+    client_lb_links;
     lb_server_links;
     telemetry;
     snapshots;
@@ -204,6 +217,7 @@ let log t = t.log
 let vip t = t.vip
 let config t = t.config
 let lb_server_link t i = t.lb_server_links.(i)
+let client_lb_link t j = t.client_lb_links.(j)
 let telemetry t = t.telemetry
 let snapshots t = t.snapshots
 
@@ -212,6 +226,36 @@ let inject_server_delay t ~server ~at ~delay =
   ignore
     (Des.Engine.schedule t.engine ~at (fun () ->
          Netsim.Link.set_extra_delay link delay))
+
+(* Timeline link names follow the topology: "lb->sN" is the LB→server
+   request link, "cN->lb" the client→LB one. *)
+let resolve_link t name =
+  let array_get a i = if i >= 0 && i < Array.length a then Some a.(i) else None in
+  match Scanf.sscanf_opt name "lb->s%d%!" (fun i -> i) with
+  | Some i -> array_get t.lb_server_links i
+  | None -> begin
+      match Scanf.sscanf_opt name "c%d->lb%!" (fun j -> j) with
+      | Some j -> array_get t.client_lb_links j
+      | None -> None
+    end
+
+let fault_env t =
+  {
+    Faults.Injector.link = resolve_link t;
+    server =
+      (fun i ->
+        if i >= 0 && i < Array.length t.servers then Some t.servers.(i)
+        else None);
+    controller =
+      (fun i ->
+        if i >= 0 && i < Array.length t.servers then
+          Inband.Balancer.controller t.balancer
+        else None);
+  }
+
+let install_faults t timeline =
+  Faults.Injector.install t.engine ~env:(fault_env t) ~telemetry:t.telemetry
+    timeline
 
 let run t ~until =
   Array.iter Workload.Memtier.start t.clients;

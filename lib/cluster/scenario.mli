@@ -64,6 +64,9 @@ val config : t -> config
 val lb_server_link : t -> int -> Netsim.Link.t
 (** The LB→server link of one server (for delay injection). *)
 
+val client_lb_link : t -> int -> Netsim.Link.t
+(** The client→LB link of one client. *)
+
 val telemetry : t -> Telemetry.Registry.t
 (** The cluster-wide metric registry. Every component registers here:
     the balancer ([lb.*], [ctl.*]), servers ([server.*], indexed),
@@ -79,6 +82,16 @@ val inject_server_delay :
   t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit
 (** Schedule [Link.set_extra_delay] on the LB→server link at time [at] —
     the paper's netem injection. *)
+
+val fault_env : t -> Faults.Injector.env
+(** The cluster's fault-target namespace: link ["lb->sN"] is the
+    LB→server request link, ["cN->lb"] the client→LB one; servers and
+    backends are indexed as built. The controller resolves only under
+    the latency-aware policy. *)
+
+val install_faults : t -> Faults.Timeline.t -> Faults.Injector.t
+(** {!Faults.Injector.install} against {!fault_env}, publishing
+    [fault.*] metrics into the cluster registry. Call before {!run}. *)
 
 val run : t -> until:Des.Time.t -> unit
 (** Start all clients, run the engine to [until], then stop clients. *)

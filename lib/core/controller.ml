@@ -12,6 +12,7 @@ type t = {
   mutable last_update : Des.Time.t; (* last table rebuild (shift or recovery) *)
   mutable updated_once : bool;
   mutable actions_rev : action list;
+  drained : bool array; (* administratively pinned at the weight floor *)
   m_actions : Telemetry.Registry.counter;
 }
 
@@ -39,6 +40,7 @@ let create ~config ~pool ?telemetry () =
       last_update = 0;
       updated_once = false;
       actions_rev = [];
+      drained = Array.make n false;
       m_actions = Telemetry.Registry.counter registry "ctl.actions";
     }
   in
@@ -46,6 +48,9 @@ let create ~config ~pool ?telemetry () =
     Telemetry.Registry.gauge_fn registry ~index:i "ctl.weight" (fun () ->
         (Maglev.Pool.weights t.pool).(i))
   done;
+  Telemetry.Registry.gauge_fn registry "ctl.drained" (fun () ->
+      float_of_int
+        (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.drained));
   t
 
 let stats t = t.stats
@@ -59,7 +64,8 @@ let normalize w =
 
 (* Pull weights towards uniform at [recovery_rate] per second of elapsed
    time — the optional §5(4) extension that keeps a starved backend
-   probed. Returns true if the weights moved materially. *)
+   probed. Drained backends stay pinned at the floor and are skipped.
+   Returns true if the weights moved materially. *)
 let apply_recovery t ~now w =
   let rate = t.config.Config.recovery_rate in
   if rate <= 0.0 || not t.updated_once then false
@@ -72,36 +78,71 @@ let apply_recovery t ~now w =
       let moved = ref false in
       Array.iteri
         (fun i v ->
-          let v' = v +. (pull *. (uniform -. v)) in
-          if Float.abs (v' -. v) > 1e-4 then moved := true;
-          w.(i) <- v')
+          if not t.drained.(i) then begin
+            let v' = v +. (pull *. (uniform -. v)) in
+            if Float.abs (v' -. v) > 1e-4 then moved := true;
+            w.(i) <- v'
+          end)
         w;
       !moved
     end
   end
 
 (* The paper's shift: move delta = min(alpha, victim's headroom) from the
-   worst server to everyone else, equally. *)
+   worst server to the remaining (non-drained) servers, equally. *)
 let compute_shift t ~victim w =
-  let n = Array.length w in
   let floor_w = t.config.Config.min_weight in
   let available = Float.max 0.0 (w.(victim) -. floor_w) in
   let delta = Float.min t.config.Config.alpha available in
-  if delta <= 1e-9 then None
+  let recipients = ref 0 in
+  Array.iteri
+    (fun i d -> if i <> victim && not d then incr recipients)
+    t.drained;
+  if delta <= 1e-9 || !recipients = 0 then None
   else begin
-    let share = delta /. float_of_int (n - 1) in
+    let share = delta /. float_of_int !recipients in
     Array.iteri
-      (fun i v -> w.(i) <- (if i = victim then v -. delta else v +. share))
+      (fun i v ->
+        if i = victim then w.(i) <- v -. delta
+        else if not t.drained.(i) then w.(i) <- v +. share)
       w;
     Some delta
   end
 
 let commit t ~now w =
+  (* Drains hold across every rebuild, whatever recovery or shifting
+     computed above; normalization then keeps the simplex. *)
+  Array.iteri
+    (fun i d -> if d then w.(i) <- t.config.Config.min_weight)
+    t.drained;
   normalize w;
   Maglev.Pool.set_weights t.pool w;
   Maglev.Pool.rebuild t.pool;
   t.last_update <- now;
   t.updated_once <- true
+
+(* Administrative drain: pin the backend at the weight floor until
+   {!restore}, which hands it back its uniform share and lets the
+   feedback loop take over again. Both rebuild immediately. *)
+let drain t ~now ~server =
+  if server < 0 || server >= Array.length t.drained then
+    invalid_arg "Controller.drain: server out of range";
+  if not t.drained.(server) then begin
+    t.drained.(server) <- true;
+    commit t ~now (Maglev.Pool.weights t.pool)
+  end
+
+let restore t ~now ~server =
+  if server < 0 || server >= Array.length t.drained then
+    invalid_arg "Controller.restore: server out of range";
+  if t.drained.(server) then begin
+    t.drained.(server) <- false;
+    let w = Maglev.Pool.weights t.pool in
+    w.(server) <- 1.0 /. float_of_int (Array.length w);
+    commit t ~now w
+  end
+
+let is_drained t server = t.drained.(server)
 
 let on_sample t ~now ~server sample =
   Server_stats.record t.stats ~server ~sample ~at:now;

@@ -32,6 +32,22 @@ val on_sample : t -> now:Des.Time.t -> server:int -> Des.Time.t -> action option
 (** Attribute a latency sample (ns) to [server]; possibly shift traffic.
     Returns the action taken, if any. *)
 
+val drain : t -> now:Des.Time.t -> server:int -> unit
+(** Administratively pin one backend at the weight floor
+    ([Config.min_weight]) and rebuild. The pin holds across every
+    subsequent shift/recovery rebuild until {!restore}; draining an
+    already-drained backend is a no-op. The fault layer's backend-drain
+    knob.
+
+    @raise Invalid_argument if [server] is out of range. *)
+
+val restore : t -> now:Des.Time.t -> server:int -> unit
+(** Undo a {!drain}: give the backend its uniform share back, rebuild,
+    and let feedback control adjust from there. No-op when not
+    drained. *)
+
+val is_drained : t -> int -> bool
+
 val stats : t -> Server_stats.t
 val actions : t -> action list
 (** All actions taken, oldest first. *)

@@ -68,14 +68,28 @@ let cliff_pick ?(min_fraction = 0.0) counts =
   !best
 
 let rollover config scope ~epoch_now =
-  scope.chosen <-
-    cliff_pick ~min_fraction:config.Config.cliff_min_fraction scope.counts;
-  Array.fill scope.counts 0 (Array.length scope.counts) 0;
+  (* An epoch that produced no samples carries no cliff information:
+     retain the previously chosen timeout instead of letting the
+     all-zero argmax silently reset it to δ₁. *)
+  if Array.exists (fun c -> c > 0) scope.counts then begin
+    scope.chosen <-
+      cliff_pick ~min_fraction:config.Config.cliff_min_fraction scope.counts;
+    Array.fill scope.counts 0 (Array.length scope.counts) 0
+  end;
   scope.epoch_index <- epoch_now;
   scope.epochs <- scope.epochs + 1
 
 let on_packet t flow ~now =
   let scope = scope_of t flow in
+  (* Lines 7–11 first: if this packet opens a new epoch, close the old
+     one *before* counting, so the boundary packet's samples land in
+     the epoch that begins now instead of being zeroed immediately.
+     A flow idle across several epochs rolls over once, which matches
+     per-epoch execution: the pick uses the last completed epoch's
+     counts, and each intervening sample-free epoch would only have
+     retained the chosen index anyway. *)
+  let epoch_now = now / t.config.Config.epoch in
+  if epoch_now > scope.epoch_index then rollover t.config scope ~epoch_now;
   (* Algorithm 2 lines 1–6: run every FIXEDTIMEOUT instance and count
      its samples. *)
   let samples = Array.make t.k None in
@@ -86,10 +100,6 @@ let on_packet t flow ~now =
         samples.(i) <- Some sample
     | None -> ()
   done;
-  (* Lines 7–11: on the first packet of a new epoch, detect the cliff
-     and switch the reporting timeout for the epoch that begins now. *)
-  let epoch_now = now / t.config.Config.epoch in
-  if epoch_now > scope.epoch_index then rollover t.config scope ~epoch_now;
   (* Line 12: report under the (possibly just updated) chosen δ. *)
   samples.(scope.chosen)
 

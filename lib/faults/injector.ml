@@ -1,0 +1,174 @@
+type env = {
+  link : string -> Netsim.Link.t option;
+  server : int -> Memcache.Server.t option;
+  controller : int -> Inband.Controller.t option;
+}
+
+type phase = Applied | Reverted
+
+type notification = {
+  at : Des.Time.t;
+  event : Timeline.event;
+  phase : phase;
+}
+
+type interval = {
+  event : Timeline.event;
+  applied_at : Des.Time.t;
+  mutable reverted_at : Des.Time.t option;
+}
+
+type t = {
+  engine : Des.Engine.t;
+  bus : notification Telemetry.Bus.t;
+  mutable intervals_rev : interval list;
+  mutable active : int;
+  m_applied : Telemetry.Registry.counter;
+  m_reverted : Telemetry.Registry.counter;
+}
+
+(* How many discrete steps a ramp is applied in. *)
+let ramp_steps = 16
+
+let note t event phase =
+  let at = Des.Engine.now t.engine in
+  (match phase with
+  | Applied ->
+      t.active <- t.active + 1;
+      Telemetry.Registry.Counter.incr t.m_applied
+  | Reverted ->
+      t.active <- t.active - 1;
+      Telemetry.Registry.Counter.incr t.m_reverted);
+  Telemetry.Bus.publish t.bus { at; event; phase }
+
+(* Resolve an event against the environment, failing fast on unknown
+   targets so a typo in a timeline dies at install, not mid-run. The
+   returned closures run at apply time: [apply] captures the
+   pre-fault state and returns the matching undo. *)
+let resolve env (e : Timeline.event) =
+  (match Timeline.validate e with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg (Fmt.str "Faults.Injector: %s: %s" (Timeline.to_spec e) msg));
+  let link name =
+    match env.link name with
+    | Some l -> l
+    | None -> invalid_arg ("Faults.Injector: unknown link " ^ name)
+  in
+  let server i =
+    match env.server i with
+    | Some s -> s
+    | None -> invalid_arg (Fmt.str "Faults.Injector: unknown server %d" i)
+  in
+  let controller i =
+    match env.controller i with
+    | Some c -> c
+    | None ->
+        invalid_arg
+          (Fmt.str
+             "Faults.Injector: no controller for backend %d (drain needs the \
+              latency-aware policy)"
+             i)
+  in
+  match (e.target, e.fault) with
+  | Timeline.Link name, (Timeline.Delay d | Timeline.Spike d) ->
+      let l = link name in
+      fun _engine ->
+        let prev = Netsim.Link.extra_delay l in
+        Netsim.Link.set_extra_delay l d;
+        fun () -> Netsim.Link.set_extra_delay l prev
+  | Timeline.Link name, Timeline.Ramp target ->
+      let l = link name in
+      let duration = Option.get e.duration in
+      fun engine ->
+        let prev = Netsim.Link.extra_delay l in
+        for k = 1 to ramp_steps do
+          ignore
+            (Des.Engine.schedule_after engine ~delay:(k * duration / ramp_steps)
+               (fun () ->
+                 Netsim.Link.set_extra_delay l
+                   (prev + ((target - prev) * k / ramp_steps))))
+        done;
+        fun () -> ()
+  | Timeline.Link name, Timeline.Loss p ->
+      let l = link name in
+      if p > 0.0 && not (Netsim.Link.has_rng l) then
+        invalid_arg
+          (Fmt.str
+             "Faults.Injector: link %s has no rng (loss faults need one)" name);
+      fun _engine ->
+        let prev = Netsim.Link.loss_prob l in
+        Netsim.Link.set_loss_prob l p;
+        fun () -> Netsim.Link.set_loss_prob l prev
+  | Timeline.Server i, Timeline.Slow f ->
+      let s = server i in
+      fun _engine ->
+        let prev = Memcache.Server.slow_factor s in
+        Memcache.Server.set_slow_factor s f;
+        fun () -> Memcache.Server.set_slow_factor s prev
+  | Timeline.Server i, Timeline.Pause ->
+      let s = server i in
+      let duration = Option.get e.duration in
+      fun engine ->
+        Memcache.Server.pause s ~until:(Des.Engine.now engine + duration);
+        fun () -> Memcache.Server.resume s
+  | Timeline.Backend i, Timeline.Drain ->
+      let c = controller i in
+      fun engine ->
+        Inband.Controller.drain c ~now:(Des.Engine.now engine) ~server:i;
+        fun () ->
+          Inband.Controller.restore c ~now:(Des.Engine.now engine) ~server:i
+  | (Timeline.Link _ | Timeline.Server _ | Timeline.Backend _), _ ->
+      (* validate above rejects every fault/target mismatch *)
+      assert false
+
+let schedule t (e : Timeline.event) apply =
+  ignore
+    (Des.Engine.schedule t.engine ~at:e.at (fun () ->
+         let undo = apply t.engine in
+         let interval =
+           { event = e; applied_at = Des.Engine.now t.engine; reverted_at = None }
+         in
+         t.intervals_rev <- interval :: t.intervals_rev;
+         note t e Applied;
+         match (e.duration, e.fault) with
+         | None, _ | Some _, Timeline.Ramp _ ->
+             (* Permanent faults (and ramps, whose duration is the
+                transition time) never revert. *)
+             ()
+         | Some duration, _ ->
+             ignore
+               (Des.Engine.schedule_after t.engine ~delay:duration (fun () ->
+                    undo ();
+                    interval.reverted_at <- Some (Des.Engine.now t.engine);
+                    note t e Reverted))))
+
+let install engine ~env ?telemetry timeline =
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let t =
+    {
+      engine;
+      bus = Telemetry.Bus.create ();
+      intervals_rev = [];
+      active = 0;
+      m_applied = Telemetry.Registry.counter registry "fault.applied";
+      m_reverted = Telemetry.Registry.counter registry "fault.reverted";
+    }
+  in
+  Telemetry.Registry.gauge_fn registry "fault.active" (fun () ->
+      float_of_int t.active);
+  (* Resolve everything up front, then schedule: a bad event aborts the
+     whole install before any state changes. *)
+  let resolved = List.map (fun e -> (e, resolve env e)) timeline in
+  List.iter (fun (e, apply) -> schedule t e apply) resolved;
+  t
+
+let intervals t = List.rev t.intervals_rev
+let active_faults t = t.active
+let applied_count t = Telemetry.Registry.Counter.value t.m_applied
+let reverted_count t = Telemetry.Registry.Counter.value t.m_reverted
+let bus t = t.bus

@@ -1,0 +1,58 @@
+(** Replays a {!Timeline} on a DES engine.
+
+    The injector resolves every event's target at install time (so a
+    typo fails before the run starts), schedules the fault application
+    at [at] and — for events carrying a duration — the revert at
+    [at + duration]. Reverts restore the state captured at apply time
+    (extra delay, loss probability, slow factor, drained weight), so
+    overlapping faults on distinct targets compose naturally.
+
+    Every application/revert is counted in the telemetry registry
+    ([fault.applied], [fault.reverted], plus a [fault.active] gauge),
+    published on a {!bus}, and recorded as a ground-truth {!interval}
+    so reports can compute per-fault detection and recovery latency. *)
+
+type env = {
+  link : string -> Netsim.Link.t option;
+      (** Resolve a timeline link name, e.g. ["lb->s1"]. *)
+  server : int -> Memcache.Server.t option;
+  controller : int -> Inband.Controller.t option;
+      (** Controller owning the given backend index; [None] when the
+          scenario runs without feedback control (drain unsupported). *)
+}
+
+type phase = Applied | Reverted
+
+type notification = { at : Des.Time.t; event : Timeline.event; phase : phase }
+
+type interval = {
+  event : Timeline.event;
+  applied_at : Des.Time.t;
+  mutable reverted_at : Des.Time.t option;
+      (** [None] while active, and forever for permanent faults (and
+          ramps, whose duration is the transition time). *)
+}
+
+type t
+
+val install :
+  Des.Engine.t ->
+  env:env ->
+  ?telemetry:Telemetry.Registry.t ->
+  Timeline.t ->
+  t
+(** Resolve and schedule every event of the timeline.
+
+    @raise Invalid_argument if any event is invalid, names an unknown
+    target, or requests loss on a link created without an rng. Nothing
+    is scheduled in that case. *)
+
+val intervals : t -> interval list
+(** Ground-truth fault intervals, in application order. *)
+
+val active_faults : t -> int
+val applied_count : t -> int
+val reverted_count : t -> int
+
+val bus : t -> notification Telemetry.Bus.t
+(** Notified synchronously at each apply/revert. *)

@@ -1,0 +1,223 @@
+type target =
+  | Link of string
+  | Server of int
+  | Backend of int
+
+type fault =
+  | Delay of Des.Time.t
+  | Ramp of Des.Time.t
+  | Spike of Des.Time.t
+  | Loss of float
+  | Slow of float
+  | Pause
+  | Drain
+
+type event = {
+  at : Des.Time.t;
+  target : target;
+  fault : fault;
+  duration : Des.Time.t option;
+}
+
+type t = event list
+
+let pp_target ppf = function
+  | Link name -> Fmt.pf ppf "link:%s" name
+  | Server i -> Fmt.pf ppf "server:%d" i
+  | Backend i -> Fmt.pf ppf "backend:%d" i
+
+let pp_fault ppf = function
+  | Delay d -> Fmt.pf ppf "delay+%a" Des.Time.pp d
+  | Ramp d -> Fmt.pf ppf "ramp+%a" Des.Time.pp d
+  | Spike d -> Fmt.pf ppf "spike+%a" Des.Time.pp d
+  | Loss p -> Fmt.pf ppf "loss=%g" p
+  | Slow f -> Fmt.pf ppf "slow*%g" f
+  | Pause -> Fmt.pf ppf "pause"
+  | Drain -> Fmt.pf ppf "drain"
+
+let pp_event ppf e =
+  Fmt.pf ppf "%a %a %a%a" Des.Time.pp e.at pp_target e.target pp_fault e.fault
+    (Fmt.option (fun ppf d -> Fmt.pf ppf " for %a" Des.Time.pp d))
+    e.duration
+
+let to_spec e = Fmt.str "%a" pp_event e
+
+(* A duration literal: float + unit suffix, e.g. "1.5ms", "100us",
+   "2s", "250ns". *)
+let time_of_string s =
+  let num, unit_ =
+    let n = String.length s in
+    let rec split i =
+      if i < n && (s.[i] = '.' || (s.[i] >= '0' && s.[i] <= '9')) then
+        split (i + 1)
+      else i
+    in
+    let cut = split 0 in
+    (String.sub s 0 cut, String.sub s cut (n - cut))
+  in
+  let scale =
+    match unit_ with
+    | "ns" -> Some 1.0
+    | "us" -> Some 1e3
+    | "ms" -> Some 1e6
+    | "s" -> Some 1e9
+    | _ -> None
+  in
+  match (float_of_string_opt num, scale) with
+  | Some v, Some k when v >= 0.0 -> Ok (Des.Time.ns (int_of_float (v *. k)))
+  | _, _ -> Error (Fmt.str "bad time %S (want e.g. 100us, 1.5ms, 2s)" s)
+
+let target_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Fmt.str "bad target %S (want link:NAME, server:N, backend:N)" s)
+  | Some i -> begin
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let indexed mk =
+        match int_of_string_opt rest with
+        | Some n when n >= 0 -> Ok (mk n)
+        | Some _ | None -> Error (Fmt.str "bad %s index %S" kind rest)
+      in
+      match kind with
+      | "link" when rest <> "" -> Ok (Link rest)
+      | "server" -> indexed (fun n -> Server n)
+      | "backend" -> indexed (fun n -> Backend n)
+      | _ ->
+          Error
+            (Fmt.str "bad target %S (want link:NAME, server:N, backend:N)" s)
+    end
+
+(* delay+T | ramp+T | spike+T | loss=P | slow*F | pause | drain *)
+let fault_of_string s =
+  let arg op = String.sub s (String.length op) (String.length s - String.length op) in
+  let prefixed op =
+    String.length s > String.length op
+    && String.sub s 0 (String.length op) = op
+  in
+  let timed op mk = Result.map mk (time_of_string (arg op)) in
+  let floated op mk =
+    match float_of_string_opt (arg op) with
+    | Some v -> Ok (mk v)
+    | None -> Error (Fmt.str "bad number in %S" s)
+  in
+  if s = "pause" then Ok Pause
+  else if s = "drain" then Ok Drain
+  else if prefixed "delay+" then timed "delay+" (fun d -> Delay d)
+  else if prefixed "ramp+" then timed "ramp+" (fun d -> Ramp d)
+  else if prefixed "spike+" then timed "spike+" (fun d -> Spike d)
+  else if prefixed "loss=" then floated "loss=" (fun p -> Loss p)
+  else if prefixed "slow*" then floated "slow*" (fun f -> Slow f)
+  else
+    Error
+      (Fmt.str
+         "unknown fault %S (want delay+T, ramp+T, spike+T, loss=P, slow*F, \
+          pause, drain)"
+         s)
+
+let validate e =
+  let need_duration what =
+    match e.duration with
+    | Some _ -> Ok ()
+    | None -> Error (Fmt.str "%s needs a 'for DURATION'" what)
+  in
+  let on_link what =
+    match e.target with
+    | Link _ -> Ok ()
+    | Server _ | Backend _ -> Error (Fmt.str "%s applies to link targets" what)
+  in
+  let on_server what =
+    match e.target with
+    | Server _ -> Ok ()
+    | Link _ | Backend _ -> Error (Fmt.str "%s applies to server targets" what)
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    match e.duration with
+    | Some d when d <= 0 -> Error "duration must be positive"
+    | Some _ | None -> Ok ()
+  in
+  match e.fault with
+  | Delay _ -> on_link "delay"
+  | Ramp _ ->
+      let* () = on_link "ramp" in
+      need_duration "ramp"
+  | Spike _ ->
+      let* () = on_link "spike" in
+      need_duration "spike"
+  | Loss p ->
+      let* () = on_link "loss" in
+      if p < 0.0 || p >= 1.0 then Error "loss probability must be in [0, 1)"
+      else Ok ()
+  | Slow f ->
+      let* () = on_server "slow" in
+      if f > 0.0 then Ok () else Error "slow factor must be > 0"
+  | Pause ->
+      let* () = on_server "pause" in
+      need_duration "pause"
+  | Drain -> begin
+      match e.target with
+      | Backend _ -> Ok ()
+      | Link _ | Server _ -> Error "drain applies to backend targets"
+    end
+
+let event ~at ~target ~fault ?duration () =
+  let e = { at; target; fault; duration } in
+  match validate e with
+  | Ok () -> e
+  | Error msg -> invalid_arg ("Faults.Timeline.event: " ^ msg)
+
+(* One spec line: `AT TARGET FAULT [for DURATION]`, '#' starts a
+   comment, blank lines are skipped. *)
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let ( let* ) = Result.bind in
+  match words with
+  | [] -> Ok None
+  | at :: target :: fault :: rest ->
+      let* at = time_of_string at in
+      let* target = target_of_string target in
+      let* fault = fault_of_string fault in
+      let* duration =
+        match rest with
+        | [] -> Ok None
+        | [ "for"; d ] -> Result.map Option.some (time_of_string d)
+        | _ ->
+            Error
+              (Fmt.str "trailing %S (want 'for DURATION' or nothing)"
+                 (String.concat " " rest))
+      in
+      let e = { at; target; fault; duration } in
+      let* () = validate e in
+      Ok (Some e)
+  | _ ->
+      Error
+        (Fmt.str "bad line %S (want 'AT TARGET FAULT [for DURATION]')"
+           (String.trim line))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> begin
+        match parse_line line with
+        | Ok None -> go (n + 1) acc rest
+        | Ok (Some e) -> go (n + 1) (e :: acc) rest
+        | Error msg -> Error (Fmt.str "line %d: %s" n msg)
+      end
+  in
+  Result.map
+    (List.stable_sort (fun a b -> compare a.at b.at))
+    (go 1 [] lines)
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

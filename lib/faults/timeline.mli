@@ -1,0 +1,91 @@
+(** Scriptable fault timelines.
+
+    A timeline is a list of typed events [(at, target, fault, duration
+    option)] driving arbitrary perturbations over simulated time:
+    latency steps/ramps/spikes and loss bursts on network links,
+    service-rate degradation and pause/resume on servers, and backend
+    drain/restore through the controller's weight floor. Timelines are
+    built programmatically ({!event}) or parsed from a small text
+    grammar ({!parse}, {!load}):
+
+    {v
+    # at   target       fault       [for duration]
+    100ms  link:lb->s1  delay+1ms                  # permanent step
+    2s     link:lb->s1  spike+2ms   for 200ms      # step, then revert
+    3s     link:lb->s0  ramp+1ms    for 1s         # reach +1ms over 1s
+    5s     link:c0->lb  loss=0.05   for 500ms      # loss burst
+    6s     server:0     slow*2.5    for 2s         # half-ish speed
+    8s     server:1     pause       for 10ms       # GC-style stall
+    9s     backend:1    drain       for 3s         # weight-floor drain
+    v}
+
+    Times are a float plus [ns]/[us]/[ms]/[s]; ['#'] starts a comment.
+    An {!Injector} replays a timeline on a DES engine, applying each
+    fault at [at] and reverting it after [duration] (where present). *)
+
+type target =
+  | Link of string  (** Resolved by the host environment, e.g. ["lb->s1"]. *)
+  | Server of int
+  | Backend of int  (** A backend index at the feedback controller. *)
+
+type fault =
+  | Delay of Des.Time.t
+      (** Step the link's injected extra delay to this value. With a
+          duration, the previous extra delay is restored afterwards. *)
+  | Ramp of Des.Time.t
+      (** Approach this extra delay linearly over the (required)
+          duration, then stay there. *)
+  | Spike of Des.Time.t
+      (** A {!Delay} that must carry a duration: apply, then revert. *)
+  | Loss of float
+      (** Replace the link's per-packet loss probability; with a
+          duration, a loss burst that reverts. *)
+  | Slow of float
+      (** Multiply the server's service times (2.0 = half speed). *)
+  | Pause  (** Stall the server for the (required) duration. *)
+  | Drain
+      (** Pin the backend at the controller's weight floor; with a
+          duration, restore afterwards. *)
+
+type event = {
+  at : Des.Time.t;
+  target : target;
+  fault : fault;
+  duration : Des.Time.t option;
+}
+
+type t = event list
+
+val event :
+  at:Des.Time.t ->
+  target:target ->
+  fault:fault ->
+  ?duration:Des.Time.t ->
+  unit ->
+  event
+(** Build one validated event.
+
+    @raise Invalid_argument when the combination is invalid (see
+    {!validate}). *)
+
+val validate : event -> (unit, string) result
+(** Faults must match their target kind (link faults on links, ...);
+    ramp/spike/pause require a duration; loss must be in [0, 1); slow
+    must be positive; durations must be positive. *)
+
+val parse_line : string -> (event option, string) result
+(** One grammar line; [Ok None] for blank/comment lines. *)
+
+val parse : string -> (t, string) result
+(** Parse a whole spec (newline-separated), sorted by [at]. Errors name
+    the offending line. *)
+
+val load : path:string -> (t, string) result
+(** {!parse} the contents of a file. *)
+
+val to_spec : event -> string
+(** Render an event back in the grammar (parses to itself). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_target : Format.formatter -> target -> unit
+val pp_fault : Format.formatter -> fault -> unit

@@ -20,6 +20,14 @@ let periodic engine ~rng ~gap ~duration =
   schedule_next ();
   t
 
+let force t ~until =
+  if until > t.pause_until then begin
+    t.pause_until <- until;
+    t.count <- t.count + 1
+  end
+
+let clear t = t.pause_until <- Des.Engine.now t.engine
+
 let extra_delay t =
   let now = Des.Engine.now t.engine in
   if t.pause_until > now then t.pause_until - now else 0

@@ -20,6 +20,15 @@ val periodic :
     distributions (nanoseconds). The first pause starts one [gap] after
     creation. *)
 
+val force : t -> until:Des.Time.t -> unit
+(** Start (or extend) a pause lasting until the given instant — the
+    fault layer's scripted pause. Shorter-than-current requests are
+    ignored, so overlapping pauses merge to the longest. *)
+
+val clear : t -> unit
+(** End any active pause now. Requests already absorbing the pause
+    delay are unaffected (their service completion is scheduled). *)
+
 val extra_delay : t -> Des.Time.t
 (** Extra delay a request starting service *now* must absorb: the time
     remaining in the currently active pause, or 0. *)

@@ -34,6 +34,7 @@ type t = {
   ready : conn_state Queue.t;
   mutable free_workers : int;
   mutable queue_depth : int;
+  mutable slow_factor : float; (* service-time multiplier, >= epsilon *)
   m_gets : Telemetry.Registry.counter;
   m_sets : Telemetry.Registry.counter;
   sojourn : Stats.Histogram.t;
@@ -58,7 +59,8 @@ let service_time t request =
     | Protocol.Set _ -> t.config.service_set
   in
   let base = Des.Time.ns (int_of_float (Stats.Dist.draw dist t.rng)) in
-  Stdlib.max 1 base + Interference.extra_delay t.interference
+  let scaled = int_of_float (float_of_int base *. t.slow_factor) in
+  Stdlib.max 1 scaled + Interference.extra_delay t.interference
 
 let conn_sendable cs =
   match Tcpsim.Conn.state cs.conn with
@@ -155,6 +157,7 @@ let create fabric ~host_ip ~listen_addr ?(config = default_config)
       ready = Queue.create ();
       free_workers = config.workers;
       queue_depth = 0;
+      slow_factor = 1.0;
       m_gets = Telemetry.Registry.counter registry ?index "server.gets";
       m_sets = Telemetry.Registry.counter registry ?index "server.sets";
       sojourn = Stats.Histogram.create ();
@@ -173,6 +176,14 @@ let create fabric ~host_ip ~listen_addr ?(config = default_config)
 
 let store t = t.store
 
+let set_slow_factor t f =
+  if not (f > 0.0) || Float.is_nan f then
+    invalid_arg "Server.set_slow_factor: factor must be > 0";
+  t.slow_factor <- f
+
+let slow_factor t = t.slow_factor
+let pause t ~until = Interference.force t.interference ~until
+let resume t = Interference.clear t.interference
 let gets_served t = Telemetry.Registry.Counter.value t.m_gets
 let sets_served t = Telemetry.Registry.Counter.value t.m_sets
 let requests_served t = gets_served t + sets_served t

@@ -46,6 +46,23 @@ val create :
 val store : t -> Store.t
 (** The backing store, e.g. for preloading the keyspace. *)
 
+val set_slow_factor : t -> float -> unit
+(** Multiply every subsequently drawn service time by this factor —
+    the fault layer's service-rate degradation knob (1.0 = nominal,
+    2.0 = half speed). In-service requests are unaffected.
+
+    @raise Invalid_argument unless the factor is > 0. *)
+
+val slow_factor : t -> float
+
+val pause : t -> until:Des.Time.t -> unit
+(** Stall the server until the given instant: requests starting service
+    absorb the remaining pause, exactly like an {!Interference} stall.
+    Overlapping pauses merge to the longest. *)
+
+val resume : t -> unit
+(** Cut short any active pause. *)
+
 val requests_served : t -> int
 val gets_served : t -> int
 val sets_served : t -> int

@@ -3,7 +3,7 @@ type t = {
   delay : Des.Time.t;
   rate_bps : int;
   queue_capacity : int;
-  loss_prob : float;
+  mutable loss_prob : float;
   jitter : Stats.Dist.t option;
   rng : Des.Rng.t option;
   queue : Packet.t Queue.t;
@@ -12,7 +12,8 @@ type t = {
   mutable extra : Des.Time.t;
   m_sent : Telemetry.Registry.counter;
   m_bytes : Telemetry.Registry.counter;
-  m_drops : Telemetry.Registry.counter;
+  m_queue_drops : Telemetry.Registry.counter;
+  m_loss_drops : Telemetry.Registry.counter;
 }
 
 let create engine ~delay ?(rate_bps = 10_000_000_000) ?(queue_capacity = 1024)
@@ -43,9 +44,19 @@ let create engine ~delay ?(rate_bps = 10_000_000_000) ?(queue_capacity = 1024)
       extra = 0;
       m_sent = Telemetry.Registry.counter registry ?index (metric ^ ".sent");
       m_bytes = Telemetry.Registry.counter registry ?index (metric ^ ".bytes");
-      m_drops = Telemetry.Registry.counter registry ?index (metric ^ ".drops");
+      m_queue_drops =
+        Telemetry.Registry.counter registry ?index (metric ^ ".queue_drops");
+      m_loss_drops =
+        Telemetry.Registry.counter registry ?index (metric ^ ".loss_drops");
     }
   in
+  (* Congestion (queue overflow) and loss-process drops are distinct
+     signals — a loss burst fault must not read as congestion — but the
+     historical [.drops] total stays available as their sum. *)
+  Telemetry.Registry.gauge_fn registry ?index (metric ^ ".drops") (fun () ->
+      float_of_int
+        (Telemetry.Registry.Counter.value t.m_queue_drops
+        + Telemetry.Registry.Counter.value t.m_loss_drops));
   Telemetry.Registry.gauge_fn registry ?index (metric ^ ".queue") (fun () ->
       float_of_int (Queue.length t.queue + if t.busy then 1 else 0));
   t
@@ -87,7 +98,7 @@ let rec start_tx t =
       ignore
         (Des.Engine.schedule_after t.engine ~delay:(tx_time t pkt)
            (fun () ->
-             if lost t then Telemetry.Registry.Counter.incr t.m_drops
+             if lost t then Telemetry.Registry.Counter.incr t.m_loss_drops
              else begin
                let prop = t.delay + t.extra + jitter_of t in
                Telemetry.Registry.Counter.incr t.m_sent;
@@ -101,7 +112,7 @@ let rec start_tx t =
 let send t pkt =
   if t.sink = None then invalid_arg "Link.send: not connected";
   if Queue.length t.queue >= t.queue_capacity then
-    Telemetry.Registry.Counter.incr t.m_drops
+    Telemetry.Registry.Counter.incr t.m_queue_drops
   else begin
     Queue.add pkt t.queue;
     if not t.busy then start_tx t
@@ -111,8 +122,19 @@ let set_extra_delay t d =
   if d < 0 then invalid_arg "Link.set_extra_delay: negative";
   t.extra <- d
 
+let set_loss_prob t p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg "Link.set_loss_prob: loss_prob must be in [0, 1)";
+  if p > 0.0 && t.rng = None then
+    invalid_arg "Link.set_loss_prob: link has no rng";
+  t.loss_prob <- p
+
 let extra_delay t = t.extra
+let loss_prob t = t.loss_prob
+let has_rng t = t.rng <> None
 let packets_sent t = Telemetry.Registry.Counter.value t.m_sent
 let bytes_sent t = Telemetry.Registry.Counter.value t.m_bytes
-let drops t = Telemetry.Registry.Counter.value t.m_drops
+let queue_drops t = Telemetry.Registry.Counter.value t.m_queue_drops
+let loss_drops t = Telemetry.Registry.Counter.value t.m_loss_drops
+let drops t = queue_drops t + loss_drops t
 let queue_len t = Queue.length t.queue + if t.busy then 1 else 0

@@ -34,10 +34,11 @@ val create :
       distribution, in nanoseconds.
     - [rng] is required iff [loss_prob > 0] or [jitter] is given.
     - [telemetry]/[metric]/[index]: register the link's counters
-      ([metric].sent/.bytes/.drops, default prefix ["link"]) and queue
-      gauge ([metric].queue) in this registry, optionally indexed —
-      e.g. one ["link.lb_server"] family indexed by backend. Without
-      [telemetry] the metrics live in a private registry.
+      ([metric].sent/.bytes/.queue_drops/.loss_drops, default prefix
+      ["link"]), the [metric].drops sum gauge, and the queue gauge
+      ([metric].queue) in this registry, optionally indexed — e.g. one
+      ["link.lb_server"] family indexed by backend. Without [telemetry]
+      the metrics live in a private registry.
 
     @raise Invalid_argument on inconsistent options (including a
     [metric]/[index] pair already registered). *)
@@ -57,12 +58,32 @@ val set_extra_delay : t -> Des.Time.t -> unit
 
 val extra_delay : t -> Des.Time.t
 
+val set_loss_prob : t -> float -> unit
+(** Replace the per-packet loss probability from now on — the fault
+    layer's loss-burst knob.
+
+    @raise Invalid_argument if the probability is outside [0, 1) or the
+    link was created without an [rng]. *)
+
+val loss_prob : t -> float
+
+val has_rng : t -> bool
+(** Whether the link was created with an [rng] (and can therefore take a
+    nonzero {!set_loss_prob}). *)
+
 val packets_sent : t -> int
 (** Packets fully delivered so far. *)
 
 val bytes_sent : t -> int
+
+val queue_drops : t -> int
+(** Packets dropped on arrival to a full queue (congestion). *)
+
+val loss_drops : t -> int
+(** Packets dropped by the random loss process. *)
+
 val drops : t -> int
-(** Packets dropped: queue overflow plus random loss. *)
+(** Packets dropped for any reason: {!queue_drops} + {!loss_drops}. *)
 
 val queue_len : t -> int
 (** Packets currently waiting or in transmission. *)

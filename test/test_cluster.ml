@@ -285,13 +285,69 @@ let source_comparison_blindspots () =
       check_bool "only the ensemble sees slow service" true
         (service.Cluster.Ablations.ens_ratio > 2.0
         && service.Cluster.Ablations.syn_ratio < 1.5);
-      check_bool "fast stalls evade both (closed-loop bias)" true
-        (stalls.Cluster.Ablations.ens_ratio < 1.5
+      (* Fast stalls inflate whole-batch RTTs, which the ensemble
+         samples continuously; the handshake-only source still misses
+         them because established connections never re-handshake. (The
+         pre-PR-2 estimator appeared blind here too, but only because
+         the idle-epoch reset bug dragged the victim's chosen δ back to
+         64 µs and biased its samples low.) *)
+      check_bool "ensemble sees fast stalls, handshake-only does not" true
+        (stalls.Cluster.Ablations.ens_ratio > 2.0
         && stalls.Cluster.Ablations.syn_ratio < 1.5);
       check_bool "ensemble samples continuously, syn only on reconnect" true
         (path.Cluster.Ablations.ens_samples
         > 10 * path.Cluster.Ablations.syn_samples)
   | _ -> Alcotest.fail "expected three rows"
+
+(* --- Faults -------------------------------------------------------------------- *)
+
+let fig3_timeline_matches_direct_injection () =
+  (* The acceptance bar for the fault layer: replaying fig3's delay
+     step through a timeline must be event-for-event identical to the
+     hand-wired injection. Same seed, same series — not just close. *)
+  let run injection =
+    Cluster.Fig3.run ~injection
+      ~policies:[ Inband.Policy.Latency_aware ]
+      ~duration:(Des.Time.sec 4) ~inject_at:(Des.Time.sec 2) ()
+  in
+  match ((run `Timeline).runs, (run `Direct).runs) with
+  | [ t ], [ d ] ->
+      check_bool "identical p95 series" true
+        (t.Cluster.Fig3.series = d.Cluster.Fig3.series);
+      check_int "identical response counts" t.Cluster.Fig3.responses
+        d.Cluster.Fig3.responses;
+      check_bool "identical final weights" true
+        (t.Cluster.Fig3.weights_final = d.Cluster.Fig3.weights_final)
+  | _ -> Alcotest.fail "expected one run per arm"
+
+let churn_reports_detection_and_recovery () =
+  (* One short delay fault: the report must carry ground truth for the
+     interval and a detection latency; recovery gets the rest of the
+     run to show up. *)
+  let timeline =
+    [
+      Faults.Timeline.event ~at:(Des.Time.sec 2)
+        ~target:(Faults.Timeline.Link "lb->s1")
+        ~fault:(Faults.Timeline.Delay (Des.Time.ms 1))
+        ~duration:(Des.Time.sec 2) ();
+    ]
+  in
+  let r = Cluster.Churn.run ~duration:(Des.Time.sec 8) ~timeline () in
+  match r.Cluster.Churn.reports with
+  | [ rep ] ->
+      let interval = rep.Cluster.Churn.interval in
+      check_int "applied on schedule" (Des.Time.sec 2)
+        interval.Faults.Injector.applied_at;
+      Alcotest.(check (option int)) "cleared on schedule" (Some (Des.Time.sec 4))
+        interval.Faults.Injector.reverted_at;
+      (match rep.Cluster.Churn.detection_ms with
+      | Some ms ->
+          check_bool (Fmt.str "detected in %.1fms" ms) true
+            (ms >= 0.0 && ms < 2000.0)
+      | None -> Alcotest.fail "fault never detected");
+      check_bool "victim weight healed" true rep.Cluster.Churn.recovered;
+      check_bool "run produced traffic" true (r.Cluster.Churn.responses > 1000)
+  | l -> Alcotest.failf "expected one report, got %d" (List.length l)
 
 (* --- Determinism --------------------------------------------------------------- *)
 
@@ -351,6 +407,13 @@ let () =
           Alcotest.test_case "robust estimator" `Slow estimator_comparison_improves;
           Alcotest.test_case "measurement-source blind spots" `Slow
             source_comparison_blindspots;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "timeline matches direct injection" `Slow
+            fig3_timeline_matches_direct_injection;
+          Alcotest.test_case "churn reports detection and recovery" `Slow
+            churn_reports_detection_and_recovery;
         ] );
       ( "determinism",
         [

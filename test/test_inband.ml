@@ -212,6 +212,42 @@ let ensemble_counter_reset_on_epoch () =
   check_bool "reset after rollover" true
     (Array.for_all (fun c -> c <= 1) counts)
 
+let ensemble_boundary_samples_land_in_new_epoch () =
+  let e = Inband.Ensemble.create ~config:Inband.Config.default in
+  let flow = Inband.Ensemble.create_flow e ~now:0 in
+  List.iter
+    (fun now -> ignore (Inband.Ensemble.on_packet e flow ~now))
+    (List.tl (batchy ~rtt:(us 500) ~intra:(us 10) ~batch:4 ~n:100));
+  (* Last packet ~49.5ms; the next at 65ms crosses the 64ms epoch
+     boundary with a gap every sub-detector samples on. The rollover
+     must close the old epoch *before* counting, so each counter reads
+     exactly one — attributing to the dying epoch would zero them. *)
+  ignore (Inband.Ensemble.on_packet e flow ~now:(ms 65));
+  Alcotest.(check (array int)) "one sample each, in the new epoch"
+    [| 1; 1; 1; 1; 1; 1; 1 |]
+    (Inband.Ensemble.current_counts e)
+
+let ensemble_idle_epoch_retains_chosen () =
+  let e = Inband.Ensemble.create ~config:Inband.Config.default in
+  let flow = Inband.Ensemble.create_flow e ~now:0 in
+  (* Epoch 0: batch gaps of 470us sample deltas 64/128/256us only, so
+     the cliff sits at index 2. *)
+  List.iter
+    (fun now -> ignore (Inband.Ensemble.on_packet e flow ~now))
+    (List.tl (batchy ~rtt:(us 500) ~intra:(us 10) ~batch:4 ~n:120));
+  (* Two packets 30us apart straddling the boundary: the second rolls
+     the epoch over but its gap is below every delta, so epoch 1 ends
+     with all-zero counts. *)
+  ignore (Inband.Ensemble.on_packet e flow ~now:(us 63_990));
+  ignore (Inband.Ensemble.on_packet e flow ~now:(us 64_020));
+  check_int "cliff picked 256us at rollover" (us 256)
+    (Inband.Ensemble.chosen_timeout e flow);
+  (* The packet at 250ms closes that sample-free epoch. The all-zero
+     argmax must not silently reset the choice to delta_1. *)
+  ignore (Inband.Ensemble.on_packet e flow ~now:(ms 250));
+  check_int "idle epoch keeps the chosen timeout" (us 256)
+    (Inband.Ensemble.chosen_timeout e flow)
+
 (* --- Syn_rtt ------------------------------------------------------------- *)
 
 let syn_rtt_measures_handshake () =
@@ -481,6 +517,54 @@ let controller_first_action_after () =
   check_bool "after all" true
     (Inband.Controller.first_action_after c (ms 60) = None)
 
+let controller_recovery_dt_clamp () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.control_interval = 0;
+      recovery_rate = 0.5;
+      relative_threshold = 5.0;
+    }
+  in
+  let c, _ = mk_controller ~config () in
+  (* Skew the weights, then let the estimates settle below threshold. *)
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  ignore (Inband.Controller.on_sample c ~now:(ms 2) ~server:1 (us 1000));
+  for i = 3 to 6 do
+    ignore (Inband.Controller.on_sample c ~now:(ms i) ~server:1 (us 100))
+  done;
+  let skewed = (Inband.Controller.weights c).(1) in
+  check_bool "skewed below uniform" true (skewed < 0.5);
+  (* 100 seconds of silence: an unclamped dt would overshoot uniform by
+     49x. The clamp caps the pull at one interval's worth, so exactly
+     rate * (uniform - w) moves. *)
+  ignore
+    (Inband.Controller.on_sample c ~now:(Des.Time.sec 100 + ms 6) ~server:1
+       (us 100));
+  Alcotest.(check (float 1e-6)) "pull capped at rate * 1s"
+    (skewed +. (0.5 *. (0.5 -. skewed)))
+    (Inband.Controller.weights c).(1)
+
+let controller_no_rebuild_when_unmoved () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.control_interval = 0;
+      recovery_rate = 1e-6;
+      relative_threshold = 5.0;
+    }
+  in
+  let c, pool = mk_controller ~config () in
+  let builds = Maglev.Pool.rebuilds pool in
+  (* Weights are already uniform and the samples sit below the
+     threshold: the recovery pull computes a step far under the motion
+     epsilon, so no rebuild may happen. *)
+  ignore (Inband.Controller.on_sample c ~now:(ms 1) ~server:0 (us 100));
+  ignore (Inband.Controller.on_sample c ~now:(ms 2) ~server:1 (us 110));
+  ignore (Inband.Controller.on_sample c ~now:(Des.Time.sec 1) ~server:1 (us 110));
+  check_int "no table rebuilds for a vanishing pull" builds
+    (Maglev.Pool.rebuilds pool)
+
 (* --- Balancer ------------------------------------------------------------------ *)
 
 type bal_rig = {
@@ -673,6 +757,10 @@ let () =
             ensemble_adapts_to_rtt_change;
           Alcotest.test_case "per-flow scope" `Quick ensemble_per_flow_scope;
           Alcotest.test_case "epoch reset" `Quick ensemble_counter_reset_on_epoch;
+          Alcotest.test_case "boundary samples in new epoch" `Quick
+            ensemble_boundary_samples_land_in_new_epoch;
+          Alcotest.test_case "idle epoch retains chosen" `Quick
+            ensemble_idle_epoch_retains_chosen;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ fixed_timeout_conservation; ensemble_scope_equivalence ] );
@@ -701,6 +789,9 @@ let () =
           Alcotest.test_case "relative threshold" `Quick controller_relative_threshold;
           Alcotest.test_case "recovery" `Quick controller_recovery_pulls_to_uniform;
           Alcotest.test_case "first action after" `Quick controller_first_action_after;
+          Alcotest.test_case "recovery dt clamp" `Quick controller_recovery_dt_clamp;
+          Alcotest.test_case "no rebuild when unmoved" `Quick
+            controller_no_rebuild_when_unmoved;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ controller_weight_simplex_qcheck ] );
       ( "balancer",
