@@ -6,7 +6,11 @@
 
    Targets (as arguments): fig2a fig2b fig3 [--full]
    ablation-delta ablation-alpha ablation-epoch ablation-timing
-   ablation-policy micro all *)
+   ablation-policy micro e2e [--check] all
+
+   [-j N] runs the independent simulations inside each target on N
+   domains (Cluster.Parallel); N = 0 picks the runtime's recommended
+   domain count. Results are byte-identical at any N. *)
 
 let fig2_result = ref None
 
@@ -20,44 +24,184 @@ let fig2 () =
 
 let run_fig2a () = Cluster.Fig2.print (fig2 ())
 
-let run_fig3 ~full () =
+let run_fig3 ~full ~jobs () =
   let result =
     if full then
       (* The paper's timeline: injection at t = 100 s of a ~200 s run. *)
-      Cluster.Fig3.run ~duration:(Des.Time.sec 200)
+      Cluster.Fig3.run ~jobs ~duration:(Des.Time.sec 200)
         ~inject_at:(Des.Time.sec 100) ()
     else
-      Cluster.Fig3.run ~duration:(Des.Time.sec 30)
+      Cluster.Fig3.run ~jobs ~duration:(Des.Time.sec 30)
         ~inject_at:(Des.Time.sec 10) ()
   in
   Cluster.Fig3.print result
 
-let run_ablation_alpha () =
-  Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ())
+let run_ablation_alpha ~jobs () =
+  Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ~jobs ())
 
-let run_ablation_epoch () =
-  Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ())
+let run_ablation_epoch ~jobs () =
+  Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ~jobs ())
 
-let run_ablation_timing () =
-  Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ())
+let run_ablation_timing ~jobs () =
+  Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ~jobs ())
 
-let run_ablation_policy () =
-  Cluster.Fig3.print (Cluster.Ablations.policy_comparison ())
+let run_ablation_policy ~jobs () =
+  Cluster.Fig3.print (Cluster.Ablations.policy_comparison ~jobs ())
 
-let run_ablation_far () =
-  Cluster.Ablations.print_far (Cluster.Ablations.far_clients ())
+let run_ablation_far ~jobs () =
+  Cluster.Ablations.print_far (Cluster.Ablations.far_clients ~jobs ())
 
-let run_ablation_herd () =
-  Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ())
+let run_ablation_herd ~jobs () =
+  Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ~jobs ())
 
-let run_ablation_dependency () =
-  Cluster.Dependency.print (Cluster.Dependency.run_cases ())
+let run_ablation_dependency ~jobs () =
+  Cluster.Dependency.print (Cluster.Dependency.run_cases ~jobs ())
 
-let run_ablation_estimator () =
-  Cluster.Ablations.print_estimator (Cluster.Ablations.estimator_comparison ())
+let run_ablation_estimator ~jobs () =
+  Cluster.Ablations.print_estimator
+    (Cluster.Ablations.estimator_comparison ~jobs ())
 
-let run_ablation_source () =
-  Cluster.Ablations.print_source (Cluster.Ablations.source_comparison ())
+let run_ablation_source ~jobs () =
+  Cluster.Ablations.print_source (Cluster.Ablations.source_comparison ~jobs ())
+
+(* --- End-to-end datapath throughput (events/sec) ----------------------- *)
+
+(* The Fig. 3 workload, stripped of figure bookkeeping: memtier clients
+   through the latency-aware balancer into memcached servers, with the
+   +1 ms path injection a third of the way in. Wall-clock per simulated
+   DES event is the repo's end-to-end perf number; the best of
+   [iterations] runs is recorded in BENCH_pr3.json so the trajectory is
+   tracked across PRs. *)
+
+let e2e_duration = Des.Time.sec 10
+let e2e_iterations = 3
+let bench_json_path = "BENCH_pr3.json"
+
+type e2e_measurement = {
+  events_per_sec : float;
+  wall_s : float;
+  events : int;
+  responses : int;
+}
+
+let e2e_once () =
+  let scenario =
+    {
+      Cluster.Scenario.default_config with
+      Cluster.Scenario.policy = Inband.Policy.Latency_aware;
+      lb =
+        { Inband.Config.default with Inband.Config.relative_threshold = 1.3 };
+    }
+  in
+  let s = Cluster.Scenario.build scenario in
+  Cluster.Scenario.inject_server_delay s ~server:1 ~at:(Des.Time.sec 3)
+    ~delay:(Des.Time.ms 1);
+  let t0 = Unix.gettimeofday () in
+  Cluster.Scenario.run s ~until:e2e_duration;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Des.Engine.events_fired (Cluster.Scenario.engine s) in
+  let responses =
+    match
+      Telemetry.Registry.value (Cluster.Scenario.telemetry s)
+        "client.responses"
+    with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  { events_per_sec = float_of_int events /. wall_s; wall_s; events; responses }
+
+(* BENCH_pr3.json is a flat one-line-per-field JSON object written and
+   parsed here, so neither side needs a JSON dependency. *)
+let bench_json_read path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let fields = ref [] in
+          (try
+             while true do
+               let line = String.trim (input_line ic) in
+               match String.index_opt line ':' with
+               | Some i when String.length line > 1 && line.[0] = '"' -> begin
+                   let key = String.sub line 1 (i - 2) in
+                   let v =
+                     String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                   in
+                   let v =
+                     if String.length v > 0 && v.[String.length v - 1] = ',' then
+                       String.sub v 0 (String.length v - 1)
+                     else v
+                   in
+                   match float_of_string_opt v with
+                   | Some f -> fields := (key, f) :: !fields
+                   | None -> ()
+                 end
+               | Some _ | None -> ()
+             done
+           with End_of_file -> ());
+          !fields)
+
+let bench_json_write path fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      output_string oc "  \"bench\": \"fig3-e2e\",\n";
+      let last = List.length fields - 1 in
+      List.iteri
+        (fun i (key, v) ->
+          output_string oc
+            (Fmt.str "  %S: %.3f%s\n" key v (if i = last then "" else ",")))
+        fields;
+      output_string oc "}\n")
+
+let measurement_fields prefix m =
+  [
+    (prefix ^ "_events_per_sec", m.events_per_sec);
+    (prefix ^ "_wall_s", m.wall_s);
+    (prefix ^ "_events", float_of_int m.events);
+    (prefix ^ "_responses", float_of_int m.responses);
+  ]
+
+let run_e2e ~check () =
+  print_endline
+    (Cluster.Report.section
+       (Fmt.str "End-to-end datapath throughput (Fig. 3 workload, %.0fs sim)"
+          (Des.Time.to_float_s e2e_duration)));
+  let best = ref None in
+  for i = 1 to e2e_iterations do
+    let m = e2e_once () in
+    Fmt.pr "run %d/%d: %d events in %.2fs wall = %.0f events/s (%d responses)@."
+      i e2e_iterations m.events m.wall_s m.events_per_sec m.responses;
+    match !best with
+    | Some b when b.events_per_sec >= m.events_per_sec -> ()
+    | Some _ | None -> best := Some m
+  done;
+  let m = match !best with Some m -> m | None -> assert false in
+  let prior = bench_json_read bench_json_path in
+  let before =
+    (* First ever run records itself as the baseline; later runs keep the
+       recorded baseline and update only the "after" side. *)
+    List.filter (fun (k, _) -> String.length k > 7 && String.sub k 0 7 = "before_") prior
+  in
+  let before = if before = [] then measurement_fields "before" m else before in
+  bench_json_write bench_json_path (before @ measurement_fields "after" m);
+  Fmt.pr "best: %.0f events/s; wrote %s@." m.events_per_sec bench_json_path;
+  (match List.assoc_opt "before_events_per_sec" before with
+  | Some b when b > 0.0 ->
+      Fmt.pr "recorded baseline: %.0f events/s (%.2fx)@." b
+        (m.events_per_sec /. b);
+      if check && m.events_per_sec < 0.5 *. b then begin
+        Fmt.epr
+          "perf-smoke: %.0f events/s is below half the recorded baseline \
+           (%.0f events/s)@."
+          m.events_per_sec b;
+        exit 1
+      end
+  | Some _ | None -> ())
 
 (* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
 
@@ -69,7 +213,8 @@ let micro_tests () =
       ~name:(Fmt.str "maglev populate n=%d m=4099" n)
       (Staged.stage (fun () ->
            Maglev.Table.populate ~size:4099
-             ~backends:(Array.map (fun s -> (s, 1.0)) (names n))))
+             ~backends:(Array.map (fun s -> (s, 1.0)) (names n))
+             ()))
   in
   let pool = Maglev.Pool.create ~names:(names 16) () in
   let lookup =
@@ -180,47 +325,71 @@ let run_micro () =
 
 let targets =
   [
-    ("fig2a", fun () -> run_fig2a ());
-    ("fig2b", fun () -> run_fig2a ());
-    ("fig3", fun () -> run_fig3 ~full:false ());
-    ("ablation-delta", fun () -> run_fig2a ());
-    ("ablation-alpha", fun () -> run_ablation_alpha ());
-    ("ablation-epoch", fun () -> run_ablation_epoch ());
-    ("ablation-timing", fun () -> run_ablation_timing ());
-    ("ablation-policy", fun () -> run_ablation_policy ());
-    ("ablation-far", fun () -> run_ablation_far ());
-    ("ablation-herd", fun () -> run_ablation_herd ());
-    ("ablation-dependency", fun () -> run_ablation_dependency ());
-    ("ablation-estimator", fun () -> run_ablation_estimator ());
-    ("ablation-source", fun () -> run_ablation_source ());
-    ("micro", fun () -> run_micro ());
+    ("fig2a", fun ~jobs:_ ~check:_ () -> run_fig2a ());
+    ("fig2b", fun ~jobs:_ ~check:_ () -> run_fig2a ());
+    ("fig3", fun ~jobs ~check:_ () -> run_fig3 ~full:false ~jobs ());
+    ("ablation-delta", fun ~jobs:_ ~check:_ () -> run_fig2a ());
+    ("ablation-alpha", fun ~jobs ~check:_ () -> run_ablation_alpha ~jobs ());
+    ("ablation-epoch", fun ~jobs ~check:_ () -> run_ablation_epoch ~jobs ());
+    ("ablation-timing", fun ~jobs ~check:_ () -> run_ablation_timing ~jobs ());
+    ("ablation-policy", fun ~jobs ~check:_ () -> run_ablation_policy ~jobs ());
+    ("ablation-far", fun ~jobs ~check:_ () -> run_ablation_far ~jobs ());
+    ("ablation-herd", fun ~jobs ~check:_ () -> run_ablation_herd ~jobs ());
+    ( "ablation-dependency",
+      fun ~jobs ~check:_ () -> run_ablation_dependency ~jobs () );
+    ( "ablation-estimator",
+      fun ~jobs ~check:_ () -> run_ablation_estimator ~jobs () );
+    ("ablation-source", fun ~jobs ~check:_ () -> run_ablation_source ~jobs ());
+    ("micro", fun ~jobs:_ ~check:_ () -> run_micro ());
+    ("e2e", fun ~jobs:_ ~check () -> run_e2e ~check ());
   ]
 
-let run_all ~full () =
+let run_all ~full ~jobs () =
   run_fig2a ();
-  run_fig3 ~full ();
-  run_ablation_alpha ();
-  run_ablation_epoch ();
-  run_ablation_timing ();
-  run_ablation_policy ();
-  run_ablation_far ();
-  run_ablation_herd ();
-  run_ablation_dependency ();
-  run_ablation_estimator ();
-  run_ablation_source ();
+  run_fig3 ~full ~jobs ();
+  run_ablation_alpha ~jobs ();
+  run_ablation_epoch ~jobs ();
+  run_ablation_timing ~jobs ();
+  run_ablation_policy ~jobs ();
+  run_ablation_far ~jobs ();
+  run_ablation_herd ~jobs ();
+  run_ablation_dependency ~jobs ();
+  run_ablation_estimator ~jobs ();
+  run_ablation_source ~jobs ();
   run_micro ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let check = List.mem "--check" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--check") args in
+  (* -j N (two tokens): domain count for the parallel sweeps; 0 = auto. *)
+  let jobs, args =
+    let rec extract acc = function
+      | "-j" :: n :: rest -> begin
+          match int_of_string_opt n with
+          | Some j when j >= 0 -> (j, List.rev_append acc rest)
+          | Some _ | None ->
+              Fmt.epr "-j expects a non-negative integer, got %S@." n;
+              exit 1
+        end
+      | [ "-j" ] ->
+          Fmt.epr "-j expects an argument@.";
+          exit 1
+      | a :: rest -> extract (a :: acc) rest
+      | [] -> (1, List.rev acc)
+    in
+    extract [] args
+  in
   match args with
-  | [] | [ "all" ] -> run_all ~full ()
+  | [] | [ "all" ] -> run_all ~full ~jobs ()
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
-          | Some f -> if name = "fig3" then run_fig3 ~full () else f ()
+          | Some f ->
+              if name = "fig3" then run_fig3 ~full ~jobs ()
+              else f ~jobs ~check ()
           | None ->
               Fmt.epr "unknown target %S; available: %s, all@." name
                 (String.concat ", " (List.map fst targets));

@@ -51,6 +51,16 @@ let metrics_interval_arg =
     & info [ "metrics-interval" ] ~docv:"SECONDS"
         ~doc:"Telemetry snapshot period, seconds.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the independent simulations of the experiment on $(docv) \
+           domains (0 = one per recommended core). Results are \
+           byte-identical at any $(docv).")
+
 let fig2_cmd =
   let run duration step_at step_ms window seed csv =
     let config =
@@ -92,7 +102,7 @@ let fig2_cmd =
 
 let fig3_cmd =
   let run duration inject_at inject_ms policies servers connections alpha seed
-      csv metrics_csv metrics_interval =
+      csv metrics_csv metrics_interval jobs =
     let scenario =
       {
         Cluster.Scenario.default_config with
@@ -104,7 +114,7 @@ let fig3_cmd =
       }
     in
     let result =
-      Cluster.Fig3.run ~scenario ~metrics_interval ~policies ~duration
+      Cluster.Fig3.run ~scenario ~metrics_interval ~jobs ~policies ~duration
         ~inject_at
         ~inject_delay:(Des.Time.of_float_s (inject_ms /. 1e3))
         ()
@@ -152,12 +162,12 @@ let fig3_cmd =
     Term.(
       const run $ duration $ inject_at $ inject_ms $ policies $ servers
       $ connections $ alpha $ seed $ csv_arg $ metrics_csv_arg
-      $ metrics_interval_arg)
+      $ metrics_interval_arg $ jobs_arg)
 
 (* --- sweeps ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run which metrics_csv metrics_interval =
+  let run which metrics_csv metrics_interval jobs =
     let dump_metrics result =
       match metrics_csv with
       | Some path ->
@@ -166,25 +176,30 @@ let sweep_cmd =
       | None -> ()
     in
     match which with
-    | "alpha" -> Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ())
-    | "epoch" -> Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ())
+    | "alpha" ->
+        Cluster.Ablations.print_alpha (Cluster.Ablations.alpha_sweep ~jobs ())
+    | "epoch" ->
+        Cluster.Ablations.print_epoch (Cluster.Ablations.epoch_sweep ~jobs ())
     | "timing" ->
-        Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ())
+        Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ~jobs ())
     | "policy" ->
         let result =
-          Cluster.Ablations.policy_comparison ~metrics_interval ()
+          Cluster.Ablations.policy_comparison ~jobs ~metrics_interval ()
         in
         Cluster.Fig3.print result;
         dump_metrics result
-    | "far" -> Cluster.Ablations.print_far (Cluster.Ablations.far_clients ())
-    | "herd" -> Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ())
+    | "far" ->
+        Cluster.Ablations.print_far (Cluster.Ablations.far_clients ~jobs ())
+    | "herd" ->
+        Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ~jobs ())
     | "dependency" ->
-        Cluster.Dependency.print (Cluster.Dependency.run_cases ())
+        Cluster.Dependency.print (Cluster.Dependency.run_cases ~jobs ())
     | "estimator" ->
         Cluster.Ablations.print_estimator
-          (Cluster.Ablations.estimator_comparison ())
+          (Cluster.Ablations.estimator_comparison ~jobs ())
     | "source" ->
-        Cluster.Ablations.print_source (Cluster.Ablations.source_comparison ())
+        Cluster.Ablations.print_source
+          (Cluster.Ablations.source_comparison ~jobs ())
     | other ->
         Fmt.epr
           "unknown sweep %S (alpha|epoch|timing|policy|far|herd|dependency)@."
@@ -198,8 +213,9 @@ let sweep_cmd =
        ~doc:
          "Ablation sweeps: alpha, epoch, timing, policy, far, herd, \
           dependency, estimator, source. The policy sweep honours \
-          $(b,--metrics-csv)/$(b,--metrics-interval).")
-    Term.(const run $ which $ metrics_csv_arg $ metrics_interval_arg)
+          $(b,--metrics-csv)/$(b,--metrics-interval); all sweeps honour \
+          $(b,--jobs) and render identically at any job count.")
+    Term.(const run $ which $ metrics_csv_arg $ metrics_interval_arg $ jobs_arg)
 
 (* --- run: free-form scenario ------------------------------------------- *)
 

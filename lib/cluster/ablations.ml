@@ -10,9 +10,9 @@ type alpha_row = {
   disruption : float;
 }
 
-let alpha_sweep ?(alphas = [ 0.025; 0.05; 0.1; 0.2; 0.4 ])
+let alpha_sweep ?jobs ?(alphas = [ 0.025; 0.05; 0.1; 0.2; 0.4 ])
     ?(duration = Des.Time.sec 15) ?(inject_at = Des.Time.sec 5) () =
-  List.map
+  Parallel.map ?jobs
     (fun alpha ->
       let scenario =
         {
@@ -69,11 +69,11 @@ type epoch_row = {
   ensemble_samples : int;
 }
 
-let epoch_sweep
+let epoch_sweep ?jobs
     ?(epochs =
       [ Des.Time.ms 16; Des.Time.ms 32; Des.Time.ms 64; Des.Time.ms 128; Des.Time.ms 256 ])
     () =
-  List.map
+  Parallel.map ?jobs
     (fun epoch ->
       let config =
         {
@@ -117,7 +117,7 @@ type timing_row = {
   n_after : int;
 }
 
-let timing_sweep () =
+let timing_sweep ?jobs () =
   let base = Bulk_flow.default_config in
   let variants =
     [
@@ -144,7 +144,7 @@ let timing_sweep () =
         } );
     ]
   in
-  List.map
+  Parallel.map ?jobs
     (fun (label, config) ->
       let r = Fig2.run ~config () in
       {
@@ -175,9 +175,10 @@ let print_timing rows =
 
 (* --- A5: policy comparison --------------------------------------------- *)
 
-let policy_comparison ?(duration = Des.Time.sec 15)
+let policy_comparison ?jobs ?(duration = Des.Time.sec 15)
     ?(inject_at = Des.Time.sec 5) ?metrics_interval () =
-  Fig3.run ?metrics_interval ~policies:Inband.Policy.all ~duration ~inject_at
+  Fig3.run ?metrics_interval ?jobs ~policies:Inband.Policy.all ~duration
+    ~inject_at
     ()
 
 
@@ -224,13 +225,14 @@ let far_one ~label ~n_clients ~overrides ~duration =
     min_weight_seen = nan;
   }
 
-let far_clients ?(duration = Des.Time.sec 10) () =
-  [
-    far_one ~label:"near client only" ~n_clients:1 ~overrides:[] ~duration;
-    far_one ~label:"near + far (1ms away)" ~n_clients:2
-      ~overrides:[ (1, Des.Time.ms 1) ]
-      ~duration;
-  ]
+let far_clients ?jobs ?(duration = Des.Time.sec 10) () =
+  Parallel.map ?jobs
+    (fun (label, n_clients, overrides) ->
+      far_one ~label ~n_clients ~overrides ~duration)
+    [
+      ("near client only", 1, []);
+      ("near + far (1ms away)", 2, [ (1, Des.Time.ms 1) ]);
+    ]
 
 let print_far rows =
   print_endline
@@ -287,24 +289,22 @@ let estimator_one ~label ~lb ~duration =
       }
   | None -> assert false
 
-let estimator_comparison ?(duration = Des.Time.sec 10) () =
+let estimator_comparison ?jobs ?(duration = Des.Time.sec 10) () =
   let d = Inband.Config.default in
-  [
-    estimator_one ~label:"paper: EWMA(0.3), always act" ~lb:d ~duration;
-    estimator_one ~label:"median of 33 samples"
-      ~lb:{ d with Inband.Config.estimate_window = 33 }
-      ~duration;
-    estimator_one ~label:"median-33 + threshold + recovery"
-      ~lb:
+  Parallel.map ?jobs
+    (fun (label, lb) -> estimator_one ~label ~lb ~duration)
+    [
+      ("paper: EWMA(0.3), always act", d);
+      ("median of 33 samples", { d with Inband.Config.estimate_window = 33 });
+      ( "median-33 + threshold + recovery",
         {
           d with
           Inband.Config.estimate_window = 33;
           relative_threshold = 1.3;
           control_interval = Des.Time.ms 5;
           recovery_rate = 0.05;
-        }
-      ~duration;
-  ]
+        } );
+    ]
 
 let print_estimator rows =
   print_endline
@@ -412,11 +412,13 @@ let source_one ~fault ~configure ~duration =
     syn_ratio = ratio syn_stats;
   }
 
-let source_comparison ?(duration = Des.Time.sec 6) () =
-  [
-    source_one ~fault:"path +1ms" ~configure:(fun c -> c) ~duration;
-    source_one ~fault:"slow service (+1ms)"
-      ~configure:(fun c ->
+let source_comparison ?jobs ?(duration = Des.Time.sec 6) () =
+  Parallel.map ?jobs
+    (fun (fault, configure) -> source_one ~fault ~configure ~duration)
+    [
+      ("path +1ms", fun c -> c);
+      ( "slow service (+1ms)",
+        fun c ->
         {
           c with
           Scenario.server_overrides =
@@ -438,21 +440,19 @@ let source_comparison ?(duration = Des.Time.sec 6) () =
                       };
                 } );
             ];
-        })
-      ~duration;
-    source_one ~fault:"fast stalls (1-1.5ms)"
-      ~configure:(fun c ->
-        {
-          c with
-          Scenario.interference =
-            [
-              ( 1,
-                Stats.Dist.Exponential { mean = 2.0e6 },
-                Stats.Dist.Uniform { lo = 0.5e6; hi = 1.5e6 } );
-            ];
-        })
-      ~duration;
-  ]
+        } );
+      ( "fast stalls (1-1.5ms)",
+        fun c ->
+          {
+            c with
+            Scenario.interference =
+              [
+                ( 1,
+                  Stats.Dist.Exponential { mean = 2.0e6 },
+                  Stats.Dist.Uniform { lo = 0.5e6; hi = 1.5e6 } );
+              ];
+          } );
+    ]
 
 let print_source rows =
   print_endline

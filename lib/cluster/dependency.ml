@@ -178,11 +178,11 @@ let run_one ~wiring ~duration ~inject_at =
     samples = Array.init 2 (fun i -> Inband.Server_stats.sample_count stats i);
   }
 
-let run_cases ?(duration = Des.Time.sec 10) ?(inject_at = Des.Time.sec 4) () =
-  [
-    run_one ~wiring:Private_backends ~duration ~inject_at;
-    run_one ~wiring:Shared_backend ~duration ~inject_at;
-  ]
+let run_cases ?jobs ?(duration = Des.Time.sec 10) ?(inject_at = Des.Time.sec 4)
+    () =
+  Parallel.map ?jobs
+    (fun wiring -> run_one ~wiring ~duration ~inject_at)
+    [ Private_backends; Shared_backend ]
 
 let print rows =
   print_endline

@@ -28,7 +28,7 @@ type row = {
 }
 
 val run_cases :
-  ?duration:Des.Time.t -> ?inject_at:Des.Time.t -> unit -> row list
+  ?jobs:int -> ?duration:Des.Time.t -> ?inject_at:Des.Time.t -> unit -> row list
 (** One run per wiring; +1 ms injected on the relevant backend path at
     [inject_at] (default 4 s of 10 s). *)
 

@@ -174,7 +174,7 @@ let default_scenario =
       { Inband.Config.default with Inband.Config.relative_threshold = 1.3 };
   }
 
-let run ?(scenario = default_scenario) ?metrics_interval
+let run ?(scenario = default_scenario) ?metrics_interval ?jobs
     ?(policies = [ Inband.Policy.Static_maglev; Inband.Policy.Latency_aware ])
     ?(duration = Des.Time.sec 30) ?(inject_at = Des.Time.sec 10)
     ?(inject_delay = Des.Time.ms 1) ?(recovery_factor = 1.5)
@@ -185,7 +185,9 @@ let run ?(scenario = default_scenario) ?metrics_interval
     | Some interval -> { scenario with Scenario.metrics_interval = interval }
   in
   let runs =
-    List.map
+    (* One fully independent simulation per policy; run order does not
+       affect results, so the per-policy runs parallelise freely. *)
+    Parallel.map ?jobs
       (fun policy ->
         run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
           ~recovery_factor ~injection)

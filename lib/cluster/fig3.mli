@@ -43,6 +43,7 @@ type result = {
 val run :
   ?scenario:Scenario.config ->
   ?metrics_interval:Des.Time.t ->
+  ?jobs:int ->
   ?policies:Inband.Policy.t list ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->
@@ -59,6 +60,11 @@ val run :
     stabiliser over the paper's always-act rule, without which the
     controller wanders before the injection (DESIGN.md §5); pass your
     own [scenario] for the paper-exact profile.
+
+    [jobs] runs the per-policy simulations on that many domains
+    ({!Parallel.map}); each run is independent and seeded, so the
+    result — and any figure or CSV rendered from it — is byte-identical
+    at any [jobs].
 
     [injection] selects how the delay step is applied: [`Timeline]
     (default) replays a one-event fault timeline through

@@ -217,9 +217,11 @@ let herd_one ~n_lbs ~duration ~inject_at =
       | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
   }
 
-let herd_sweep ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
+let herd_sweep ?jobs ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
     ?(inject_at = Des.Time.sec 4) () =
-  List.map (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at) lb_counts
+  Parallel.map ?jobs
+    (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at)
+    lb_counts
 
 let print_herd rows =
   print_endline

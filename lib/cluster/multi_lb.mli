@@ -50,6 +50,7 @@ type row = {
 }
 
 val herd_sweep :
+  ?jobs:int ->
   ?lb_counts:int list ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->

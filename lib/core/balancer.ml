@@ -5,6 +5,19 @@ type flow_state = {
   mutable live : bool; (* counted in the per-server connection gauge *)
 }
 
+(* Idle tracking is bucketed by coarse time so the periodic sweep only
+   visits flows whose bucket could have expired, instead of rescanning
+   every live flow each interval. A flow lives in exactly one bucket:
+   it is filed under its creation time and re-filed (under its current
+   [last_seen]) only when a sweep visits it, so per-packet cost stays a
+   single field write and each flow is re-examined at most once per
+   idle-timeout's worth of sweeps. *)
+type idle_buckets = {
+  width : Des.Time.t; (* bucket granularity = sweep interval *)
+  table : (int, Netsim.Flow_key.t list ref) Hashtbl.t;
+  mutable cursor : int; (* all buckets below this index are empty *)
+}
+
 type sample_event = {
   at : Des.Time.t;
   flow : Netsim.Flow_key.t;
@@ -31,6 +44,7 @@ type t = {
   own_stats : Server_stats.t option; (* when no controller *)
   ensemble : Ensemble.t;
   flows : flow_state Netsim.Flow_key.Table.t;
+  idle : idle_buckets;
   conn_gauge : int array;
   rng : Des.Rng.t;
   mutable rr_next : int;
@@ -70,19 +84,50 @@ let release t st =
     t.conn_gauge.(st.server) <- t.conn_gauge.(st.server) - 1
   end
 
+let bucket_of idle at = at / idle.width
+
+let file_flow idle ~bucket key =
+  match Hashtbl.find_opt idle.table bucket with
+  | Some keys -> keys := key :: !keys
+  | None -> Hashtbl.add idle.table bucket (ref [ key ])
+
+(* Sweep cost is proportional to the flows filed in buckets at or below
+   the expiry horizon — i.e. to expirations plus the boundary bucket —
+   not to the live flow count. Expiry times are identical to the old
+   full-table scan: a flow is removed at the first sweep with
+   [now - last_seen > flow_idle_timeout]. *)
 let sweep t =
   let now = Des.Engine.now t.engine in
-  let dead = ref [] in
-  Netsim.Flow_key.Table.iter
-    (fun key st ->
-      if now - st.last_seen > t.config.Config.flow_idle_timeout then
-        dead := (key, st) :: !dead)
-    t.flows;
-  List.iter
-    (fun (key, st) ->
-      release t st;
-      Netsim.Flow_key.Table.remove t.flows key)
-    !dead
+  let idle = t.idle in
+  let horizon = now - t.config.Config.flow_idle_timeout in
+  if horizon >= 0 then begin
+    (* Buckets strictly below [boundary] can only hold expired flows;
+       the boundary bucket itself straddles the horizon and is rescanned
+       until it fully expires. *)
+    let boundary = bucket_of idle horizon in
+    for b = idle.cursor to boundary do
+      match Hashtbl.find_opt idle.table b with
+      | None -> ()
+      | Some keys ->
+          Hashtbl.remove idle.table b;
+          List.iter
+            (fun key ->
+              match Netsim.Flow_key.Table.find_opt t.flows key with
+              | None -> ()
+              | Some st ->
+                  if now - st.last_seen > t.config.Config.flow_idle_timeout
+                  then begin
+                    release t st;
+                    Netsim.Flow_key.Table.remove t.flows key
+                  end
+                  else
+                    file_flow idle
+                      ~bucket:(Stdlib.max b (bucket_of idle st.last_seen))
+                      key)
+            !keys
+    done;
+    idle.cursor <- Stdlib.max idle.cursor boundary
+  end
 
 let flow_state t key ~now =
   match Netsim.Flow_key.Table.find_opt t.flows key with
@@ -98,6 +143,7 @@ let flow_state t key ~now =
         }
       in
       Netsim.Flow_key.Table.add t.flows key st;
+      file_flow t.idle ~bucket:(bucket_of t.idle now) key;
       t.conn_gauge.(server) <- t.conn_gauge.(server) + 1;
       Telemetry.Registry.Counter.incr t.m_flows_to.(server);
       st
@@ -113,7 +159,10 @@ let record_sample t ~now ~key ~server sample =
       | Some stats -> Server_stats.record stats ~server ~sample ~at:now
       | None -> ()
     end);
-  Telemetry.Bus.publish t.sample_bus { at = now; flow = key; server; sample }
+  (* Guarded (not [publish_with]) so the event record is not even built
+     — and no closure is captured — when nobody listens. *)
+  if not (Telemetry.Bus.is_empty t.sample_bus) then
+    Telemetry.Bus.publish t.sample_bus { at = now; flow = key; server; sample }
 
 let on_packet t (pkt : Netsim.Packet.t) =
   Telemetry.Bus.publish t.packet_bus pkt;
@@ -124,8 +173,9 @@ let on_packet t (pkt : Netsim.Packet.t) =
   (match Ensemble.on_packet t.ensemble st.eflow ~now with
   | Some sample -> record_sample t ~now ~key ~server:st.server sample
   | None -> ());
-  Telemetry.Bus.publish t.routed_bus
-    { at = now; flow = key; server = st.server; packet = pkt };
+  if not (Telemetry.Bus.is_empty t.routed_bus) then
+    Telemetry.Bus.publish t.routed_bus
+      { at = now; flow = key; server = st.server; packet = pkt };
   if pkt.flags.fin || pkt.flags.rst then release t st;
   Telemetry.Registry.Counter.incr t.m_forwarded;
   Telemetry.Registry.Counter.incr t.m_pkts_to.(st.server);
@@ -180,6 +230,12 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       own_stats;
       ensemble = Ensemble.create ~config;
       flows = Netsim.Flow_key.Table.create 1024;
+      idle =
+        {
+          width = Stdlib.max 1 config.Config.sweep_interval;
+          table = Hashtbl.create 64;
+          cursor = 0;
+        };
       conn_gauge = Array.make n 0;
       rng;
       rr_next = 0;

@@ -91,17 +91,19 @@ let on_packet t flow ~now =
   let epoch_now = now / t.config.Config.epoch in
   if epoch_now > scope.epoch_index then rollover t.config scope ~epoch_now;
   (* Algorithm 2 lines 1–6: run every FIXEDTIMEOUT instance and count
-     its samples. *)
-  let samples = Array.make t.k None in
+     its samples. Only the sample at the chosen index is kept (line 12:
+     report under the — possibly just updated — chosen δ), so this runs
+     per packet without the k-slot scratch array it used to build. *)
+  let chosen = scope.chosen in
+  let reported = ref None in
   for i = 0 to t.k - 1 do
     match Fixed_timeout.on_packet flow.instances.(i) ~now with
     | Some sample ->
         scope.counts.(i) <- scope.counts.(i) + 1;
-        samples.(i) <- Some sample
+        if i = chosen then reported := Some sample
     | None -> ()
   done;
-  (* Line 12: report under the (possibly just updated) chosen δ. *)
-  samples.(scope.chosen)
+  !reported
 
 let chosen_index t flow = (scope_of t flow).chosen
 let global_chosen_index t = t.global.chosen

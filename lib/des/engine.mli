@@ -27,9 +27,26 @@ val schedule_after : t -> delay:Time.t -> (unit -> unit) -> handle
 
     @raise Invalid_argument if [delay] is negative. *)
 
+val post : t -> at:Time.t -> (unit -> unit) -> unit
+(** Fire-and-forget {!schedule}: no handle is returned, so the event can
+    never be cancelled and its record is recycled through a free list
+    after firing. The dominant schedule-then-fire pattern (link
+    transmissions, service completions, think times) allocates nothing
+    but the callback closure in steady state.
+
+    @raise Invalid_argument if [at] is in the past. *)
+
+val post_after : t -> delay:Time.t -> (unit -> unit) -> unit
+(** [post_after t ~delay f] is [post t ~at:(now t + delay) f].
+
+    @raise Invalid_argument if [delay] is negative. *)
+
 val cancel : handle -> unit
 (** Prevent a pending event from firing. Cancelling an event that already
-    fired (or was already cancelled) is a no-op. *)
+    fired (or was already cancelled) is a no-op. Cancelled events remain
+    queued as tombstones but are counted exactly, and the queue is
+    compacted in place whenever tombstones exceed half of it, so
+    cancel-heavy workloads stay bounded by the live event count. *)
 
 val step : t -> bool
 (** Fire the earliest pending event. Returns [false] if the queue was
@@ -42,7 +59,15 @@ val run : ?until:Time.t -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled, not-yet-cancelled events (cancelled events still
-    in the queue are not counted). O(n) over the queue, allocation-free. *)
+    in the queue are not counted). O(1). *)
+
+val queue_length : t -> int
+(** Physical queue size, including cancelled tombstones not yet drained
+    or compacted away. For diagnostics and boundedness tests;
+    [queue_length t - pending t] is the current tombstone count. *)
+
+val compactions : t -> int
+(** Number of tombstone compaction passes run since creation. *)
 
 val events_fired : t -> int
 (** Total events executed since creation; a cheap progress metric. *)

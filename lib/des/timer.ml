@@ -2,9 +2,19 @@ type t = {
   engine : Engine.t;
   f : unit -> unit;
   mutable pending : Engine.handle option;
+  (* The scheduled callback, built once: [arm] runs on every segment of
+     a TCP transfer (RTO and delayed-ack re-arming), so it must not
+     allocate a fresh closure per call. *)
+  mutable wrapper : unit -> unit;
 }
 
-let create engine ~f = { engine; f; pending = None }
+let create engine ~f =
+  let t = { engine; f; pending = None; wrapper = Fun.id } in
+  t.wrapper <-
+    (fun () ->
+      t.pending <- None;
+      t.f ());
+  t
 
 let stop t =
   match t.pending with
@@ -15,12 +25,7 @@ let stop t =
 
 let arm t ~delay =
   stop t;
-  let handle =
-    Engine.schedule_after t.engine ~delay (fun () ->
-        t.pending <- None;
-        t.f ())
-  in
-  t.pending <- Some handle
+  t.pending <- Some (Engine.schedule_after t.engine ~delay t.wrapper)
 
 let is_armed t = t.pending <> None
 

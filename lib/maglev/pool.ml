@@ -2,7 +2,9 @@ type t = {
   names : string array;
   table_size : int;
   weights : float array;
+  perms : Permutation.t array; (* rewound and reused on every rebuild *)
   mutable table : int array;
+  mutable spare : int array; (* ping-pong buffer for rebuilds *)
   mutable rebuild_count : int;
   mutable disruption_sum : float;
 }
@@ -21,11 +23,16 @@ let create ?(table_size = 4099) ~names () =
   let n = Array.length names in
   let weights = Array.make n (1.0 /. float_of_int n) in
   let backends = Array.mapi (fun i name -> (name, weights.(i))) names in
+  let perms =
+    Array.map (fun name -> Permutation.create ~name ~size:table_size) names
+  in
   {
     names;
     table_size;
     weights;
-    table = Table.populate ~size:table_size ~backends;
+    perms;
+    table = Table.populate ~perms ~size:table_size ~backends ();
+    spare = Array.make table_size (-1);
     rebuild_count = 0;
     disruption_sum = 0.0;
   }
@@ -46,9 +53,15 @@ let set_weights t ws =
   Array.iteri (fun i w -> set_weight t i w) ws
 
 let rebuild t =
+  (* The controller rebuilds every control interval under load; recycle
+     the previous table as scratch so each rebuild allocates only the
+     transient backend list, not a [table_size] array. *)
   let backends = Array.mapi (fun i name -> (name, t.weights.(i))) t.names in
-  let fresh = Table.populate ~size:t.table_size ~backends in
+  let fresh =
+    Table.populate ~perms:t.perms ~into:t.spare ~size:t.table_size ~backends ()
+  in
   t.disruption_sum <- t.disruption_sum +. Table.disruption t.table fresh;
+  t.spare <- t.table;
   t.table <- fresh;
   t.rebuild_count <- t.rebuild_count + 1
 

@@ -1,4 +1,4 @@
-let populate ~size ~backends =
+let populate ?perms ?into ~size ~backends () =
   if Array.length backends = 0 then invalid_arg "Table.populate: no backends";
   if not (Hashing.is_prime size) then
     invalid_arg "Table.populate: size must be prime";
@@ -12,9 +12,29 @@ let populate ~size ~backends =
   in
   if max_weight <= 0.0 then invalid_arg "Table.populate: all weights <= 0";
   let perms =
-    Array.map (fun (name, _) -> Permutation.create ~name ~size) backends
+    (* A caller rebuilding repeatedly (the controller's feedback loop)
+       passes its cached permutations; they only depend on the fixed
+       backend names, so they are rewound rather than recreated. *)
+    match perms with
+    | Some perms ->
+        if Array.length perms <> n then
+          invalid_arg "Table.populate: perms length mismatch";
+        Array.iter Permutation.reset perms;
+        perms
+    | None ->
+        Array.map (fun (name, _) -> Permutation.create ~name ~size) backends
   in
-  let table = Array.make size (-1) in
+  let table =
+    (* A rebuilding caller can recycle a scratch array instead of
+       allocating [size] words per control decision. *)
+    match into with
+    | Some arr ->
+        if Array.length arr <> size then
+          invalid_arg "Table.populate: into length mismatch";
+        Array.fill arr 0 size (-1);
+        arr
+    | None -> Array.make size (-1)
+  in
   let filled = ref 0 in
   let credit = Array.make n 0.0 in
   (* A backend claims its next preferred slot that is still free. *)

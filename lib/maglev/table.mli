@@ -9,13 +9,25 @@
     unit of credit. With equal weights this reduces exactly to classic
     Maglev. *)
 
-val populate : size:int -> backends:(string * float) array -> int array
-(** [populate ~size ~backends] builds the table: entry [s] is the index
-    (into [backends]) of the backend owning slot [s]. Backends with
-    weight <= 0 receive no slots.
+val populate :
+  ?perms:Permutation.t array ->
+  ?into:int array ->
+  size:int ->
+  backends:(string * float) array ->
+  unit ->
+  int array
+(** [populate ~size ~backends ()] builds the table: entry [s] is the
+    index (into [backends]) of the backend owning slot [s]. Backends
+    with weight <= 0 receive no slots. [?perms] supplies cached
+    permutations (one per backend, in order, built for [size]); they are
+    rewound and reused, sparing the per-rebuild hashing when the
+    controller repopulates the table every control interval. [?into]
+    supplies a scratch array of length [size] that is overwritten and
+    returned instead of allocating a fresh table.
 
     @raise Invalid_argument if [size] is not prime, [backends] is empty,
-    all weights are <= 0, or any weight is NaN. *)
+    all weights are <= 0, any weight is NaN, [perms] has the wrong
+    length, or [into] has the wrong length. *)
 
 val slot_shares : int array -> n:int -> float array
 (** [slot_shares table ~n] is the fraction of slots owned by each of the

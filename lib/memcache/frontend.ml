@@ -144,9 +144,8 @@ let rec dispatch t =
       let own =
         Stdlib.max 1 (int_of_float (Stats.Dist.draw t.config.own_service t.rng))
       in
-      ignore
-        (Des.Engine.schedule_after t.engine ~delay:own (fun () ->
-             after_own_service t cs job))
+      Des.Engine.post_after t.engine ~delay:own (fun () ->
+          after_own_service t cs job)
     end;
     dispatch t
   end

@@ -10,12 +10,11 @@ let periodic engine ~rng ~gap ~duration =
   let t = { engine; pause_until = 0; count = 0 } in
   let rec schedule_next () =
     let g = Des.Time.ns (int_of_float (Stats.Dist.draw gap rng)) in
-    ignore
-      (Des.Engine.schedule_after engine ~delay:(Stdlib.max 1 g) (fun () ->
-           let d = Des.Time.ns (int_of_float (Stats.Dist.draw duration rng)) in
-           t.pause_until <- Des.Engine.now engine + d;
-           t.count <- t.count + 1;
-           schedule_next ()))
+    Des.Engine.post_after engine ~delay:(Stdlib.max 1 g) (fun () ->
+        let d = Des.Time.ns (int_of_float (Stats.Dist.draw duration rng)) in
+        t.pause_until <- Des.Engine.now engine + d;
+        t.count <- t.count + 1;
+        schedule_next ())
   in
   schedule_next ();
   t

@@ -86,9 +86,7 @@ let rec dispatch t =
       t.free_workers <- t.free_workers - 1;
       cs.in_service <- true;
       let delay = service_time t job.request in
-      ignore
-        (Des.Engine.schedule_after t.engine ~delay (fun () ->
-             complete t cs job))
+      Des.Engine.post_after t.engine ~delay (fun () -> complete t cs job)
     end;
     dispatch t
   end

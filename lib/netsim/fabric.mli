@@ -20,9 +20,12 @@ val create : Des.Engine.t -> t
 val engine : t -> Des.Engine.t
 
 val register : t -> ip:ip -> (Packet.t -> unit) -> unit
-(** Attach a host's receive handler.
+(** Attach a host's receive handler. Addresses must fit in 20 bits —
+    link lookups pack (src, dst) into a single immediate int so the
+    per-packet path allocates nothing.
 
-    @raise Invalid_argument if [ip] is 0 or already registered. *)
+    @raise Invalid_argument if [ip] is 0, out of range, or already
+    registered. *)
 
 val replace_handler : t -> ip:ip -> (Packet.t -> unit) -> unit
 (** Swap the handler of a registered host (used when rewiring a host

@@ -1,23 +1,30 @@
-type t = { src : Addr.t; dst : Addr.t }
-
-let v ~src ~dst = { src; dst }
-let equal a b = Addr.equal a.src b.src && Addr.equal a.dst b.dst
-
-let compare a b =
-  let c = Addr.compare a.src b.src in
-  if c <> 0 then c else Addr.compare a.dst b.dst
+(* The hash is mixed once at construction and carried in the key, so the
+   Maglev lookup and every hash-table probe on the datapath reuse it
+   instead of re-finalizing four words per operation. *)
+type t = { src : Addr.t; dst : Addr.t; hash : int }
 
 (* splitmix-style finalizer over the four components; stable across runs
    (no use of the polymorphic/seeded stdlib hash). *)
-let hash t =
+let compute_hash ~src ~dst =
   let mix h v =
     let h = h lxor (v * 0x9e3779b1) in
     let h = (h lxor (h lsr 16)) * 0x45d9f3b in
     (h lxor (h lsr 13)) land max_int
   in
-  mix (mix (mix (mix 0x1234567 t.src.Addr.ip) t.src.Addr.port) t.dst.Addr.ip)
-    t.dst.Addr.port
+  mix
+    (mix (mix (mix 0x1234567 src.Addr.ip) src.Addr.port) dst.Addr.ip)
+    dst.Addr.port
 
+let v ~src ~dst = { src; dst; hash = compute_hash ~src ~dst }
+
+let equal a b =
+  a.hash = b.hash && Addr.equal a.src b.src && Addr.equal a.dst b.dst
+
+let compare a b =
+  let c = Addr.compare a.src b.src in
+  if c <> 0 then c else Addr.compare a.dst b.dst
+
+let hash t = t.hash
 let pp ppf t = Fmt.pf ppf "%a->%a" Addr.pp t.src Addr.pp t.dst
 
 module Table = Hashtbl.Make (struct

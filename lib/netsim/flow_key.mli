@@ -4,15 +4,18 @@
     so a flow is keyed by the (source, destination) address pair of that
     direction — the layer-4 connection identifier of §1 of the paper. *)
 
-type t = { src : Addr.t; dst : Addr.t }
+type t = private { src : Addr.t; dst : Addr.t; hash : int }
+(** [hash] is computed once by {!v}; keys must be built through {!v} so
+    the cached value stays consistent with the addresses. *)
 
 val v : src:Addr.t -> dst:Addr.t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
 val hash : t -> int
-(** Deterministic mix of both addresses; also the hash Maglev consumes,
-    so it must be stable across runs. *)
+(** Deterministic mix of both addresses, cached at construction (O(1)
+    here); also the hash Maglev consumes, so it must be stable across
+    runs. *)
 
 val pp : Format.formatter -> t -> unit
 

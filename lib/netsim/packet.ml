@@ -15,18 +15,29 @@ type t = {
   ack : int;
   flags : flags;
   payload : string;
+  flow_key : Flow_key.t;
 }
 
-let next_id = ref 0
+(* Atomic so concurrent scenario domains (Cluster.Parallel) never tear
+   or duplicate ids; per-scenario output does not depend on id values. *)
+let next_id = Atomic.make 0
 
 let make ~src ~dst ~seq ~ack ~flags ~payload =
-  incr next_id;
-  { id = !next_id; src; dst; seq; ack; flags; payload }
+  {
+    id = Atomic.fetch_and_add next_id 1 + 1;
+    src;
+    dst;
+    seq;
+    ack;
+    flags;
+    payload;
+    flow_key = Flow_key.v ~src ~dst;
+  }
 
 let header_bytes = 54
 let wire_size t = header_bytes + String.length t.payload
 let payload_len t = String.length t.payload
-let flow t = Flow_key.v ~src:t.src ~dst:t.dst
+let flow t = t.flow_key
 
 let is_pure_ack t =
   String.length t.payload = 0

@@ -12,7 +12,7 @@ val flag_syn_ack : flags
 val flag_fin_ack : flags
 val flag_rst : flags
 
-type t = {
+type t = private {
   id : int;  (** Unique per-process packet id, for tracing. *)
   src : Addr.t;
   dst : Addr.t;
@@ -20,6 +20,10 @@ type t = {
   ack : int;  (** Cumulative acknowledgement number. *)
   flags : flags;
   payload : string;  (** Application bytes ([""] for pure ACKs). *)
+  flow_key : Flow_key.t;
+      (** The (src, dst) key with its hash, built once in {!make} so the
+          balancer's table probe and Maglev lookup hash only once per
+          packet. *)
 }
 
 val make :

@@ -200,12 +200,14 @@ and on_rto t =
         t.retransmit_count <- t.retransmit_count + 1;
         Rto.backoff t.rto;
         let flags =
-          {
-            Netsim.Packet.syn = seg.syn;
-            ack = t.reasm <> None;
-            fin = seg.fin;
-            rst = false;
-          }
+          if seg.syn || seg.fin || t.reasm = None then
+            {
+              Netsim.Packet.syn = seg.syn;
+              ack = t.reasm <> None;
+              fin = seg.fin;
+              rst = false;
+            }
+          else Netsim.Packet.flag_ack
         in
         emit t ~seq:seg.seq ~flags ~payload:seg.payload;
         arm_rto t
@@ -228,13 +230,16 @@ let transmit_segment t seg =
   Queue.add seg t.inflight;
   t.snd_nxt <- t.snd_nxt + seg_span seg;
   let flags =
-    { Netsim.Packet.syn = seg.syn; ack = true; fin = seg.fin; rst = false }
+    (* Plain data segments — the overwhelming majority — share the
+       preallocated flag record instead of building one per packet. *)
+    if seg.syn || seg.fin then
+      { Netsim.Packet.syn = seg.syn; ack = true; fin = seg.fin; rst = false }
+    else Netsim.Packet.flag_ack
   in
   emit t ~seq:seg.seq ~flags ~payload:seg.payload;
   if not (Des.Timer.is_armed (ensure_rto_timer t)) then arm_rto t
 
-(* Pop up to [n] bytes off the pending queue. *)
-let take_pending t n =
+let take_pending_slow t n =
   let buf = Buffer.create n in
   let remaining = ref n in
   while !remaining > 0 && not (Queue.is_empty t.pending) do
@@ -251,6 +256,23 @@ let take_pending t n =
   done;
   t.pending_bytes <- t.pending_bytes - (n - !remaining);
   Buffer.contents buf
+
+(* Pop up to [n] bytes off the pending queue. When the head string is
+   exactly the [n] bytes wanted — one application write per segment, the
+   common case — it is reused without copying. *)
+let take_pending t n =
+  if
+    t.pending_head_off = 0
+    &&
+    match Queue.peek_opt t.pending with
+    | Some head -> String.length head = n
+    | None -> false
+  then begin
+    let head = Queue.pop t.pending in
+    t.pending_bytes <- t.pending_bytes - n;
+    head
+  end
+  else take_pending_slow t n
 
 let can_carry_data t =
   match t.state with Established | Close_wait -> true | _ -> false

@@ -28,6 +28,12 @@ let rec drain t buf =
 let insert t ~seq data =
   let seq, data = trim t seq data in
   if String.length data = 0 then ""
+  else if seq = t.rcv_nxt && Seq_map.is_empty t.ooo then begin
+    (* In-order segment with nothing buffered — the common case — is
+       delivered as-is, with no intermediate copy. *)
+    t.rcv_nxt <- t.rcv_nxt + String.length data;
+    data
+  end
   else if seq = t.rcv_nxt then begin
     let buf = Buffer.create (String.length data) in
     Buffer.add_string buf data;

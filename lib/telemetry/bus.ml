@@ -1,26 +1,44 @@
 type 'a subscriber = { id : int; f : 'a -> unit }
 
+(* Subscribers are prepended (O(1)) and the delivery-order list is
+   rebuilt lazily on the next publish, so subscribing N times is O(N)
+   total instead of the O(N^2) of append-per-subscribe, while delivery
+   still runs in subscription order. *)
 type 'a t = {
-  mutable subs : 'a subscriber list; (* subscription order *)
+  mutable rev_subs : 'a subscriber list; (* newest first *)
+  mutable ordered : 'a subscriber list; (* cached List.rev rev_subs *)
+  mutable dirty : bool;
   mutable next_id : int;
 }
 
 type subscription = int
 
-let create () = { subs = []; next_id = 0 }
+let create () = { rev_subs = []; ordered = []; dirty = false; next_id = 0 }
+let is_empty t = t.rev_subs == []
 
 let subscribe t f =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.subs <- t.subs @ [ { id; f } ];
+  t.rev_subs <- { id; f } :: t.rev_subs;
+  t.dirty <- true;
   id
 
-let unsubscribe t id = t.subs <- List.filter (fun s -> s.id <> id) t.subs
+let unsubscribe t id =
+  t.rev_subs <- List.filter (fun s -> s.id <> id) t.rev_subs;
+  t.dirty <- true
+
+let ordered t =
+  if t.dirty then begin
+    t.ordered <- List.rev t.rev_subs;
+    t.dirty <- false
+  end;
+  t.ordered
 
 let publish t event =
-  (* Snapshot so callbacks may (un)subscribe without affecting this
-     delivery round. *)
-  let subs = t.subs in
-  List.iter (fun s -> s.f event) subs
+  (* The no-subscriber case is the datapath common case: one pointer
+     compare, no allocation. The cached list also acts as the snapshot,
+     so callbacks may (un)subscribe without affecting this round. *)
+  if t.rev_subs != [] then List.iter (fun s -> s.f event) (ordered t)
 
-let subscribers t = List.length t.subs
+let publish_with t make = if t.rev_subs != [] then publish t (make ())
+let subscribers t = List.length t.rev_subs

@@ -16,9 +16,13 @@ type subscription
 val create : unit -> 'a t
 (** A bus with no subscribers. *)
 
+val is_empty : 'a t -> bool
+(** [true] when nobody listens. Producers on a hot path guard event
+    construction with this so an unobserved publish allocates nothing. *)
+
 val subscribe : 'a t -> ('a -> unit) -> subscription
 (** [subscribe t f] calls [f] on every subsequent {!publish}. Subscribers
-    added earlier fire earlier. *)
+    added earlier fire earlier. Amortized O(1) per subscribe. *)
 
 val unsubscribe : 'a t -> subscription -> unit
 (** Detach one subscriber. Unknown or already-detached subscriptions are
@@ -28,7 +32,15 @@ val publish : 'a t -> 'a -> unit
 (** Deliver an event to every current subscriber, synchronously. A
     subscriber list snapshot is taken first, so subscribing or
     unsubscribing from inside a callback takes effect from the next
-    publish. *)
+    publish. With no subscribers this is one pointer compare and does
+    not allocate. *)
+
+val publish_with : 'a t -> (unit -> 'a) -> unit
+(** [publish_with t make] is [publish t (make ())], but [make] runs only
+    when somebody listens. Use when the event value itself is expensive
+    to build; note that a closure capturing locals still allocates at
+    the call site, so zero-allocation producers should guard with
+    {!is_empty} instead. *)
 
 val subscribers : 'a t -> int
 (** Number of currently attached subscribers. *)

@@ -6,6 +6,10 @@ type t = {
   rng : Des.Rng.t;
   (* Cumulative probability table for Zipf; empty for Uniform. *)
   cdf : float array;
+  (* Key names are drawn once per request; memoise them so each is
+     formatted once for the run instead of once per sample. Filled
+     lazily ("" = not yet built; real keys are never empty). *)
+  names : string array;
 }
 
 let create ?(prefix = "memtier-") ~count ~dist ~rng () =
@@ -25,10 +29,18 @@ let create ?(prefix = "memtier-") ~count ~dist ~rng () =
             !acc)
           weights
   in
-  { prefix; count; rng; cdf }
+  { prefix; count; rng; cdf; names = Array.make count "" }
 
 let count t = t.count
-let key_of t i = Fmt.str "%s%08d" t.prefix i
+
+let key_of t i =
+  let cached = t.names.(i) in
+  if cached <> "" then cached
+  else begin
+    let name = Fmt.str "%s%08d" t.prefix i in
+    t.names.(i) <- name;
+    name
+  end
 
 let sample_index t =
   if Array.length t.cdf = 0 then Des.Rng.int t.rng t.count

@@ -43,6 +43,10 @@ type t = {
   config : config;
   rng : Des.Rng.t;
   slots : slot array;
+  (* Last Set value, reused while the drawn size repeats (always, under
+     the default constant size distribution). Strings are immutable so
+     sharing one across requests is safe. *)
+  mutable value_memo : string;
   mutable next_port : int;
   mutable running : bool;
   m_sent : Telemetry.Registry.counter;
@@ -81,6 +85,7 @@ let create fabric ~host_ip ~vip ~keyspace ~log ?(config = default_config)
             sent_on_conn = 0;
             closing = false;
           });
+    value_memo = "";
     next_port = 10_000;
     running = false;
     m_sent = Telemetry.Registry.counter registry ?index "client.sent";
@@ -94,8 +99,15 @@ let make_request t =
   if Des.Rng.float t.rng 1.0 < t.config.get_ratio then
     (Latency_log.Get, Memcache.Protocol.Get { key = Keyspace.sample t.keyspace })
   else begin
-    let size = int_of_float (Stats.Dist.draw t.config.value_size t.rng) in
-    let value = String.make (Stdlib.max 1 size) 'x' in
+    let size = Stdlib.max 1 (int_of_float (Stats.Dist.draw t.config.value_size t.rng)) in
+    let value =
+      if String.length t.value_memo = size then t.value_memo
+      else begin
+        let v = String.make size 'x' in
+        t.value_memo <- v;
+        v
+      end
+    in
     ( Latency_log.Set,
       Memcache.Protocol.Set
         { key = Keyspace.sample t.keyspace; flags = 0; exptime = 0; value } )
@@ -138,10 +150,7 @@ and maybe_trigger_next t slot =
       Stdlib.max 0 (int_of_float (Stats.Dist.draw t.config.think_time t.rng))
     in
     if think = 0 then issue t slot
-    else
-      ignore
-        (Des.Engine.schedule_after t.engine ~delay:think (fun () ->
-             issue t slot))
+    else Des.Engine.post_after t.engine ~delay:think (fun () -> issue t slot)
   end
 
 and close_slot _t slot =
@@ -193,9 +202,8 @@ and open_slot t slot =
         slot.conn <- None;
         if t.running then begin
           Telemetry.Registry.Counter.incr t.m_reconnects;
-          ignore
-            (Des.Engine.schedule_after t.engine
-               ~delay:t.config.reconnect_delay (fun () -> open_slot t slot))
+          Des.Engine.post_after t.engine ~delay:t.config.reconnect_delay
+            (fun () -> open_slot t slot)
         end)
   end
 

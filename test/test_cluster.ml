@@ -371,6 +371,34 @@ let seed_changes_run () =
   in
   check_bool "different seeds diverge" true (run 1 <> run 2)
 
+let parallel_map_order_and_errors () =
+  let doubled = Cluster.Parallel.map ~jobs:4 (fun x -> 2 * x) [ 5; 1; 9; 3; 7 ] in
+  Alcotest.(check (list int)) "input order kept" [ 10; 2; 18; 6; 14 ] doubled;
+  Alcotest.(check (list int)) "jobs=0 means auto" [ 2; 4 ]
+    (Cluster.Parallel.map ~jobs:0 (fun x -> 2 * x) [ 1; 2 ]);
+  match
+    Cluster.Parallel.map ~jobs:3
+      (fun x -> if x mod 2 = 0 then failwith (string_of_int x) else x)
+      [ 1; 4; 3; 6 ]
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+      Alcotest.(check string) "earliest failing item wins" "4" msg
+
+let jobs_do_not_change_figures () =
+  (* The parallel-runner contract: the rendered Fig. 3 CSV — every
+     latency bucket of every policy — is byte-identical whether the
+     per-policy simulations ran on one domain or four. *)
+  let run jobs =
+    Cluster.Fig3.run ~jobs ~duration:(Des.Time.sec 6)
+      ~inject_at:(Des.Time.sec 2) ()
+  in
+  let sequential = Cluster.Csv.fig3_series (run 1) in
+  let parallel = Cluster.Csv.fig3_series (run 4) in
+  check_bool "non-trivial output" true (String.length sequential > 100);
+  Alcotest.(check string) "fig3 CSV identical at -j 1 and -j 4" sequential
+    parallel
+
 let () =
   Alcotest.run "cluster"
     [
@@ -419,5 +447,9 @@ let () =
         [
           Alcotest.test_case "identical runs" `Quick simulation_deterministic;
           Alcotest.test_case "seed matters" `Quick seed_changes_run;
+          Alcotest.test_case "parallel map order and errors" `Quick
+            parallel_map_order_and_errors;
+          Alcotest.test_case "figures identical at any -j" `Slow
+            jobs_do_not_change_figures;
         ] );
     ]

@@ -242,6 +242,57 @@ let engine_qcheck_order =
       Des.Engine.run e;
       List.rev !seen = List.sort Int.compare times)
 
+let engine_qcheck_exact_order =
+  (* Stronger than nondecreasing times: with a small time range forcing
+     plenty of ties, the surviving events must fire in exactly (time,
+     scheduling order) — the determinism contract the whole simulator
+     rests on — no matter which subset is cancelled. *)
+  QCheck.Test.make ~count:200
+    ~name:"engine fires in exact (time, seq) order under cancels"
+    QCheck.(list (pair (int_bound 50) bool))
+    (fun items ->
+      let e = Des.Engine.create () in
+      let fired = ref [] in
+      let handles =
+        List.mapi
+          (fun i (t, _) ->
+            Des.Engine.schedule e ~at:t (fun () -> fired := i :: !fired))
+          items
+      in
+      List.iteri
+        (fun i (_, cancelled) ->
+          if cancelled then Des.Engine.cancel (List.nth handles i))
+        items;
+      Des.Engine.run e;
+      let expected =
+        List.mapi (fun i (t, cancelled) -> (t, i, cancelled)) items
+        |> List.filter (fun (_, _, cancelled) -> not cancelled)
+        |> List.stable_sort (fun (t1, _, _) (t2, _, _) -> Int.compare t1 t2)
+        |> List.map (fun (_, i, _) -> i)
+      in
+      List.rev !fired = expected)
+
+let engine_cancel_heavy_queue_bounded () =
+  (* A timer re-armed per packet is the worst case for tombstones: every
+     arm cancels the previous event. The queue must stay proportional to
+     the live event count (compaction invariant: tombstones are at most
+     half the queue once it reaches the compaction floor of 64). *)
+  let e = Des.Engine.create () in
+  let h = ref None in
+  for i = 1 to 20_000 do
+    (match !h with Some h -> Des.Engine.cancel h | None -> ());
+    h :=
+      Some (Des.Engine.schedule e ~at:(i + 1_000_000) (fun () -> ()));
+    if i mod 500 = 0 then begin
+      Des.Engine.run ~until:i e;
+      let q = Des.Engine.queue_length e and p = Des.Engine.pending e in
+      if q > Stdlib.max 64 (2 * p) then
+        Alcotest.failf "queue_length %d not bounded by pending %d" q p
+    end
+  done;
+  check_bool "compaction ran" true (Des.Engine.compactions e > 0);
+  check_int "exactly one live event" 1 (Des.Engine.pending e)
+
 (* --- Timer ------------------------------------------------------------- *)
 
 let timer_one_shot () =
@@ -343,8 +394,11 @@ let () =
             engine_negative_delay_rejected;
           Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
           Alcotest.test_case "step" `Quick engine_step;
+          Alcotest.test_case "cancel-heavy queue bounded" `Quick
+            engine_cancel_heavy_queue_bounded;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ engine_qcheck_order ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ engine_qcheck_order; engine_qcheck_exact_order ] );
       ( "timer",
         [
           Alcotest.test_case "one shot" `Quick timer_one_shot;

@@ -82,13 +82,13 @@ let permutation_qcheck =
 let backends_of n = Array.init n (fun i -> (Fmt.str "server-%d" i, 1.0))
 
 let table_fills_every_slot () =
-  let table = Maglev.Table.populate ~size:1021 ~backends:(backends_of 5) in
+  let table = Maglev.Table.populate ~size:1021 ~backends:(backends_of 5) () in
   check_int "size" 1021 (Array.length table);
   Array.iter (fun owner -> check_bool "owned" true (owner >= 0 && owner < 5)) table
 
 let table_equal_weights_near_equal_shares () =
   let n = 7 in
-  let table = Maglev.Table.populate ~size:4099 ~backends:(backends_of n) in
+  let table = Maglev.Table.populate ~size:4099 ~backends:(backends_of n) () in
   let shares = Maglev.Table.slot_shares table ~n in
   Array.iter
     (fun s ->
@@ -100,14 +100,14 @@ let table_equal_weights_near_equal_shares () =
 
 let table_weighted_shares_proportional () =
   let backends = [| ("a", 3.0); ("b", 1.0) |] in
-  let table = Maglev.Table.populate ~size:4099 ~backends in
+  let table = Maglev.Table.populate ~size:4099 ~backends () in
   let shares = Maglev.Table.slot_shares table ~n:2 in
   check_bool "3:1 split" true (Float.abs (shares.(0) -. 0.75) < 0.02);
   check_bool "minority" true (Float.abs (shares.(1) -. 0.25) < 0.02)
 
 let table_zero_weight_gets_nothing () =
   let backends = [| ("a", 1.0); ("b", 0.0); ("c", 1.0) |] in
-  let table = Maglev.Table.populate ~size:1021 ~backends in
+  let table = Maglev.Table.populate ~size:1021 ~backends () in
   let shares = Maglev.Table.slot_shares table ~n:3 in
   Alcotest.(check (float 1e-9)) "zero weight, zero slots" 0.0 shares.(1)
 
@@ -119,7 +119,7 @@ let table_weighted_qcheck =
       let backends =
         Array.of_list (List.mapi (fun i w -> (Fmt.str "s%d" i, w)) weights)
       in
-      let table = Maglev.Table.populate ~size:4099 ~backends in
+      let table = Maglev.Table.populate ~size:4099 ~backends () in
       let shares = Maglev.Table.slot_shares table ~n in
       let total = List.fold_left ( +. ) 0.0 weights in
       List.for_all2
@@ -130,12 +130,12 @@ let table_backend_removal_minimal_disruption () =
   (* Removing one of n backends should move ~1/n of slots, not reshuffle
      everything — Maglev's headline property. *)
   let n = 10 in
-  let t1 = Maglev.Table.populate ~size:4099 ~backends:(backends_of n) in
+  let t1 = Maglev.Table.populate ~size:4099 ~backends:(backends_of n) () in
   let removed =
     Array.of_list
       (List.filteri (fun i _ -> i <> 3) (Array.to_list (backends_of n)))
   in
-  let t2 = Maglev.Table.populate ~size:4099 ~backends:removed in
+  let t2 = Maglev.Table.populate ~size:4099 ~backends:removed () in
   (* Compare by name: slot owners in t2 index a 9-element array. *)
   let name1 i = fst (backends_of n).(i) in
   let name2 i = fst removed.(i) in
@@ -150,28 +150,28 @@ let table_backend_removal_minimal_disruption () =
     true (fraction < 0.2)
 
 let table_small_weight_change_small_disruption () =
-  let t1 = Maglev.Table.populate ~size:4099 ~backends:[| ("a", 0.5); ("b", 0.5) |] in
-  let t2 = Maglev.Table.populate ~size:4099 ~backends:[| ("a", 0.45); ("b", 0.55) |] in
+  let t1 = Maglev.Table.populate ~size:4099 ~backends:[| ("a", 0.5); ("b", 0.5) |] () in
+  let t2 = Maglev.Table.populate ~size:4099 ~backends:[| ("a", 0.45); ("b", 0.55) |] () in
   let d = Maglev.Table.disruption t1 t2 in
   check_bool (Fmt.str "disruption %.3f ~ 5%%" d) true (d > 0.01 && d < 0.12)
 
 let table_errors () =
   Alcotest.check_raises "no backends"
     (Invalid_argument "Table.populate: no backends") (fun () ->
-      ignore (Maglev.Table.populate ~size:11 ~backends:[||]));
+      ignore (Maglev.Table.populate ~size:11 ~backends:[||] ()));
   Alcotest.check_raises "composite size"
     (Invalid_argument "Table.populate: size must be prime") (fun () ->
-      ignore (Maglev.Table.populate ~size:10 ~backends:(backends_of 2)));
+      ignore (Maglev.Table.populate ~size:10 ~backends:(backends_of 2) ()));
   Alcotest.check_raises "all zero weights"
     (Invalid_argument "Table.populate: all weights <= 0") (fun () ->
-      ignore (Maglev.Table.populate ~size:11 ~backends:[| ("a", 0.0) |]));
+      ignore (Maglev.Table.populate ~size:11 ~backends:[| ("a", 0.0) |] ()));
   Alcotest.check_raises "disruption length mismatch"
     (Invalid_argument "Table.disruption: length mismatch") (fun () ->
       ignore (Maglev.Table.disruption [| 0 |] [| 0; 1 |]))
 
 let table_deterministic () =
-  let a = Maglev.Table.populate ~size:1021 ~backends:(backends_of 4) in
-  let b = Maglev.Table.populate ~size:1021 ~backends:(backends_of 4) in
+  let a = Maglev.Table.populate ~size:1021 ~backends:(backends_of 4) () in
+  let b = Maglev.Table.populate ~size:1021 ~backends:(backends_of 4) () in
   check_bool "same inputs, same table" true (a = b)
 
 (* --- Pool ------------------------------------------------------------------ *)

@@ -133,6 +133,50 @@ let bus_unsubscribe_during_publish () =
   Telemetry.Bus.publish bus ();
   check_int "gone on the next publish" 1 !hits
 
+let bus_publish_with_lazy () =
+  let bus = Telemetry.Bus.create () in
+  let built = ref 0 in
+  let make () =
+    incr built;
+    !built
+  in
+  Telemetry.Bus.publish_with bus make;
+  check_int "no subscriber, event never built" 0 !built;
+  let seen = ref [] in
+  ignore (Telemetry.Bus.subscribe bus (fun v -> seen := v :: !seen));
+  Telemetry.Bus.publish_with bus make;
+  check_int "subscriber present, event built once" 1 !built;
+  Alcotest.(check (list int)) "delivered" [ 1 ] !seen
+
+let bus_empty_publish_zero_alloc () =
+  (* The per-packet contract behind the telemetry layer: publishing to a
+     bus nobody subscribed to must not allocate at all. Gc.minor_words
+     counts every minor-heap word this domain allocates, so a zero delta
+     across 10k publishes is a proof, not a heuristic. *)
+  let bus = Telemetry.Bus.create () in
+  Telemetry.Bus.publish bus 42;
+  (* warm up *)
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Telemetry.Bus.publish bus i
+  done;
+  let words = Gc.minor_words () -. before in
+  if words <> 0.0 then
+    Alcotest.failf "empty-bus publish allocated %.0f minor words" words;
+  (* publish_with with an allocating constructor: still nothing, because
+     the constructor must not run. The closure is hoisted out of the
+     loop — the datapath does the same with preallocated callbacks. *)
+  let pair_bus = Telemetry.Bus.create () in
+  let make () = Some 1 in
+  Telemetry.Bus.publish_with pair_bus make;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Telemetry.Bus.publish_with pair_bus make
+  done;
+  let words = Gc.minor_words () -. before in
+  if words <> 0.0 then
+    Alcotest.failf "empty-bus publish_with allocated %.0f minor words" words
+
 (* --- Snapshot ----------------------------------------------------------- *)
 
 let snapshot_cadence () =
@@ -264,6 +308,9 @@ let () =
           Alcotest.test_case "unsubscribe" `Quick bus_unsubscribe;
           Alcotest.test_case "unsubscribe mid-publish" `Quick
             bus_unsubscribe_during_publish;
+          Alcotest.test_case "publish_with is lazy" `Quick bus_publish_with_lazy;
+          Alcotest.test_case "empty publish allocates nothing" `Quick
+            bus_empty_publish_zero_alloc;
         ] );
       ( "snapshot",
         [
