@@ -75,7 +75,6 @@ let run_ablation_source ~jobs () =
 
 let e2e_duration = Des.Time.sec 10
 let e2e_iterations = 3
-let bench_json_path = "BENCH_pr3.json"
 
 type e2e_measurement = {
   events_per_sec : float;
@@ -110,8 +109,11 @@ let e2e_once () =
   in
   { events_per_sec = float_of_int events /. wall_s; wall_s; events; responses }
 
-(* BENCH_pr3.json is a flat one-line-per-field JSON object written and
-   parsed here, so neither side needs a JSON dependency. *)
+(* BENCH_pr*.json files are flat one-line-per-field JSON objects written
+   and parsed here, so neither side needs a JSON dependency. Each bench
+   finds its own baseline in the newest BENCH_pr*.json that carries its
+   keys, so a new PR can record results under a new file without
+   editing the checkers. *)
 let bench_json_read path =
   match open_in path with
   | exception Sys_error _ -> []
@@ -143,13 +145,42 @@ let bench_json_read path =
            with End_of_file -> ());
           !fields)
 
-let bench_json_write path fields =
+(* Numbered BENCH files, newest (highest PR number) first. Sorting by
+   the numeric suffix rather than mtime keeps the choice stable in CI,
+   where a fresh checkout gives every file the same timestamp. *)
+let bench_json_files () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter_map (fun f ->
+         if
+           String.length f > 13
+           && String.sub f 0 8 = "BENCH_pr"
+           && Filename.check_suffix f ".json"
+         then
+           Option.map
+             (fun n -> (n, f))
+             (int_of_string_opt (String.sub f 8 (String.length f - 13)))
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  |> List.map snd
+
+(* The newest BENCH_pr*.json already holding [key] (a bench's baseline
+   field); [fallback] names the file a first-ever run creates. *)
+let bench_json_locate ~key ~fallback =
+  match
+    List.find_opt (fun f -> List.mem_assoc key (bench_json_read f))
+      (bench_json_files ())
+  with
+  | Some f -> f
+  | None -> fallback
+
+let bench_json_write path ~bench fields =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc "{\n";
-      output_string oc "  \"bench\": \"fig3-e2e\",\n";
+      output_string oc (Fmt.str "  \"bench\": %S,\n" bench);
       let last = List.length fields - 1 in
       List.iteri
         (fun i (key, v) ->
@@ -181,6 +212,9 @@ let run_e2e ~check () =
     | Some _ | None -> best := Some m
   done;
   let m = match !best with Some m -> m | None -> assert false in
+  let bench_json_path =
+    bench_json_locate ~key:"before_events_per_sec" ~fallback:"BENCH_pr3.json"
+  in
   let prior = bench_json_read bench_json_path in
   let before =
     (* First ever run records itself as the baseline; later runs keep the
@@ -188,7 +222,8 @@ let run_e2e ~check () =
     List.filter (fun (k, _) -> String.length k > 7 && String.sub k 0 7 = "before_") prior
   in
   let before = if before = [] then measurement_fields "before" m else before in
-  bench_json_write bench_json_path (before @ measurement_fields "after" m);
+  bench_json_write bench_json_path ~bench:"fig3-e2e"
+    (before @ measurement_fields "after" m);
   Fmt.pr "best: %.0f events/s; wrote %s@." m.events_per_sec bench_json_path;
   (match List.assoc_opt "before_events_per_sec" before with
   | Some b when b > 0.0 ->
@@ -202,6 +237,224 @@ let run_e2e ~check () =
         exit 1
       end
   | Some _ | None -> ())
+
+
+(* --- Flow-scale churn benchmark (bench flows) ------------------------- *)
+
+(* N concurrent flows doing request/response churn through the balancer
+   datapath alone (no TCP endpoints): a pacer event sends one packet per
+   flow round-robin, the balancer routes it over a fabric link, and the
+   server replies straight back to the client (DSR). Every 8th packet of
+   a flow carries FIN and the flow reincarnates under a fresh source
+   port, exercising slab slot recycling, tombstone deletion in the flow
+   table, and wheel-timer idle expiry at full scale. Metrics recorded:
+   events/s over the whole run, steady-state live words per flow
+   (measured under a forced full major at peak concurrency), and major
+   GC counters. *)
+
+let flows_clients = 64
+let flows_servers = 8
+let flows_packets_per_incarnation = 8 (* the 8th carries FIN *)
+let flows_rounds = 12 (* sends per flow over the whole run *)
+let flows_batch = 64 (* sends per pacer event *)
+
+type flows_result = {
+  f_n : int;
+  f_events_per_sec : float;
+  f_wall_s : float;
+  f_events : int;
+  f_responses : int;
+  f_words_per_flow : float;
+  f_active_peak : int;
+  f_major_collections : int;
+  f_major_words : float;
+  f_full_major_s : float;
+}
+
+let flows_once ~n =
+  Gc.compact ();
+  let base_live = (Gc.stat ()).Gc.live_words in
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let vip = Netsim.Addr.v 1 80 in
+  let server_ips = Array.init flows_servers (fun i -> 10 + i) in
+  let client_ips = Array.init flows_clients (fun i -> 100 + i) in
+  (* Short idle horizon so reincarnated flows' dead predecessors are
+     reaped while the bench runs, keeping the table near N entries. *)
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.flow_idle_timeout = Des.Time.ms 32;
+      sweep_interval = Des.Time.ms 16;
+    }
+  in
+  let balancer =
+    Inband.Balancer.create fabric ~vip ~server_ips ~config ()
+  in
+  let responses = ref 0 in
+  Array.iter
+    (fun ip ->
+      Netsim.Fabric.register fabric ~ip (fun _ -> incr responses))
+    client_ips;
+  Array.iter
+    (fun ip ->
+      Netsim.Fabric.register fabric ~ip (fun pkt ->
+          (* Respond to data; FINs are end-of-flow, nothing to say. *)
+          if not pkt.Netsim.Packet.flags.Netsim.Packet.fin then
+            Netsim.Fabric.send fabric ~from:ip
+              (Netsim.Packet.make ~src:vip ~dst:pkt.Netsim.Packet.src
+                 ~seq:pkt.Netsim.Packet.ack ~ack:pkt.Netsim.Packet.seq
+                 ~flags:Netsim.Packet.flag_ack ~payload:"")))
+    server_ips;
+  let link () = Netsim.Link.create engine ~delay:(Des.Time.us 5) ~rate_bps:0 () in
+  Array.iter
+    (fun cip ->
+      Netsim.Fabric.add_link fabric ~src:cip ~dst:vip.Netsim.Addr.ip (link ()))
+    client_ips;
+  Array.iter
+    (fun sip ->
+      Netsim.Fabric.add_link fabric ~src:vip.Netsim.Addr.ip ~dst:sip (link ());
+      Array.iter
+        (fun cip -> Netsim.Fabric.add_link fabric ~src:sip ~dst:cip (link ()))
+        client_ips)
+    server_ips;
+  (* Flow i lives on client [i land 63]; its source port encodes the
+     flow index and incarnation, so every incarnation is a fresh key. *)
+  let stride = (n + flows_clients - 1) / flows_clients in
+  let gen = Array.make n 0 in
+  let sent = Array.make n 0 in
+  let total_sends = flows_rounds * n in
+  let sends = ref 0 in
+  let cursor = ref 0 in
+  let rec pacer () =
+    let batch = Stdlib.min flows_batch (total_sends - !sends) in
+    for _ = 1 to batch do
+      let i = !cursor in
+      cursor := if i + 1 = n then 0 else i + 1;
+      let cip = client_ips.(i land (flows_clients - 1)) in
+      let port = (i lsr 6) + (gen.(i) * stride) in
+      let k = sent.(i) in
+      let fin = k = flows_packets_per_incarnation - 1 in
+      if fin then begin
+        sent.(i) <- 0;
+        gen.(i) <- gen.(i) + 1
+      end
+      else sent.(i) <- k + 1;
+      Netsim.Fabric.send fabric ~from:cip
+        (Netsim.Packet.make
+           ~src:(Netsim.Addr.v cip port)
+           ~dst:vip ~seq:k ~ack:0
+           ~flags:
+             (if fin then Netsim.Packet.flag_fin_ack
+              else Netsim.Packet.flag_ack)
+           ~payload:"");
+      incr sends
+    done;
+    if !sends < total_sends then
+      Des.Engine.post_after engine ~delay:(Des.Time.us 1) pacer
+  in
+  Des.Engine.post_after engine ~delay:(Des.Time.us 1) pacer;
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  (* Phase 1: drive all sends plus in-flight drain, then measure live
+     memory at peak concurrency under a forced full major. *)
+  let send_horizon =
+    Des.Time.us ((total_sends / flows_batch) + 2) + Des.Time.ms 1
+  in
+  Des.Engine.run ~until:send_horizon engine;
+  let active_peak = Inband.Balancer.active_flows balancer in
+  let fm0 = Unix.gettimeofday () in
+  Gc.full_major ();
+  let full_major_s = Unix.gettimeofday () -. fm0 in
+  let live_at_peak = (Gc.stat ()).Gc.live_words in
+  (* Phase 2: silence the traffic and let idle expiry reap the table —
+     wheel-scheduled sweeps must walk every flow out. *)
+  Des.Engine.run ~until:(send_horizon + Des.Time.ms 200) engine;
+  let wall_s = Unix.gettimeofday () -. t0 -. full_major_s in
+  let gc1 = Gc.quick_stat () in
+  let active_end = Inband.Balancer.active_flows balancer in
+  if active_end <> 0 then
+    failwith
+      (Fmt.str "bench flows: %d flows survived idle expiry" active_end);
+  let events = Des.Engine.events_fired engine in
+  {
+    f_n = n;
+    f_events_per_sec = float_of_int events /. wall_s;
+    f_wall_s = wall_s;
+    f_events = events;
+    f_responses = !responses;
+    f_words_per_flow = float_of_int (live_at_peak - base_live) /. float_of_int n;
+    f_active_peak = active_peak;
+    f_major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    f_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+    f_full_major_s = full_major_s;
+  }
+
+let run_flows ~n ~check () =
+  print_endline
+    (Cluster.Report.section
+       (Fmt.str "Flow-scale churn (%d concurrent flows, %d sends)" n
+          (flows_rounds * n)));
+  let r = flows_once ~n in
+  Fmt.pr
+    "%d events in %.2fs wall = %.0f events/s; %d responses@.\
+     peak %d tracked flows, %.1f live words/flow (full major: %.3fs)@.\
+     major GC: %d collections, %.0f words promoted@."
+    r.f_events r.f_wall_s r.f_events_per_sec r.f_responses r.f_active_peak
+    r.f_words_per_flow r.f_full_major_s r.f_major_collections r.f_major_words;
+  let path =
+    bench_json_locate ~key:"flows_baseline_events_per_sec"
+      ~fallback:"BENCH_pr4.json"
+  in
+  let prior = bench_json_read path in
+  let baseline =
+    (* First ever run records itself as the baseline; later runs keep it
+       and update only the current measurement. *)
+    match
+      ( List.assoc_opt "flows_baseline_events_per_sec" prior,
+        List.assoc_opt "flows_baseline_words_per_flow" prior )
+    with
+    | Some eps, Some words -> [ ("flows_baseline_events_per_sec", eps);
+                                ("flows_baseline_words_per_flow", words) ]
+    | _ ->
+        [ ("flows_baseline_events_per_sec", r.f_events_per_sec);
+          ("flows_baseline_words_per_flow", r.f_words_per_flow) ]
+  in
+  bench_json_write path ~bench:"flows-churn"
+    (baseline
+    @ [
+        ("flows_n", float_of_int r.f_n);
+        ("flows_events_per_sec", r.f_events_per_sec);
+        ("flows_wall_s", r.f_wall_s);
+        ("flows_events", float_of_int r.f_events);
+        ("flows_responses", float_of_int r.f_responses);
+        ("flows_live_words_per_flow", r.f_words_per_flow);
+        ("flows_active_peak", float_of_int r.f_active_peak);
+        ("flows_major_collections", float_of_int r.f_major_collections);
+        ("flows_major_words", r.f_major_words);
+        ("flows_full_major_s", r.f_full_major_s);
+      ]);
+  Fmt.pr "wrote %s@." path;
+  if check then begin
+    let base_eps = List.assoc "flows_baseline_events_per_sec" baseline in
+    let base_words = List.assoc "flows_baseline_words_per_flow" baseline in
+    Fmt.pr "recorded baseline: %.0f events/s, %.1f words/flow@." base_eps
+      base_words;
+    if r.f_events_per_sec < 0.5 *. base_eps then begin
+      Fmt.epr
+        "flow-smoke: %.0f events/s is below half the recorded baseline \
+         (%.0f events/s)@."
+        r.f_events_per_sec base_eps;
+      exit 1
+    end;
+    if r.f_words_per_flow > 1.5 *. base_words then begin
+      Fmt.epr
+        "flow-smoke: %.1f live words/flow exceeds the recorded budget \
+         (%.1f words/flow) x1.5@."
+        r.f_words_per_flow base_words;
+      exit 1
+    end
+  end
 
 (* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
 
@@ -343,6 +596,7 @@ let targets =
     ("micro", fun ~jobs:_ ~check:_ () -> run_micro ());
     ("e2e", fun ~jobs:_ ~check () -> run_e2e ~check ());
   ]
+(* [flows] is dispatched separately: it is the only target taking -n. *)
 
 let run_all ~full ~jobs () =
   run_fig2a ();
@@ -363,23 +617,28 @@ let () =
   let full = List.mem "--full" args in
   let check = List.mem "--check" args in
   let args = List.filter (fun a -> a <> "--full" && a <> "--check") args in
-  (* -j N (two tokens): domain count for the parallel sweeps; 0 = auto. *)
-  let jobs, args =
+  (* -j N (two tokens): domain count for the parallel sweeps; 0 = auto.
+     -n N: concurrent flow count for the [flows] target. *)
+  let extract_int_opt ~flag ~default ~min args =
     let rec extract acc = function
-      | "-j" :: n :: rest -> begin
+      | f :: n :: rest when f = flag -> begin
           match int_of_string_opt n with
-          | Some j when j >= 0 -> (j, List.rev_append acc rest)
+          | Some v when v >= min -> (v, List.rev_append acc rest)
           | Some _ | None ->
-              Fmt.epr "-j expects a non-negative integer, got %S@." n;
+              Fmt.epr "%s expects an integer >= %d, got %S@." flag min n;
               exit 1
         end
-      | [ "-j" ] ->
-          Fmt.epr "-j expects an argument@.";
+      | [ f ] when f = flag ->
+          Fmt.epr "%s expects an argument@." flag;
           exit 1
       | a :: rest -> extract (a :: acc) rest
-      | [] -> (1, List.rev acc)
+      | [] -> (default, List.rev acc)
     in
     extract [] args
+  in
+  let jobs, args = extract_int_opt ~flag:"-j" ~default:1 ~min:0 args in
+  let flows_n, args =
+    extract_int_opt ~flag:"-n" ~default:(1 lsl 20) ~min:flows_clients args
   in
   match args with
   | [] | [ "all" ] -> run_all ~full ~jobs ()
@@ -391,7 +650,10 @@ let () =
               if name = "fig3" then run_fig3 ~full ~jobs ()
               else f ~jobs ~check ()
           | None ->
-              Fmt.epr "unknown target %S; available: %s, all@." name
-                (String.concat ", " (List.map fst targets));
-              exit 1)
+              if name = "flows" then run_flows ~n:flows_n ~check ()
+              else begin
+                Fmt.epr "unknown target %S; available: %s, flows, all@." name
+                  (String.concat ", " (List.map fst targets));
+                exit 1
+              end)
         names

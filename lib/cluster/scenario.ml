@@ -76,6 +76,7 @@ let build config =
   (* One registry for the whole cluster: every component registers its
      metrics here, and the snapshotter samples them all periodically. *)
   let telemetry = Telemetry.Registry.create () in
+  Telemetry.Registry.install_gc_metrics telemetry;
   (* The balancer registers the VIP host, so build it first. *)
   let balancer =
     Inband.Balancer.create fabric ~vip ~server_ips ~policy:config.policy

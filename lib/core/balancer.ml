@@ -1,11 +1,11 @@
-type flow_state = {
-  eflow : Ensemble.flow;
-  server : int;
-  mutable last_seen : Des.Time.t;
-  mutable live : bool; (* counted in the per-server connection gauge *)
-}
+(* Per-flow state is split across the ensemble slab and the balancer's
+   own parallel arrays, both indexed by the flow's slab slot: the
+   open-addressed {!Netsim.Flow_table} maps a key to its slot, and
+   [fl_server]/[fl_last_seen]/[fl_live] hold what used to live in a
+   boxed per-flow record. Establishing a flow after warm-up therefore
+   allocates nothing, and a packet's state is three flat-array reads.
 
-(* Idle tracking is bucketed by coarse time so the periodic sweep only
+   Idle tracking is bucketed by coarse time so the periodic sweep only
    visits flows whose bucket could have expired, instead of rescanning
    every live flow each interval. A flow lives in exactly one bucket:
    it is filed under its creation time and re-filed (under its current
@@ -43,7 +43,11 @@ type t = {
   controller : Controller.t option;
   own_stats : Server_stats.t option; (* when no controller *)
   ensemble : Ensemble.t;
-  flows : flow_state Netsim.Flow_key.Table.t;
+  flows : Netsim.Flow_table.t; (* key -> slab slot *)
+  (* Slot-indexed flow state, grown in step with the ensemble slab. *)
+  mutable fl_server : int array;
+  mutable fl_last_seen : int array;
+  mutable fl_live : Bytes.t; (* '\001' = counted in conn_gauge *)
   idle : idle_buckets;
   conn_gauge : int array;
   rng : Des.Rng.t;
@@ -78,10 +82,11 @@ let select t key =
       let a = Des.Rng.int t.rng n and b = Des.Rng.int t.rng n in
       if t.conn_gauge.(a) <= t.conn_gauge.(b) then a else b
 
-let release t st =
-  if st.live then begin
-    st.live <- false;
-    t.conn_gauge.(st.server) <- t.conn_gauge.(st.server) - 1
+let release t slot =
+  if Bytes.get t.fl_live slot = '\001' then begin
+    Bytes.set t.fl_live slot '\000';
+    let server = t.fl_server.(slot) in
+    t.conn_gauge.(server) <- t.conn_gauge.(server) - 1
   end
 
 let bucket_of idle at = at / idle.width
@@ -112,41 +117,56 @@ let sweep t =
           Hashtbl.remove idle.table b;
           List.iter
             (fun key ->
-              match Netsim.Flow_key.Table.find_opt t.flows key with
-              | None -> ()
-              | Some st ->
-                  if now - st.last_seen > t.config.Config.flow_idle_timeout
-                  then begin
-                    release t st;
-                    Netsim.Flow_key.Table.remove t.flows key
-                  end
-                  else
-                    file_flow idle
-                      ~bucket:(Stdlib.max b (bucket_of idle st.last_seen))
-                      key)
+              let slot = Netsim.Flow_table.find t.flows key in
+              if slot >= 0 then
+                if now - t.fl_last_seen.(slot) > t.config.Config.flow_idle_timeout
+                then begin
+                  release t slot;
+                  Netsim.Flow_table.remove t.flows key;
+                  Ensemble.release_flow t.ensemble slot
+                end
+                else
+                  file_flow idle
+                    ~bucket:
+                      (Stdlib.max b (bucket_of idle t.fl_last_seen.(slot)))
+                    key)
             !keys
     done;
     idle.cursor <- Stdlib.max idle.cursor boundary
   end
 
-let flow_state t key ~now =
-  match Netsim.Flow_key.Table.find_opt t.flows key with
-  | Some st -> st
-  | None ->
-      let server = select t key in
-      let st =
-        {
-          eflow = Ensemble.create_flow t.ensemble ~now;
-          server;
-          last_seen = now;
-          live = true;
-        }
-      in
-      Netsim.Flow_key.Table.add t.flows key st;
-      file_flow t.idle ~bucket:(bucket_of t.idle now) key;
-      t.conn_gauge.(server) <- t.conn_gauge.(server) + 1;
-      Telemetry.Registry.Counter.incr t.m_flows_to.(server);
-      st
+let ensure_slot_capacity t slot =
+  if slot >= Array.length t.fl_server then begin
+    let n = Stdlib.max 64 (Array.length t.fl_server) in
+    let n = if slot >= 2 * n then slot + 1 else 2 * n in
+    let grow arr =
+      let narr = Array.make n 0 in
+      Array.blit arr 0 narr 0 (Array.length arr);
+      narr
+    in
+    t.fl_server <- grow t.fl_server;
+    t.fl_last_seen <- grow t.fl_last_seen;
+    let nlive = Bytes.make n '\000' in
+    Bytes.blit t.fl_live 0 nlive 0 (Bytes.length t.fl_live);
+    t.fl_live <- nlive
+  end
+
+let flow_slot t key ~now =
+  let slot = Netsim.Flow_table.find t.flows key in
+  if slot >= 0 then slot
+  else begin
+    let server = select t key in
+    let slot = Ensemble.create_flow t.ensemble ~now in
+    ensure_slot_capacity t slot;
+    t.fl_server.(slot) <- server;
+    t.fl_last_seen.(slot) <- now;
+    Bytes.set t.fl_live slot '\001';
+    Netsim.Flow_table.add t.flows key slot;
+    file_flow t.idle ~bucket:(bucket_of t.idle now) key;
+    t.conn_gauge.(server) <- t.conn_gauge.(server) + 1;
+    Telemetry.Registry.Counter.incr t.m_flows_to.(server);
+    slot
+  end
 
 let record_sample t ~now ~key ~server sample =
   Telemetry.Registry.Counter.incr t.m_samples;
@@ -168,19 +188,20 @@ let on_packet t (pkt : Netsim.Packet.t) =
   Telemetry.Bus.publish t.packet_bus pkt;
   let now = Des.Engine.now t.engine in
   let key = Netsim.Packet.flow pkt in
-  let st = flow_state t key ~now in
-  st.last_seen <- now;
-  (match Ensemble.on_packet t.ensemble st.eflow ~now with
-  | Some sample -> record_sample t ~now ~key ~server:st.server sample
+  let slot = flow_slot t key ~now in
+  let server = t.fl_server.(slot) in
+  t.fl_last_seen.(slot) <- now;
+  (match Ensemble.on_packet t.ensemble slot ~now with
+  | Some sample -> record_sample t ~now ~key ~server sample
   | None -> ());
   if not (Telemetry.Bus.is_empty t.routed_bus) then
     Telemetry.Bus.publish t.routed_bus
-      { at = now; flow = key; server = st.server; packet = pkt };
-  if pkt.flags.fin || pkt.flags.rst then release t st;
+      { at = now; flow = key; server; packet = pkt };
+  if pkt.flags.fin || pkt.flags.rst then release t slot;
   Telemetry.Registry.Counter.incr t.m_forwarded;
-  Telemetry.Registry.Counter.incr t.m_pkts_to.(st.server);
+  Telemetry.Registry.Counter.incr t.m_pkts_to.(server);
   Netsim.Fabric.send t.fabric ~from:t.vip.Netsim.Addr.ip
-    ~next_hop:t.server_ips.(st.server) pkt
+    ~next_hop:t.server_ips.(server) pkt
 
 let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
     ?(config = Config.default) ?(table_size = 4099) ?rng ?telemetry () =
@@ -229,7 +250,10 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       controller;
       own_stats;
       ensemble = Ensemble.create ~config;
-      flows = Netsim.Flow_key.Table.create 1024;
+      flows = Netsim.Flow_table.create ~initial:1024 ();
+      fl_server = [||];
+      fl_last_seen = [||];
+      fl_live = Bytes.empty;
       idle =
         {
           width = Stdlib.max 1 config.Config.sweep_interval;
@@ -251,7 +275,7 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
     }
   in
   Telemetry.Registry.gauge_fn registry "lb.active_flows" (fun () ->
-      float_of_int (Netsim.Flow_key.Table.length t.flows));
+      float_of_int (Netsim.Flow_table.length t.flows));
   for i = 0 to n - 1 do
     Telemetry.Registry.gauge_fn registry ~index:i "lb.active_conns" (fun () ->
         float_of_int t.conn_gauge.(i))
@@ -300,6 +324,6 @@ let n_servers t = Array.length t.server_ips
 let packets_forwarded t = Telemetry.Registry.Counter.value t.m_forwarded
 let packets_to t i = Telemetry.Registry.Counter.value t.m_pkts_to.(i)
 let flows_assigned_to t i = Telemetry.Registry.Counter.value t.m_flows_to.(i)
-let active_flows t = Netsim.Flow_key.Table.length t.flows
+let active_flows t = Netsim.Flow_table.length t.flows
 let active_conns t = Array.copy t.conn_gauge
 let samples_produced t = Telemetry.Registry.Counter.value t.m_samples

@@ -1,3 +1,14 @@
+(* Per-flow estimator state lives in a struct-of-arrays slab rather than
+   per-flow records: a flow is an [int] slot into flat int arrays of
+   stride k (one lane per FIXEDTIMEOUT instance), and released slots are
+   recycled through a free stack. Creating or destroying a flow after
+   warm-up touches only preallocated arrays — no allocation, no GC
+   pressure proportional to the flow count, and the k lanes of one flow
+   share cache lines instead of being k boxed records scattered across
+   the heap. The FIXEDTIMEOUT update (Algorithm 1) is inlined on the
+   slab lanes; {!Fixed_timeout} remains the standalone single-instance
+   module. *)
+
 type scope_state = {
   counts : int array;
   mutable epoch_index : int;
@@ -5,12 +16,28 @@ type scope_state = {
   mutable epochs : int;
 }
 
-type t = { config : Config.t; k : int; global : scope_state }
-
-type flow = {
-  instances : Fixed_timeout.t array;
-  local : scope_state option; (* Some under Per_flow scope *)
+type t = {
+  config : Config.t;
+  k : int;
+  deltas : int array; (* copy of config.timeouts, slab-local *)
+  global : scope_state;
+  per_flow : bool; (* Per_flow cliff scope *)
+  (* Slab: stride-k lanes indexed [slot * k + i]. *)
+  mutable last_batch : int array;
+  mutable last_pkt : int array;
+  (* Per_flow scope lanes, [||] under Global. *)
+  mutable f_counts : int array; (* stride k *)
+  mutable f_epoch_index : int array;
+  mutable f_chosen : int array;
+  mutable f_epochs : int array;
+  mutable cap : int; (* slots allocated *)
+  mutable next_slot : int; (* high-water mark *)
+  mutable free : int array; (* recycled-slot stack *)
+  mutable free_top : int;
+  mutable live : int;
 }
+
+type flow = int
 
 let make_scope config =
   {
@@ -24,22 +51,89 @@ let create ~config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Ensemble.create: " ^ msg));
-  { config; k = Array.length config.Config.timeouts; global = make_scope config }
-
-let create_flow t ~now =
+  let per_flow =
+    match config.Config.cliff_scope with
+    | Config.Global -> false
+    | Config.Per_flow -> true
+  in
   {
-    instances =
-      Array.map
-        (fun delta -> Fixed_timeout.create ~delta ~now)
-        t.config.Config.timeouts;
-    local =
-      (match t.config.Config.cliff_scope with
-      | Config.Global -> None
-      | Config.Per_flow -> Some (make_scope t.config));
+    config;
+    k = Array.length config.Config.timeouts;
+    deltas = Array.copy config.Config.timeouts;
+    global = make_scope config;
+    per_flow;
+    last_batch = [||];
+    last_pkt = [||];
+    f_counts = [||];
+    f_epoch_index = [||];
+    f_chosen = [||];
+    f_epochs = [||];
+    cap = 0;
+    next_slot = 0;
+    free = [||];
+    free_top = 0;
+    live = 0;
   }
 
-let scope_of t flow =
-  match flow.local with Some s -> s | None -> t.global
+let grow_int_array arr n =
+  let narr = Array.make n 0 in
+  Array.blit arr 0 narr 0 (Array.length arr);
+  narr
+
+let ensure_capacity t =
+  if t.next_slot >= t.cap then begin
+    let ncap = if t.cap = 0 then 64 else t.cap * 2 in
+    t.last_batch <- grow_int_array t.last_batch (ncap * t.k);
+    t.last_pkt <- grow_int_array t.last_pkt (ncap * t.k);
+    if t.per_flow then begin
+      t.f_counts <- grow_int_array t.f_counts (ncap * t.k);
+      t.f_epoch_index <- grow_int_array t.f_epoch_index ncap;
+      t.f_chosen <- grow_int_array t.f_chosen ncap;
+      t.f_epochs <- grow_int_array t.f_epochs ncap
+    end;
+    t.cap <- ncap
+  end
+
+let create_flow t ~now =
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      ensure_capacity t;
+      let s = t.next_slot in
+      t.next_slot <- s + 1;
+      s
+    end
+  in
+  (* Recycled slots must observe fresh state, never the previous
+     occupant's: every lane is re-seeded here. *)
+  let base = slot * t.k in
+  Array.fill t.last_batch base t.k now;
+  Array.fill t.last_pkt base t.k now;
+  if t.per_flow then begin
+    Array.fill t.f_counts base t.k 0;
+    t.f_epoch_index.(slot) <- 0;
+    t.f_chosen.(slot) <- t.config.Config.initial_timeout_index;
+    t.f_epochs.(slot) <- 0
+  end;
+  t.live <- t.live + 1;
+  slot
+
+let release_flow t slot =
+  if t.free_top >= Array.length t.free then begin
+    let n = Stdlib.max 64 (2 * Array.length t.free) in
+    let nfree = Array.make n 0 in
+    Array.blit t.free 0 nfree 0 t.free_top;
+    t.free <- nfree
+  end;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.live <- t.live - 1
+
+let live_flows t = t.live
+let slab_capacity t = t.cap
 
 (* argmax over adjacent-count ratios, smoothed; ties to the smaller
    index. The largest timeout can never be selected (i ranges to k-2),
@@ -47,17 +141,20 @@ let scope_of t flow =
    [min_fraction] of the best count: under request-response traffic the
    trailing timeouts collect a handful of idle-gap samples followed by
    zeros, and that noise cliff would otherwise dominate the ratio. *)
-let cliff_pick ?(min_fraction = 0.0) counts =
-  let k = Array.length counts in
-  let best_count = Array.fold_left Stdlib.max 0 counts in
+let cliff_pick_slice ~min_fraction counts off k =
+  let best_count = ref 0 in
+  for i = off to off + k - 1 do
+    if counts.(i) > !best_count then best_count := counts.(i)
+  done;
   let floor_count =
-    int_of_float (ceil (min_fraction *. float_of_int best_count))
+    int_of_float (ceil (min_fraction *. float_of_int !best_count))
   in
   let best = ref 0 and best_ratio = ref neg_infinity in
   for i = 0 to k - 2 do
-    if counts.(i) >= floor_count then begin
+    if counts.(off + i) >= floor_count then begin
       let ratio =
-        float_of_int (counts.(i) + 1) /. float_of_int (counts.(i + 1) + 1)
+        float_of_int (counts.(off + i) + 1)
+        /. float_of_int (counts.(off + i + 1) + 1)
       in
       if ratio > !best_ratio then begin
         best := i;
@@ -66,6 +163,9 @@ let cliff_pick ?(min_fraction = 0.0) counts =
     end
   done;
   !best
+
+let cliff_pick ?(min_fraction = 0.0) counts =
+  cliff_pick_slice ~min_fraction counts 0 (Array.length counts)
 
 let rollover config scope ~epoch_now =
   (* An epoch that produced no samples carries no cliff information:
@@ -79,8 +179,23 @@ let rollover config scope ~epoch_now =
   scope.epoch_index <- epoch_now;
   scope.epochs <- scope.epochs + 1
 
-let on_packet t flow ~now =
-  let scope = scope_of t flow in
+(* Per_flow-scope rollover on the slab lanes; same retention rule. *)
+let rollover_slot t slot ~epoch_now =
+  let base = slot * t.k in
+  let any = ref false in
+  for i = base to base + t.k - 1 do
+    if t.f_counts.(i) > 0 then any := true
+  done;
+  if !any then begin
+    t.f_chosen.(slot) <-
+      cliff_pick_slice ~min_fraction:t.config.Config.cliff_min_fraction
+        t.f_counts base t.k;
+    Array.fill t.f_counts base t.k 0
+  end;
+  t.f_epoch_index.(slot) <- epoch_now;
+  t.f_epochs.(slot) <- t.f_epochs.(slot) + 1
+
+let on_packet t slot ~now =
   (* Lines 7–11 first: if this packet opens a new epoch, close the old
      one *before* counting, so the boundary packet's samples land in
      the epoch that begins now instead of being zeroed immediately.
@@ -89,24 +204,44 @@ let on_packet t flow ~now =
      counts, and each intervening sample-free epoch would only have
      retained the chosen index anyway. *)
   let epoch_now = now / t.config.Config.epoch in
-  if epoch_now > scope.epoch_index then rollover t.config scope ~epoch_now;
-  (* Algorithm 2 lines 1–6: run every FIXEDTIMEOUT instance and count
-     its samples. Only the sample at the chosen index is kept (line 12:
-     report under the — possibly just updated — chosen δ), so this runs
-     per packet without the k-slot scratch array it used to build. *)
-  let chosen = scope.chosen in
-  let reported = ref None in
+  let chosen =
+    if t.per_flow then begin
+      if epoch_now > t.f_epoch_index.(slot) then
+        rollover_slot t slot ~epoch_now;
+      t.f_chosen.(slot)
+    end
+    else begin
+      if epoch_now > t.global.epoch_index then
+        rollover t.config t.global ~epoch_now;
+      t.global.chosen
+    end
+  in
+  (* Algorithm 2 lines 1–6: run every FIXEDTIMEOUT instance (inlined
+     Algorithm 1 on the slab lanes) and count its samples. Only the
+     sample at the chosen index is reported (line 12). Samples are
+     strictly positive, so -1 is a safe no-sample sentinel and the
+     [Some] below is the sole allocation on this path. *)
+  let base = slot * t.k in
+  let reported = ref (-1) in
   for i = 0 to t.k - 1 do
-    match Fixed_timeout.on_packet flow.instances.(i) ~now with
-    | Some sample ->
-        scope.counts.(i) <- scope.counts.(i) + 1;
-        if i = chosen then reported := Some sample
-    | None -> ()
+    let j = base + i in
+    if now - Array.unsafe_get t.last_pkt j > Array.unsafe_get t.deltas i
+    then begin
+      (* New batch: the gap from the previous batch head is a sample. *)
+      let sample = now - Array.unsafe_get t.last_batch j in
+      Array.unsafe_set t.last_batch j now;
+      if t.per_flow then t.f_counts.(j) <- t.f_counts.(j) + 1
+      else t.global.counts.(i) <- t.global.counts.(i) + 1;
+      if i = chosen then reported := sample
+    end;
+    Array.unsafe_set t.last_pkt j now
   done;
-  !reported
+  if !reported >= 0 then Some !reported else None
 
-let chosen_index t flow = (scope_of t flow).chosen
+let chosen_index t slot =
+  if t.per_flow then t.f_chosen.(slot) else t.global.chosen
+
 let global_chosen_index t = t.global.chosen
-let chosen_timeout t flow = t.config.Config.timeouts.((scope_of t flow).chosen)
+let chosen_timeout t slot = t.config.Config.timeouts.(chosen_index t slot)
 let epochs_completed t = t.global.epochs
 let current_counts t = Array.copy t.global.counts

@@ -14,14 +14,30 @@
 type t
 (** The shared (per-LB) estimator state. *)
 
-type flow
-(** Per-flow batch state (k fixed-timeout instances). *)
+type flow = int
+(** Per-flow batch state (k fixed-timeout instances): a slot handle into
+    the estimator's struct-of-arrays slab. Flat int arrays hold the k
+    lanes of every flow; slots released with {!release_flow} are
+    recycled, so flow creation allocates nothing after warm-up. *)
 
 val create : config:Config.t -> t
 (** @raise Invalid_argument if [Config.validate] rejects the config. *)
 
 val create_flow : t -> now:Des.Time.t -> flow
-(** State for a newly observed flow whose first packet arrives [now]. *)
+(** State for a newly observed flow whose first packet arrives [now].
+    Reuses a released slot when one is available; recycled slots are
+    fully re-seeded (fresh batch clocks, zero counters, the configured
+    initial timeout). *)
+
+val release_flow : t -> flow -> unit
+(** Return a flow's slot to the free list for reuse. The handle must not
+    be used afterwards. *)
+
+val live_flows : t -> int
+(** Slots currently in use. *)
+
+val slab_capacity : t -> int
+(** Slots allocated (high-water capacity, including free ones). *)
 
 val on_packet : t -> flow -> now:Des.Time.t -> Des.Time.t option
 (** Process one packet of the flow; [Some t_lb] iff the currently chosen

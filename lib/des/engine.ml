@@ -4,16 +4,15 @@
    layout halves the sift depth of a binary heap and keeps all four
    children of a node adjacent (usually one cache line), which is where
    pop — the single hottest operation in the whole simulator — spends
-   its time. Two further disciplines keep the queue lean:
+   its time. Three further disciplines keep the queue lean:
 
    - Cancelled events stay in the heap as tombstones but are counted
      exactly ([tombstones] is incremented by [cancel] and decremented
-     whenever a cancelled head is drained, by [step] and [run ~until]
-     alike). When tombstones exceed half the queue it is compacted in
-     place and re-heapified, so cancel-heavy workloads (TCP delayed-ack
-     and RTO timers re-armed per packet) keep the queue proportional to
-     the live event count instead of accumulating garbage until the
-     original expiry times come around.
+     whenever a cancelled head is drained). When tombstones exceed half
+     the queue it is compacted in place and re-heapified, so
+     cancel-heavy workloads keep the queue proportional to the live
+     event count instead of accumulating garbage until the original
+     expiry times come around.
 
    - [post] / [post_after] serve the dominant schedule-then-fire pattern
      (link transmissions, service completions, think times): they return
@@ -21,7 +20,17 @@
      referenced after firing and is recycled through a free list —
      steady-state fire-and-forget scheduling allocates nothing but the
      callback closure. [schedule] still returns a live handle and its
-     record is left to the GC. *)
+     record is left to the GC.
+
+   - Cancellable events more than one wheel tick in the future park in a
+     hierarchical timing wheel ({!Wheel}) instead of the heap: O(1) arm,
+     O(1) cancel with no tombstone debt, and a slot flush into the heap
+     just before the clock can enter their tick. The heap alone decides
+     firing order — a flushed slot is pushed with its original
+     (time, seq), so wheel-routed timers fire exactly as if they had
+     been heap-resident all along. TCP RTO and delayed-ack timers,
+     re-armed and cancelled once per packet, never touch the heap at
+     all. Events beyond the wheel's span overflow to the heap. *)
 
 type event = {
   mutable time : Time.t;
@@ -30,6 +39,10 @@ type event = {
   pooled : bool;
   mutable run : unit -> unit;
   owner : t; (* for exact tombstone accounting in [cancel] *)
+  (* Intrusive wheel links; [wslot] >= 0 iff currently parked. *)
+  mutable wnext : event;
+  mutable wprev : event;
+  mutable wslot : int;
 }
 
 and t = {
@@ -41,23 +54,28 @@ and t = {
   mutable tombstones : int; (* cancelled events still in [data] *)
   mutable free : event list; (* recyclable pooled records *)
   mutable compactions : int;
+  nil : event; (* wheel list terminator, never queued *)
+  mutable wheel : event Wheel.t option; (* Some after [create] *)
+  mutable emit : event -> unit; (* preallocated wheel->heap push *)
 }
 
 type handle = event
 
 let nop () = ()
 
-let create () =
+let wheel_ops =
   {
-    now = Time.zero;
-    next_seq = 0;
-    fired = 0;
-    data = [||];
-    len = 0;
-    tombstones = 0;
-    free = [];
-    compactions = 0;
+    Wheel.time = (fun e -> e.time);
+    next = (fun e -> e.wnext);
+    set_next = (fun e n -> e.wnext <- n);
+    prev = (fun e -> e.wprev);
+    set_prev = (fun e p -> e.wprev <- p);
+    slot = (fun e -> e.wslot);
+    set_slot = (fun e s -> e.wslot <- s);
   }
+
+let wheel_of t =
+  match t.wheel with Some w -> w | None -> assert false
 
 let now t = t.now
 
@@ -113,6 +131,38 @@ let push t ev =
   t.len <- t.len + 1;
   sift_up t.data (t.len - 1)
 
+let create () =
+  let rec nil =
+    {
+      time = 0;
+      seq = -1;
+      cancelled = false;
+      pooled = false;
+      run = nop;
+      owner = t;
+      wnext = nil;
+      wprev = nil;
+      wslot = -1;
+    }
+  and t =
+    {
+      now = Time.zero;
+      next_seq = 0;
+      fired = 0;
+      data = [||];
+      len = 0;
+      tombstones = 0;
+      free = [];
+      compactions = 0;
+      nil;
+      wheel = None;
+      emit = ignore;
+    }
+  in
+  t.wheel <- Some (Wheel.create ~ops:wheel_ops ~nil ());
+  t.emit <- (fun ev -> push t ev);
+  t
+
 (* Drop every tombstone and restore the heap invariant bottom-up
    (Floyd); stale tail slots are overwritten with a live record so dead
    events (and the closures they capture) don't outlive the pass. *)
@@ -151,12 +201,13 @@ let check_future t at =
 
 let schedule t ~at f =
   check_future t at;
+  let nil = t.nil in
   let ev =
     { time = at; seq = t.next_seq; cancelled = false; pooled = false;
-      run = f; owner = t }
+      run = f; owner = t; wnext = nil; wprev = nil; wslot = -1 }
   in
   t.next_seq <- t.next_seq + 1;
-  push t ev;
+  if not (Wheel.offer (wheel_of t) ev) then push t ev;
   ev
 
 let schedule_after t ~delay f =
@@ -174,8 +225,9 @@ let post t ~at f =
         ev.run <- f;
         ev
     | [] ->
+        let nil = t.nil in
         { time = at; seq = t.next_seq; cancelled = false; pooled = true;
-          run = f; owner = t }
+          run = f; owner = t; wnext = nil; wprev = nil; wslot = -1 }
   in
   t.next_seq <- t.next_seq + 1;
   push t ev
@@ -190,8 +242,14 @@ let cancel (ev : handle) =
   if not ev.cancelled then begin
     ev.cancelled <- true;
     let t = ev.owner in
-    t.tombstones <- t.tombstones + 1;
-    maybe_compact t
+    if ev.wslot >= 0 then
+      (* Parked in the wheel: unlink outright — no tombstone, no
+         compaction debt, the heap never hears of it. *)
+      Wheel.remove (wheel_of t) ev
+    else begin
+      t.tombstones <- t.tombstones + 1;
+      maybe_compact t
+    end
   end
 
 (* Pop the heap root unconditionally, keeping tombstone accounting and
@@ -212,27 +270,52 @@ let recycle t ev =
   ev.cancelled <- false;
   t.free <- ev :: t.free
 
-let rec pop_live t =
-  if t.len = 0 then None
-  else begin
+let rec drain_cancelled_heads t =
+  if t.len > 0 && t.data.(0).cancelled then begin
     let ev = pop_root t in
-    if ev.cancelled then begin
-      if ev.pooled then recycle t ev;
-      pop_live t
-    end
-    else Some ev
+    if ev.pooled then recycle t ev;
+    drain_cancelled_heads t
   end
 
+(* Make the heap root the globally next event: flush every wheel tick
+   at or below the current head's (wheel entries are never cancelled —
+   [cancel] unlinks them — so everything emitted is live). Tombstoned
+   heads are drained first so the flush target is a live time. With an
+   empty heap, flush through the next occupied tick; with an empty
+   wheel, just keep its origin tracking the clock. *)
+let settle t =
+  drain_cancelled_heads t;
+  let w = wheel_of t in
+  if Wheel.live w = 0 then Wheel.catch_up w ~upto:t.now
+  else if t.len > 0 then Wheel.advance w ~upto:t.data.(0).time ~emit:t.emit
+  else Wheel.advance_next w ~emit:t.emit
+
+(* Bounded variant for [run ~until]: only ticks at or below the limit
+   may be flushed, so timers parked beyond the stopping point stay in
+   the wheel (and keep their O(1) cancel) across run/schedule cycles. *)
+let settle_until t limit =
+  drain_cancelled_heads t;
+  let w = wheel_of t in
+  if Wheel.live w = 0 then Wheel.catch_up w ~upto:t.now
+  else
+    let upto =
+      if t.len > 0 && t.data.(0).time <= limit then t.data.(0).time
+      else limit
+    in
+    Wheel.advance w ~upto ~emit:t.emit
+
 let step t =
-  match pop_live t with
-  | None -> false
-  | Some ev ->
-      t.now <- ev.time;
-      t.fired <- t.fired + 1;
-      let f = ev.run in
-      if ev.pooled then recycle t ev else ev.cancelled <- true;
-      f ();
-      true
+  settle t;
+  if t.len = 0 then false
+  else begin
+    let ev = pop_root t in
+    t.now <- ev.time;
+    t.fired <- t.fired + 1;
+    let f = ev.run in
+    if ev.pooled then recycle t ev else ev.cancelled <- true;
+    f ();
+    true
+  end
 
 let run ?until t =
   match until with
@@ -240,20 +323,14 @@ let run ?until t =
   | Some limit ->
       let continue = ref true in
       while !continue do
+        settle_until t limit;
         if t.len = 0 then begin
           t.now <- Time.max t.now limit;
           continue := false
         end
         else begin
           let head = t.data.(0) in
-          if head.cancelled then begin
-            (* Draining a tombstoned head goes through the same
-               bookkeeping as [step]: the tombstone count stays exact,
-               so compaction still triggers under ~until-driven loops. *)
-            let ev = pop_root t in
-            if ev.pooled then recycle t ev
-          end
-          else if head.time <= limit then ignore (step t)
+          if head.time <= limit then ignore (step t)
           else begin
             t.now <- Time.max t.now limit;
             continue := false
@@ -261,7 +338,9 @@ let run ?until t =
         end
       done
 
-let pending t = t.len - t.tombstones
+let pending t = t.len - t.tombstones + Wheel.live (wheel_of t)
 let queue_length t = t.len
+let wheel_size t = Wheel.live (wheel_of t)
+let wheel_cascades t = Wheel.cascades (wheel_of t)
 let compactions t = t.compactions
 let events_fired t = t.fired

@@ -43,10 +43,11 @@ val post_after : t -> delay:Time.t -> (unit -> unit) -> unit
 
 val cancel : handle -> unit
 (** Prevent a pending event from firing. Cancelling an event that already
-    fired (or was already cancelled) is a no-op. Cancelled events remain
-    queued as tombstones but are counted exactly, and the queue is
-    compacted in place whenever tombstones exceed half of it, so
-    cancel-heavy workloads stay bounded by the live event count. *)
+    fired (or was already cancelled) is a no-op. Events parked in the
+    timing wheel are unlinked in O(1); heap-resident events remain queued
+    as tombstones but are counted exactly, and the queue is compacted in
+    place whenever tombstones exceed half of it, so cancel-heavy
+    workloads stay bounded by the live event count. *)
 
 val step : t -> bool
 (** Fire the earliest pending event. Returns [false] if the queue was
@@ -58,13 +59,23 @@ val run : ?until:Time.t -> t -> unit
     clock to exactly [until]. *)
 
 val pending : t -> int
-(** Number of scheduled, not-yet-cancelled events (cancelled events still
-    in the queue are not counted). O(1). *)
+(** Number of scheduled, not-yet-cancelled events, whether heap-resident
+    or parked in the timing wheel. O(1). *)
 
 val queue_length : t -> int
-(** Physical queue size, including cancelled tombstones not yet drained
-    or compacted away. For diagnostics and boundedness tests;
-    [queue_length t - pending t] is the current tombstone count. *)
+(** Physical heap size, including cancelled tombstones not yet drained or
+    compacted away but excluding events parked in the timing wheel. For
+    diagnostics and boundedness tests. *)
+
+val wheel_size : t -> int
+(** Events currently parked in the hierarchical timing wheel. Cancellable
+    events ({!schedule}/{!schedule_after}) more than one wheel tick
+    ({!Wheel.tick_ns}) ahead park there and migrate to the heap just
+    before the clock enters their tick, so firing order is still decided
+    solely by the heap's exact (time, seq) comparison. *)
+
+val wheel_cascades : t -> int
+(** Higher-level wheel slot redistributions performed (diagnostics). *)
 
 val compactions : t -> int
 (** Number of tombstone compaction passes run since creation. *)

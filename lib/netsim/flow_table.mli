@@ -1,0 +1,37 @@
+(** Open-addressed map from {!Flow_key.t} to an [int] slot.
+
+    The balancer's connection table: linear probing over a power-of-two
+    bucket array reusing the hash cached in the key, tombstone-aware
+    deletion, and load-factor-driven resize (rebuilt at 3/4 full —
+    doubling when live entries justify it, purging in place when
+    tombstones do). Lookups allocate nothing: a miss is [-1], not
+    [None]. Values must therefore be non-negative. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** An empty table with capacity at least [initial] (default 16),
+    rounded up to a power of two. *)
+
+val length : t -> int
+(** Live (occupied) entries. *)
+
+val find : t -> Flow_key.t -> int
+(** The slot bound to the key, or [-1] if absent. Allocation-free. *)
+
+val mem : t -> Flow_key.t -> bool
+
+val add : t -> Flow_key.t -> int -> unit
+(** Bind the key, replacing any existing binding (at most one binding
+    per key ever exists). The value must be [>= 0]. *)
+
+val remove : t -> Flow_key.t -> unit
+(** Remove the key's binding if present, leaving a tombstone. *)
+
+val iter : (Flow_key.t -> int -> unit) -> t -> unit
+
+val capacity : t -> int
+(** Current bucket count (diagnostics). *)
+
+val tombstones : t -> int
+(** Current tombstone count (diagnostics). *)

@@ -68,10 +68,12 @@ type t = {
   mutable reasm : Reassembly.t option; (* set once the peer ISN is known *)
   mutable peer_fin_received : bool;
   mutable unacked_rx : int;
-  (* Timers and estimators. *)
+  (* Timers and estimators. Both timers are created with the
+     connection and live for its whole life; the fields are mutable
+     only so construction can tie the callback/record knot. *)
   rto : Rto.t;
-  mutable rto_timer : Des.Timer.t option;
-  mutable delack_timer : Des.Timer.t option;
+  mutable rto_timer : Des.Timer.t;
+  mutable delack_timer : Des.Timer.t;
   (* Counters. *)
   mutable bytes_sent_acked : int;
   mutable bytes_received : int;
@@ -87,47 +89,6 @@ type t = {
 }
 
 let nop () = ()
-
-let make engine ~tx ~config ~local ~remote ~on_teardown ~state =
-  let t =
-    {
-      engine;
-      tx;
-      config;
-      local;
-      remote;
-      on_teardown;
-      state;
-      snd_una = 0;
-      snd_nxt = 0;
-      pending = Queue.create ();
-      pending_head_off = 0;
-      pending_bytes = 0;
-      inflight = Queue.create ();
-      fin_queued = false;
-      fin_sent = false;
-      our_fin_acked = false;
-      reasm = None;
-      peer_fin_received = false;
-      unacked_rx = 0;
-      rto =
-        Rto.create ~initial:config.rto_initial ~min_rto:config.rto_min
-          ~max_rto:config.rto_max ();
-      rto_timer = None;
-      delack_timer = None;
-      bytes_sent_acked = 0;
-      bytes_received = 0;
-      retransmit_count = 0;
-      head_retx_count = 0;
-      on_connect = nop;
-      on_data = ignore;
-      on_drain = nop;
-      on_eof = nop;
-      on_close = nop;
-      on_rtt_sample = ignore;
-    }
-  in
-  t
 
 let set_on_connect t f = t.on_connect <- f
 let set_on_data t f = t.on_data <- f
@@ -151,10 +112,8 @@ let rcv_ack_value t =
   | None -> 0
   | Some r -> Reassembly.rcv_nxt r + if t.peer_fin_received then 1 else 0
 
-let stop_timer = function Some timer -> Des.Timer.stop timer | None -> ()
-
 let cancel_delack t =
-  stop_timer t.delack_timer;
+  Des.Timer.stop t.delack_timer;
   t.unacked_rx <- 0
 
 let emit t ~seq ~flags ~payload =
@@ -166,26 +125,17 @@ let emit t ~seq ~flags ~payload =
 let to_closed t =
   if t.state <> Closed then begin
     t.state <- Closed;
-    stop_timer t.rto_timer;
-    stop_timer t.delack_timer;
+    Des.Timer.stop t.rto_timer;
+    Des.Timer.stop t.delack_timer;
     t.on_close ();
     t.on_teardown t
   end
 
 (* --- RTO management ------------------------------------------------ *)
 
-let rec arm_rto t =
-  let timer =
-    match t.rto_timer with
-    | Some timer -> timer
-    | None ->
-        let timer = Des.Timer.create t.engine ~f:(fun () -> on_rto t) in
-        t.rto_timer <- Some timer;
-        timer
-  in
-  Des.Timer.arm timer ~delay:(Rto.current t.rto)
+let arm_rto t = Des.Timer.arm t.rto_timer ~delay:(Rto.current t.rto)
 
-and on_rto t =
+let on_rto t =
   match Queue.peek_opt t.inflight with
   | None -> ()
   | Some seg ->
@@ -214,15 +164,8 @@ and on_rto t =
       end
 
 let rto_after_ack t =
-  if Queue.is_empty t.inflight then stop_timer t.rto_timer else arm_rto t
-
-let ensure_rto_timer t =
-  match t.rto_timer with
-  | Some timer -> timer
-  | None ->
-      let timer = Des.Timer.create t.engine ~f:(fun () -> on_rto t) in
-      t.rto_timer <- Some timer;
-      timer
+  if Queue.is_empty t.inflight then Des.Timer.stop t.rto_timer
+  else arm_rto t
 
 (* --- Send side ------------------------------------------------------ *)
 
@@ -237,7 +180,7 @@ let transmit_segment t seg =
     else Netsim.Packet.flag_ack
   in
   emit t ~seq:seg.seq ~flags ~payload:seg.payload;
-  if not (Des.Timer.is_armed (ensure_rto_timer t)) then arm_rto t
+  if not (Des.Timer.is_armed t.rto_timer) then arm_rto t
 
 let take_pending_slow t n =
   let buf = Buffer.create n in
@@ -394,27 +337,17 @@ let process_ack t ack =
 
 let ack_now t = emit t ~seq:t.snd_nxt ~flags:Netsim.Packet.flag_ack ~payload:""
 
-let ensure_delack_timer t =
-  match t.delack_timer with
-  | Some timer -> timer
-  | None ->
-      let timer = Des.Timer.create t.engine ~f:(fun () -> ack_now t) in
-      t.delack_timer <- Some timer;
-      timer
-
 let note_rx_segment t =
   t.unacked_rx <- t.unacked_rx + 1;
   match t.config.ack_policy with
   | Ack_immediate -> ack_now t
   | Ack_delayed { every; timeout } ->
       if t.unacked_rx >= every then ack_now t
-      else begin
-        let timer = ensure_delack_timer t in
-        if not (Des.Timer.is_armed timer) then Des.Timer.arm timer ~delay:timeout
-      end
+      else if not (Des.Timer.is_armed t.delack_timer) then
+        Des.Timer.arm t.delack_timer ~delay:timeout
   | Ack_paced delay ->
-      let timer = ensure_delack_timer t in
-      if not (Des.Timer.is_armed timer) then Des.Timer.arm timer ~delay
+      if not (Des.Timer.is_armed t.delack_timer) then
+        Des.Timer.arm t.delack_timer ~delay
 
 let process_payload t (pkt : Netsim.Packet.t) =
   if String.length pkt.payload > 0 then begin
@@ -489,6 +422,53 @@ let handle_packet t (pkt : Netsim.Packet.t) =
       | Closed -> ()
     end
   end
+
+let make engine ~tx ~config ~local ~remote ~on_teardown ~state =
+  (* Both timers are pre-created here — no lazy [option] + [ensure_*]
+     on the ack path. A throwaway placeholder ties the record/callback
+     knot; the real timers replace it before [t] escapes. *)
+  let placeholder = Des.Timer.create engine ~f:nop in
+  let t =
+    {
+      engine;
+      tx;
+      config;
+      local;
+      remote;
+      on_teardown;
+      state;
+      snd_una = 0;
+      snd_nxt = 0;
+      pending = Queue.create ();
+      pending_head_off = 0;
+      pending_bytes = 0;
+      inflight = Queue.create ();
+      fin_queued = false;
+      fin_sent = false;
+      our_fin_acked = false;
+      reasm = None;
+      peer_fin_received = false;
+      unacked_rx = 0;
+      rto =
+        Rto.create ~initial:config.rto_initial ~min_rto:config.rto_min
+          ~max_rto:config.rto_max ();
+      rto_timer = placeholder;
+      delack_timer = placeholder;
+      bytes_sent_acked = 0;
+      bytes_received = 0;
+      retransmit_count = 0;
+      head_retx_count = 0;
+      on_connect = nop;
+      on_data = ignore;
+      on_drain = nop;
+      on_eof = nop;
+      on_close = nop;
+      on_rtt_sample = ignore;
+    }
+  in
+  t.rto_timer <- Des.Timer.create engine ~f:(fun () -> on_rto t);
+  t.delack_timer <- Des.Timer.create engine ~f:(fun () -> ack_now t);
+  t
 
 (* --- Constructors ---------------------------------------------------- *)
 

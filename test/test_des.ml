@@ -273,16 +273,17 @@ let engine_qcheck_exact_order =
       List.rev !fired = expected)
 
 let engine_cancel_heavy_queue_bounded () =
-  (* A timer re-armed per packet is the worst case for tombstones: every
-     arm cancels the previous event. The queue must stay proportional to
+  (* A timer re-armed per packet is the worst case for tombstones. Times
+     beyond the wheel span overflow to the heap, so this exercises the
+     tombstone + compaction path: the queue must stay proportional to
      the live event count (compaction invariant: tombstones are at most
      half the queue once it reaches the compaction floor of 64). *)
+  let far = Des.Wheel.span_ns * 2 in
   let e = Des.Engine.create () in
   let h = ref None in
   for i = 1 to 20_000 do
     (match !h with Some h -> Des.Engine.cancel h | None -> ());
-    h :=
-      Some (Des.Engine.schedule e ~at:(i + 1_000_000) (fun () -> ()));
+    h := Some (Des.Engine.schedule e ~at:(i + far) (fun () -> ()));
     if i mod 500 = 0 then begin
       Des.Engine.run ~until:i e;
       let q = Des.Engine.queue_length e and p = Des.Engine.pending e in
@@ -290,8 +291,143 @@ let engine_cancel_heavy_queue_bounded () =
         Alcotest.failf "queue_length %d not bounded by pending %d" q p
     end
   done;
+  check_int "overflow events stay out of the wheel" 0 (Des.Engine.wheel_size e);
   check_bool "compaction ran" true (Des.Engine.compactions e > 0);
   check_int "exactly one live event" 1 (Des.Engine.pending e)
+
+(* --- Timing wheel ------------------------------------------------------- *)
+
+let wheel_cancel_heavy_no_tombstones () =
+  (* The same re-arm-per-packet workload at RTO-like horizons parks in
+     the timing wheel: cancels unlink in O(1), so the heap accumulates
+     no tombstones and never compacts. *)
+  let e = Des.Engine.create () in
+  let h = ref None in
+  for i = 1 to 20_000 do
+    (match !h with Some h -> Des.Engine.cancel h | None -> ());
+    h := Some (Des.Engine.schedule e ~at:(i + Des.Time.ms 200) (fun () -> ()));
+    if i mod 500 = 0 then begin
+      Des.Engine.run ~until:i e;
+      check_int "timer parked in wheel" 1 (Des.Engine.wheel_size e);
+      check_int "heap untouched" 0 (Des.Engine.queue_length e)
+    end
+  done;
+  check_int "no compactions" 0 (Des.Engine.compactions e);
+  check_int "one live event" 1 (Des.Engine.pending e);
+  let fired = ref false in
+  (match !h with Some h -> Des.Engine.cancel h | None -> ());
+  ignore
+    (Des.Engine.schedule_after e ~delay:(Des.Time.ms 1) (fun () ->
+         fired := true));
+  Des.Engine.run e;
+  check_bool "wheel timer fires after drain" true !fired;
+  check_int "drained" 0 (Des.Engine.pending e)
+
+let wheel_levels_fire_in_order () =
+  (* Delays spanning all three wheel levels plus sub-tick and
+     beyond-span overflow times must still fire in exact global time
+     order, with ties broken by scheduling order. *)
+  let delays =
+    [
+      (* sub-tick: straight to slot 0 / heap *)
+      1;
+      Des.Wheel.tick_ns - 1;
+      (* level 0 *)
+      Des.Wheel.tick_ns * 3;
+      (Des.Wheel.tick_ns * 200) + 17;
+      (* level 1 *)
+      Des.Wheel.tick_ns * 300;
+      Des.Wheel.tick_ns * 65_000;
+      (* level 2 *)
+      Des.Wheel.tick_ns * 70_000;
+      Des.Wheel.tick_ns * 16_000_000;
+      (* overflow: heap *)
+      Des.Wheel.span_ns + 5;
+      Des.Wheel.span_ns * 3;
+      (* duplicates to exercise (time, seq) ties across routes *)
+      Des.Wheel.tick_ns * 3;
+      1;
+    ]
+  in
+  let e = Des.Engine.create () in
+  let fired = ref [] in
+  List.iteri
+    (fun i d ->
+      ignore
+        (Des.Engine.schedule e ~at:d (fun () ->
+             fired := (d, i) :: !fired)))
+    delays;
+  Des.Engine.run e;
+  let expected =
+    List.mapi (fun i d -> (d, i)) delays
+    |> List.stable_sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+  in
+  Alcotest.(check (list (pair int int)))
+    "exact (time, seq) order across wheel levels" expected (List.rev !fired);
+  check_bool "wheel cascaded" true (Des.Engine.wheel_cascades e > 0)
+
+let wheel_run_until_leaves_far_timers_parked () =
+  (* [run ~until] must not flush wheel entries beyond the limit into the
+     heap — otherwise parked timers lose their O(1) cancel. *)
+  let e = Des.Engine.create () in
+  let h =
+    Des.Engine.schedule e ~at:(Des.Time.sec 1) (fun () -> assert false)
+  in
+  Des.Engine.run ~until:(Des.Time.ms 10) e;
+  check_int "still parked" 1 (Des.Engine.wheel_size e);
+  check_int "heap empty" 0 (Des.Engine.queue_length e);
+  check_int "clock at limit" (Des.Time.ms 10) (Des.Engine.now e);
+  Des.Engine.cancel h;
+  check_int "cancel unlinks" 0 (Des.Engine.pending e);
+  Des.Engine.run e;
+  check_int "nothing fires" 0 (Des.Engine.events_fired e)
+
+let wheel_cancel_midflight_after_cascade () =
+  (* Cancelling an entry that has already cascaded to a lower level (or
+     been flushed to the heap) must still be honoured. *)
+  let e = Des.Engine.create () in
+  let fired = ref 0 in
+  let far = Des.Engine.schedule e ~at:(Des.Time.sec 2) (fun () -> incr fired) in
+  let near =
+    Des.Engine.schedule e ~at:(Des.Time.sec 1) (fun () ->
+        incr fired;
+        (* [far] has cascaded at least once by now; cancel must unlink
+           it wherever it currently lives. *)
+        Des.Engine.cancel far)
+  in
+  ignore near;
+  Des.Engine.run e;
+  check_int "only the near timer fired" 1 !fired;
+  check_int "drained" 0 (Des.Engine.pending e)
+
+let engine_qcheck_exact_order_wheel =
+  (* The exact-order property again, over a time range wide enough that
+     events are routed through every wheel level and the overflow heap,
+     interleaved with cancels. *)
+  QCheck.Test.make ~count:100
+    ~name:"exact (time, seq) order across wheel levels under cancels"
+    QCheck.(list (pair (int_bound (Des.Wheel.span_ns + 100_000)) bool))
+    (fun items ->
+      let e = Des.Engine.create () in
+      let fired = ref [] in
+      let handles =
+        List.mapi
+          (fun i (t, _) ->
+            Des.Engine.schedule e ~at:t (fun () -> fired := i :: !fired))
+          items
+      in
+      List.iteri
+        (fun i (_, cancelled) ->
+          if cancelled then Des.Engine.cancel (List.nth handles i))
+        items;
+      Des.Engine.run e;
+      let expected =
+        List.mapi (fun i (t, cancelled) -> (t, i, cancelled)) items
+        |> List.filter (fun (_, _, cancelled) -> not cancelled)
+        |> List.stable_sort (fun (t1, _, _) (t2, _, _) -> Int.compare t1 t2)
+        |> List.map (fun (_, i, _) -> i)
+      in
+      List.rev !fired = expected)
 
 (* --- Timer ------------------------------------------------------------- *)
 
@@ -399,6 +535,19 @@ let () =
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ engine_qcheck_order; engine_qcheck_exact_order ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "cancel-heavy leaves heap clean" `Quick
+            wheel_cancel_heavy_no_tombstones;
+          Alcotest.test_case "levels fire in order" `Quick
+            wheel_levels_fire_in_order;
+          Alcotest.test_case "run-until keeps far timers parked" `Quick
+            wheel_run_until_leaves_far_timers_parked;
+          Alcotest.test_case "cancel after cascade" `Quick
+            wheel_cancel_midflight_after_cascade;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ engine_qcheck_exact_order_wheel ] );
       ( "timer",
         [
           Alcotest.test_case "one shot" `Quick timer_one_shot;

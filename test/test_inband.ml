@@ -123,6 +123,73 @@ let cliff_pick_min_fraction_guards_noise () =
   check_int "guarded rule picks the real cliff" 1
     (Inband.Ensemble.cliff_pick ~min_fraction:0.1 counts)
 
+let cliff_pick_edge_cases () =
+  (* A single nonzero lane: its falling edge dominates every ratio. *)
+  check_int "single nonzero picks its edge" 2
+    (Inband.Ensemble.cliff_pick [| 0; 0; 7; 0; 0 |]);
+  (* ...unless it sits in the last lane, which i <= k-2 makes
+     unselectable; the flat zero prefix then ties to index 0. *)
+  check_int "single nonzero in last lane falls back to 0" 0
+    (Inband.Ensemble.cliff_pick [| 0; 0; 0; 9 |]);
+  (* All-equal nonzero counts at the minimum legal width. *)
+  check_int "all equal, k = 2" 0 (Inband.Ensemble.cliff_pick [| 3; 3 |])
+
+let cliff_pick_min_fraction_floor_boundary () =
+  (* floor = ceil(0.25 * 100) = 25: a lane holding exactly the floor
+     still qualifies, and its cliff onto zero wins. *)
+  check_int "count equal to floor qualifies" 1
+    (Inband.Ensemble.cliff_pick ~min_fraction:0.25 [| 100; 25; 0; 0 |]);
+  (* One sample below the floor is excluded even though its raw ratio
+     (25/1) would dominate; the argmax falls back to lane 0. *)
+  check_int "count one below floor is excluded" 0
+    (Inband.Ensemble.cliff_pick ~min_fraction:0.25 [| 100; 24; 0; 0 |]);
+  (* A fractional floor rounds up: ceil(0.25 * 101) = 26 bars 25. *)
+  check_int "fractional floor rounds up" 0
+    (Inband.Ensemble.cliff_pick ~min_fraction:0.25 [| 101; 25; 0; 0 |])
+
+(* --- Slab recycling ------------------------------------------------------- *)
+
+let slab_recycles_slots_with_fresh_state () =
+  let config =
+    {
+      Inband.Config.default with
+      Inband.Config.cliff_scope = Inband.Config.Per_flow;
+    }
+  in
+  let e = Inband.Ensemble.create ~config in
+  let a = Inband.Ensemble.create_flow e ~now:0 in
+  let _b = Inband.Ensemble.create_flow e ~now:0 in
+  check_int "two live flows" 2 (Inband.Ensemble.live_flows e);
+  (* Drive [a] so every lane holds history: a 10ms gap samples in all k
+     instances, and the epoch rollover at 70ms re-picks its chosen
+     index off the initial one (flat counts tie to index 0). *)
+  ignore (Inband.Ensemble.on_packet e a ~now:(ms 10));
+  ignore (Inband.Ensemble.on_packet e a ~now:(ms 70));
+  check_bool "flow diverged from initial index" true
+    (Inband.Ensemble.chosen_index e a
+    <> config.Inband.Config.initial_timeout_index);
+  Inband.Ensemble.release_flow e a;
+  check_int "release decrements live" 1 (Inband.Ensemble.live_flows e);
+  let cap = Inband.Ensemble.slab_capacity e in
+  let c = Inband.Ensemble.create_flow e ~now:(ms 100) in
+  check_int "released slot is recycled" a c;
+  check_int "recycling does not grow the slab" cap
+    (Inband.Ensemble.slab_capacity e);
+  check_int "recycled slot re-seeds chosen index"
+    config.Inband.Config.initial_timeout_index
+    (Inband.Ensemble.chosen_index e c);
+  (* Batch clocks are re-seeded to creation time: a packet 1us later
+     sees a 1us gap (below every delta), not the 30ms gap the previous
+     occupant's stale clock would report. *)
+  (match Inband.Ensemble.on_packet e c ~now:(ms 100 + us 1) with
+  | None -> ()
+  | Some s -> Alcotest.failf "stale slab state produced sample %d" s);
+  (* And samples are measured from the recycled slot's own batch head,
+     not the old occupant's. *)
+  match Inband.Ensemble.on_packet e c ~now:(ms 105 + us 1) with
+  | Some s -> check_int "sample measured from re-seeded head" (ms 5 + us 1) s
+  | None -> Alcotest.fail "expected a sample after a 5ms gap"
+
 let ensemble_converges_on_batchy_flow () =
   let config = Inband.Config.default in
   let e = Inband.Ensemble.create ~config in
@@ -752,6 +819,11 @@ let () =
           Alcotest.test_case "cliff pick" `Quick cliff_pick_basic;
           Alcotest.test_case "cliff min fraction" `Quick
             cliff_pick_min_fraction_guards_noise;
+          Alcotest.test_case "cliff edge cases" `Quick cliff_pick_edge_cases;
+          Alcotest.test_case "cliff floor boundary" `Quick
+            cliff_pick_min_fraction_floor_boundary;
+          Alcotest.test_case "slab recycling" `Quick
+            slab_recycles_slots_with_fresh_state;
           Alcotest.test_case "converges" `Quick ensemble_converges_on_batchy_flow;
           Alcotest.test_case "adapts to rtt change" `Quick
             ensemble_adapts_to_rtt_change;

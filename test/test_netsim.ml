@@ -53,6 +53,83 @@ let flow_key_table () =
   T.remove t k1;
   check_int "removed" 0 (T.length t)
 
+(* --- Flow_table (open addressing) ---------------------------------------- *)
+
+let key_of_port port =
+  Netsim.Flow_key.v ~src:(addr 100 port) ~dst:(addr 1 11211)
+
+let flow_table_basics () =
+  let module FT = Netsim.Flow_table in
+  let t = FT.create ~initial:16 () in
+  check_int "miss is -1" (-1) (FT.find t (key_of_port 1));
+  FT.add t (key_of_port 1) 42;
+  FT.add t (key_of_port 2) 7;
+  check_int "two entries" 2 (FT.length t);
+  check_int "find 1" 42 (FT.find t (key_of_port 1));
+  check_int "find 2" 7 (FT.find t (key_of_port 2));
+  check_bool "mem" true (FT.mem t (key_of_port 1));
+  (* Replacement updates in place: at most one binding per key. *)
+  FT.add t (key_of_port 1) 43;
+  check_int "replace keeps length" 2 (FT.length t);
+  check_int "replace updates value" 43 (FT.find t (key_of_port 1));
+  FT.remove t (key_of_port 1);
+  check_int "removed is -1" (-1) (FT.find t (key_of_port 1));
+  check_int "length after remove" 1 (FT.length t);
+  check_int "tombstone left" 1 (FT.tombstones t);
+  FT.remove t (key_of_port 1);
+  check_int "double remove is a no-op" 1 (FT.tombstones t)
+
+let flow_table_tombstone_reuse () =
+  let module FT = Netsim.Flow_table in
+  let t = FT.create ~initial:16 () in
+  for p = 0 to 7 do
+    FT.add t (key_of_port p) p
+  done;
+  for p = 0 to 7 do
+    FT.remove t (key_of_port p)
+  done;
+  check_int "all removed" 0 (FT.length t);
+  check_int "8 tombstones" 8 (FT.tombstones t);
+  let cap = FT.capacity t in
+  (* Probe chains pass the vacated buckets before any empty one, so
+     re-insertion reclaims tombstones instead of consuming fresh
+     buckets. *)
+  for p = 0 to 7 do
+    FT.add t (key_of_port p) (100 + p)
+  done;
+  check_int "tombstones reclaimed" 0 (FT.tombstones t);
+  check_int "reuse does not grow the table" cap (FT.capacity t);
+  for p = 0 to 7 do
+    check_int "value after reuse" (100 + p) (FT.find t (key_of_port p))
+  done
+
+let flow_table_resize_and_purge () =
+  let module FT = Netsim.Flow_table in
+  let t = FT.create ~initial:16 () in
+  for p = 0 to 99 do
+    FT.add t (key_of_port p) p
+  done;
+  check_int "100 live" 100 (FT.length t);
+  check_bool "capacity grew" true (FT.capacity t >= 128);
+  for p = 0 to 99 do
+    check_int "binding survives resize" p (FT.find t (key_of_port p))
+  done;
+  (* Steady-state churn: constant live count, fresh keys each cycle.
+     Tombstones accumulate until the load trigger rebuilds in place —
+     capacity must hold, not double. *)
+  let cap = FT.capacity t in
+  for p = 100 to 1100 do
+    FT.remove t (key_of_port (p - 100));
+    FT.add t (key_of_port p) p
+  done;
+  check_int "live count constant under churn" 100 (FT.length t);
+  check_int "purge holds capacity" cap (FT.capacity t);
+  check_bool "tombstones purged periodically" true
+    (4 * (FT.length t + FT.tombstones t) < 3 * FT.capacity t);
+  let live = ref 0 in
+  FT.iter (fun _ v -> if v >= 1001 then incr live) t;
+  check_int "iter sees exactly the live bindings" 100 !live
+
 (* --- Packet ------------------------------------------------------------- *)
 
 let packet_wire_size () =
@@ -317,6 +394,13 @@ let () =
           Alcotest.test_case "flow key" `Quick flow_key_basics;
           Alcotest.test_case "hash spreads" `Quick flow_key_hash_spreads;
           Alcotest.test_case "flow table" `Quick flow_key_table;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "basics" `Quick flow_table_basics;
+          Alcotest.test_case "tombstone reuse" `Quick flow_table_tombstone_reuse;
+          Alcotest.test_case "resize and purge" `Quick
+            flow_table_resize_and_purge;
         ] );
       ( "packet",
         [
