@@ -51,8 +51,52 @@ let run_ablation_policy ~jobs () =
 let run_ablation_far ~jobs () =
   Cluster.Ablations.print_far (Cluster.Ablations.far_clients ~jobs ())
 
-let run_ablation_herd ~jobs () =
-  Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ~jobs ())
+(* The extended A7: every (coordination policy, LB count) pair. Under
+   [--check] it doubles as the coord-smoke CI gate: every run must be
+   PCC-clean, and at the largest fleet each coordination policy must cut
+   fleet-total control actions at least 2x vs uncoordinated. *)
+let run_ablation_herd ~jobs ~check () =
+  let rows = Cluster.Multi_lb.coord_sweep ~jobs () in
+  Cluster.Multi_lb.print_coord rows;
+  if check then begin
+    let violations =
+      List.fold_left
+        (fun acc r -> acc + r.Cluster.Multi_lb.pcc_violations)
+        0 rows
+    in
+    if violations > 0 then begin
+      Fmt.epr "coord-smoke FAILED (tripwire: pcc): %d violations@." violations;
+      exit 1
+    end;
+    let max_lbs =
+      List.fold_left (fun m r -> Stdlib.max m r.Cluster.Multi_lb.n_lbs) 0 rows
+    in
+    let actions_at policy =
+      List.find_map
+        (fun r ->
+          if r.Cluster.Multi_lb.coord = policy && r.Cluster.Multi_lb.n_lbs = max_lbs
+          then Some r.Cluster.Multi_lb.total_actions
+          else None)
+        rows
+    in
+    match actions_at Cluster.Coordination.Uncoordinated with
+    | None -> ()
+    | Some base ->
+        List.iter
+          (fun policy ->
+            match actions_at policy with
+            | Some a when 2 * a > base ->
+                Fmt.epr
+                  "coord-smoke FAILED (tripwire: churn): %s at %d LBs took %d \
+                   actions, more than half the uncoordinated %d@."
+                  (Cluster.Coordination.policy_to_string policy)
+                  max_lbs a base;
+                exit 1
+            | Some _ | None -> ())
+          Cluster.Coordination.[ Gossip_average; Leader ];
+        Fmt.pr "coord-smoke: ok (pcc clean; >=2x churn reduction at %d LBs)@."
+          max_lbs
+  end
 
 let run_ablation_dependency ~jobs () =
   Cluster.Dependency.print (Cluster.Dependency.run_cases ~jobs ())
@@ -109,85 +153,40 @@ let e2e_once () =
   in
   { events_per_sec = float_of_int events /. wall_s; wall_s; events; responses }
 
-(* BENCH_pr*.json files are flat one-line-per-field JSON objects written
-   and parsed here, so neither side needs a JSON dependency. Each bench
-   finds its own baseline in the newest BENCH_pr*.json that carries its
-   keys, so a new PR can record results under a new file without
-   editing the checkers. *)
-let bench_json_read path =
-  match open_in path with
-  | exception Sys_error _ -> []
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let fields = ref [] in
-          (try
-             while true do
-               let line = String.trim (input_line ic) in
-               match String.index_opt line ':' with
-               | Some i when String.length line > 1 && line.[0] = '"' -> begin
-                   let key = String.sub line 1 (i - 2) in
-                   let v =
-                     String.trim (String.sub line (i + 1) (String.length line - i - 1))
-                   in
-                   let v =
-                     if String.length v > 0 && v.[String.length v - 1] = ',' then
-                       String.sub v 0 (String.length v - 1)
-                     else v
-                   in
-                   match float_of_string_opt v with
-                   | Some f -> fields := (key, f) :: !fields
-                   | None -> ()
-                 end
-               | Some _ | None -> ()
-             done
-           with End_of_file -> ());
-          !fields)
+(* BENCH_pr*.json handling lives in Cluster.Bench_store (shared with the
+   unit tests); each bench finds its baseline in the newest numbered
+   file carrying its key. Under [--check], every failure names the
+   tripwire that fired — [rate], [words] or [baseline-discovery] — so a
+   red CI job says what regressed without reading the harness. *)
+let bench_json_read = Cluster.Bench_store.read
+let bench_json_write = Cluster.Bench_store.write
 
-(* Numbered BENCH files, newest (highest PR number) first. Sorting by
-   the numeric suffix rather than mtime keeps the choice stable in CI,
-   where a fresh checkout gives every file the same timestamp. *)
-let bench_json_files () =
-  Sys.readdir "."
-  |> Array.to_list
-  |> List.filter_map (fun f ->
-         if
-           String.length f > 13
-           && String.sub f 0 8 = "BENCH_pr"
-           && Filename.check_suffix f ".json"
-         then
-           Option.map
-             (fun n -> (n, f))
-             (int_of_string_opt (String.sub f 8 (String.length f - 13)))
-         else None)
-  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
-  |> List.map snd
-
-(* The newest BENCH_pr*.json already holding [key] (a bench's baseline
-   field); [fallback] names the file a first-ever run creates. *)
+(* A bench's baseline file, plus whether discovery actually found one.
+   Self-recording a fresh baseline is fine interactively but makes a
+   [--check] vacuous, so the checkers treat it as a tripwire. *)
 let bench_json_locate ~key ~fallback =
-  match
-    List.find_opt (fun f -> List.mem_assoc key (bench_json_read f))
-      (bench_json_files ())
-  with
-  | Some f -> f
-  | None -> fallback
+  match Cluster.Bench_store.locate_opt ~key () with
+  | Some path -> (path, true)
+  | None -> (fallback, false)
 
-let bench_json_write path ~bench fields =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "{\n";
-      output_string oc (Fmt.str "  \"bench\": %S,\n" bench);
-      let last = List.length fields - 1 in
-      List.iteri
-        (fun i (key, v) ->
-          output_string oc
-            (Fmt.str "  %S: %.3f%s\n" key v (if i = last then "" else ",")))
-        fields;
-      output_string oc "}\n")
+let tripwire_fail ~smoke ~tripwire fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "%s FAILED (tripwire: %s): %s@." smoke tripwire msg;
+      exit 1)
+    fmt
+
+(* Under --check a bench must be comparing against a recorded baseline,
+   not one it just invented. *)
+let require_discovered ~smoke ~key ~check discovered =
+  if check && not discovered then
+    tripwire_fail ~smoke ~tripwire:"baseline-discovery"
+      "no BENCH_pr*.json carries %S (searched: %s); a recorded baseline is \
+       required under --check"
+      key
+      (match Cluster.Bench_store.files () with
+      | [] -> "none found"
+      | fs -> String.concat ", " fs)
 
 let measurement_fields prefix m =
   [
@@ -212,9 +211,11 @@ let run_e2e ~check () =
     | Some _ | None -> best := Some m
   done;
   let m = match !best with Some m -> m | None -> assert false in
-  let bench_json_path =
+  let bench_json_path, discovered =
     bench_json_locate ~key:"before_events_per_sec" ~fallback:"BENCH_pr3.json"
   in
+  require_discovered ~smoke:"perf-smoke" ~key:"before_events_per_sec" ~check
+    discovered;
   let prior = bench_json_read bench_json_path in
   let before =
     (* First ever run records itself as the baseline; later runs keep the
@@ -229,13 +230,10 @@ let run_e2e ~check () =
   | Some b when b > 0.0 ->
       Fmt.pr "recorded baseline: %.0f events/s (%.2fx)@." b
         (m.events_per_sec /. b);
-      if check && m.events_per_sec < 0.5 *. b then begin
-        Fmt.epr
-          "perf-smoke: %.0f events/s is below half the recorded baseline \
-           (%.0f events/s)@."
-          m.events_per_sec b;
-        exit 1
-      end
+      if check && m.events_per_sec < 0.5 *. b then
+        tripwire_fail ~smoke:"perf-smoke" ~tripwire:"rate"
+          "%.0f events/s is below half the recorded baseline (%.0f events/s)"
+          m.events_per_sec b
   | Some _ | None -> ())
 
 
@@ -402,10 +400,12 @@ let run_flows ~n ~check () =
      major GC: %d collections, %.0f words promoted@."
     r.f_events r.f_wall_s r.f_events_per_sec r.f_responses r.f_active_peak
     r.f_words_per_flow r.f_full_major_s r.f_major_collections r.f_major_words;
-  let path =
+  let path, discovered =
     bench_json_locate ~key:"flows_baseline_events_per_sec"
       ~fallback:"BENCH_pr4.json"
   in
+  require_discovered ~smoke:"flow-smoke" ~key:"flows_baseline_events_per_sec"
+    ~check discovered;
   let prior = bench_json_read path in
   let baseline =
     (* First ever run records itself as the baseline; later runs keep it
@@ -440,20 +440,15 @@ let run_flows ~n ~check () =
     let base_words = List.assoc "flows_baseline_words_per_flow" baseline in
     Fmt.pr "recorded baseline: %.0f events/s, %.1f words/flow@." base_eps
       base_words;
-    if r.f_events_per_sec < 0.5 *. base_eps then begin
-      Fmt.epr
-        "flow-smoke: %.0f events/s is below half the recorded baseline \
-         (%.0f events/s)@."
+    if r.f_events_per_sec < 0.5 *. base_eps then
+      tripwire_fail ~smoke:"flow-smoke" ~tripwire:"rate"
+        "%.0f events/s is below half the recorded baseline (%.0f events/s)"
         r.f_events_per_sec base_eps;
-      exit 1
-    end;
-    if r.f_words_per_flow > 1.5 *. base_words then begin
-      Fmt.epr
-        "flow-smoke: %.1f live words/flow exceeds the recorded budget \
-         (%.1f words/flow) x1.5@."
-        r.f_words_per_flow base_words;
-      exit 1
-    end
+    if r.f_words_per_flow > 1.5 *. base_words then
+      tripwire_fail ~smoke:"flow-smoke" ~tripwire:"words"
+        "%.1f live words/flow exceeds the recorded budget (%.1f words/flow) \
+         x1.5"
+        r.f_words_per_flow base_words
   end
 
 (* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
@@ -587,7 +582,7 @@ let targets =
     ("ablation-timing", fun ~jobs ~check:_ () -> run_ablation_timing ~jobs ());
     ("ablation-policy", fun ~jobs ~check:_ () -> run_ablation_policy ~jobs ());
     ("ablation-far", fun ~jobs ~check:_ () -> run_ablation_far ~jobs ());
-    ("ablation-herd", fun ~jobs ~check:_ () -> run_ablation_herd ~jobs ());
+    ("ablation-herd", fun ~jobs ~check () -> run_ablation_herd ~jobs ~check ());
     ( "ablation-dependency",
       fun ~jobs ~check:_ () -> run_ablation_dependency ~jobs () );
     ( "ablation-estimator",
@@ -606,7 +601,7 @@ let run_all ~full ~jobs () =
   run_ablation_timing ~jobs ();
   run_ablation_policy ~jobs ();
   run_ablation_far ~jobs ();
-  run_ablation_herd ~jobs ();
+  run_ablation_herd ~jobs ~check:false ();
   run_ablation_dependency ~jobs ();
   run_ablation_estimator ~jobs ();
   run_ablation_source ~jobs ();

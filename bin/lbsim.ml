@@ -4,8 +4,9 @@
 
      lbsim fig2   [--duration 6] [--step-at 3] [--step-ms 1.0] ...
      lbsim fig3   [--duration 30] [--inject-at 10] [--policy ...] ...
-     lbsim sweep  (alpha | epoch | timing | policy)
-     lbsim run    [--faults FILE] ...  (free-form scenario, fault timeline)
+     lbsim sweep  (alpha | epoch | timing | policy | herd | ...)
+     lbsim herd   [--coord none|gossip|leader|all] [--lbs 1,2,4] [--assert-pcc]
+     lbsim run    [--faults FILE] [--assert-pcc] ...  (free-form scenario)
      lbsim churn  [--faults FILE] [--assert-recovery]
      lbsim estimate --help      (run the estimator over a bulk flow) *)
 
@@ -217,6 +218,95 @@ let sweep_cmd =
           $(b,--jobs) and render identically at any job count.")
     Term.(const run $ which $ metrics_csv_arg $ metrics_interval_arg $ jobs_arg)
 
+(* --- herd: coordinated LB fleet (extended A7) --------------------------- *)
+
+let assert_pcc_arg =
+  Arg.(
+    value & flag
+    & info [ "assert-pcc" ]
+        ~doc:
+          "Attach the per-connection-consistency oracle and exit nonzero \
+           if any established flow ever changed backend (CI smoke check).")
+
+let report_pcc ~checked ~violations =
+  Fmt.pr "pcc: %d packets checked, %d violations@." checked
+    (List.length violations);
+  if violations <> [] then begin
+    List.iter
+      (fun v -> Fmt.epr "pcc violation: %a@." Cluster.Oracle.pp_violation v)
+      violations;
+    exit 1
+  end
+
+let herd_cmd =
+  let run coord lbs duration inject_at assert_pcc jobs =
+    let policies =
+      match coord with
+      | "all" -> Ok Cluster.Coordination.[ Uncoordinated; Gossip_average; Leader ]
+      | s -> Result.map (fun p -> [ p ]) (Cluster.Coordination.policy_of_string s)
+    in
+    match policies with
+    | Error msg ->
+        Fmt.epr "--coord: %s@." msg;
+        exit 2
+    | Ok policies ->
+        let rows =
+          Cluster.Multi_lb.coord_sweep ~jobs ~policies ~lb_counts:lbs ~duration
+            ~inject_at ()
+        in
+        Cluster.Multi_lb.print_coord rows;
+        if assert_pcc then begin
+          let violations =
+            List.fold_left
+              (fun acc r -> acc + r.Cluster.Multi_lb.pcc_violations)
+              0 rows
+          in
+          let checked =
+            List.fold_left
+              (fun acc r -> acc + r.Cluster.Multi_lb.pcc_checked)
+              0 rows
+          in
+          Fmt.pr "pcc: %d packets checked, %d violations@." checked violations;
+          if violations > 0 then exit 1
+        end
+  in
+  let coord =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "coord" ] ~docv:"POLICY"
+          ~doc:
+            "Coordination policy to run: $(b,none), $(b,gossip), \
+             $(b,leader), or $(b,all) for the full comparison.")
+  in
+  let lbs =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "lbs" ] ~docv:"N,..." ~doc:"Fleet sizes to sweep.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt sec (Des.Time.sec 12)
+      & info [ "duration" ] ~doc:"Run length, seconds.")
+  in
+  let inject_at =
+    Arg.(
+      value
+      & opt sec (Des.Time.sec 4)
+      & info [ "inject-at" ] ~doc:"Injection time, seconds.")
+  in
+  Cmd.v
+    (Cmd.info "herd"
+       ~doc:
+         "The extended A7 fleet experiment: per-policy churn and \
+          convergence for 1..N LBs over one server pool, with the PCC \
+          oracle attached to every LB.")
+    Term.(
+      const run $ coord $ lbs $ duration $ inject_at $ assert_pcc_arg
+      $ jobs_arg)
+
 (* --- run: free-form scenario ------------------------------------------- *)
 
 let faults_arg =
@@ -254,7 +344,7 @@ let print_fault_intervals injector =
 let run_cmd =
   let run duration policy servers clients connections pipeline get_ratio
       inject_at inject_ms interfere zipf seed estimate_window threshold
-      metrics faults =
+      metrics faults assert_pcc =
     let lb =
       {
         Inband.Config.default with
@@ -301,6 +391,7 @@ let run_cmd =
     let injector =
       Option.map (Cluster.Scenario.install_faults s) (load_faults faults)
     in
+    let pcc = if assert_pcc then Some (Cluster.Scenario.attach_pcc s) else None in
     Cluster.Scenario.run s ~until:duration;
     Option.iter print_fault_intervals injector;
     let log = Cluster.Scenario.log s in
@@ -339,7 +430,13 @@ let run_cmd =
     if metrics then begin
       Fmt.pr "@.%s@." (Cluster.Report.section "telemetry registry");
       Fmt.pr "%s@." (Cluster.Report.registry registry)
-    end
+    end;
+    match pcc with
+    | Some oracle ->
+        report_pcc
+          ~checked:(Cluster.Oracle.checked oracle)
+          ~violations:(Cluster.Oracle.violations oracle)
+    | None -> ()
   in
   let duration =
     Arg.(value & opt sec (Des.Time.sec 10) & info [ "duration" ] ~doc:"Seconds.")
@@ -405,7 +502,7 @@ let run_cmd =
     Term.(
       const run $ duration $ pol $ servers $ clients $ connections $ pipeline
       $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
-      $ estimate_window $ threshold $ metrics $ faults_arg)
+      $ estimate_window $ threshold $ metrics $ faults_arg $ assert_pcc_arg)
 
 (* --- churn: multi-fault timeline with per-fault latencies --------------- *)
 
@@ -554,6 +651,6 @@ let main_cmd =
        ~doc:
          "Packet-level simulator for in-band feedback control at load \
           balancers (HotNets '22 reproduction).")
-    [ fig2_cmd; fig3_cmd; sweep_cmd; estimate_cmd; run_cmd; churn_cmd ]
+    [ fig2_cmd; fig3_cmd; sweep_cmd; herd_cmd; estimate_cmd; run_cmd; churn_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

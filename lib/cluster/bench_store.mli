@@ -1,0 +1,27 @@
+(** Flat-JSON benchmark result files ([BENCH_pr<N>.json]).
+
+    One numeric field per line; written and parsed here so neither the
+    bench harness nor the tests need a JSON dependency. Benches discover
+    their baseline in the newest (highest-numbered) file carrying their
+    baseline key, so a new PR can record results under a new file
+    without editing the checkers. *)
+
+val read : string -> (string * float) list
+(** Parse the numeric fields of one file. [[]] if unreadable. *)
+
+val files : ?dir:string -> unit -> string list
+(** Basenames of the numbered [BENCH_pr*.json] files in [dir] (default
+    ["."]), newest — highest PR number — first. Sorted by the numeric
+    suffix, not mtime, so the order is stable in a fresh CI checkout. *)
+
+val locate_opt : ?dir:string -> key:string -> unit -> string option
+(** Path of the newest file whose fields include [key]; [None] when no
+    numbered file carries it. *)
+
+val locate : ?dir:string -> key:string -> fallback:string -> unit -> string
+(** As {!locate_opt}, falling back to [fallback] (in [dir]) — the file
+    a first-ever run creates. *)
+
+val write : string -> bench:string -> (string * float) list -> unit
+(** Write a file: a ["bench"] name field plus the numeric fields, in
+    order, at 3 decimal places. *)

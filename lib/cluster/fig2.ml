@@ -64,11 +64,20 @@ let run ?(config = Bulk_flow.default_config) () =
 
 let cell v = if Float.is_nan v then "-" else Fmt.str "%.1f" v
 
-let print result =
-  print_endline
-    (Report.section
-       "Fig 2(a): FIXEDTIMEOUT T_LB vs ground truth (backlogged flow, +1ms \
-        RTT step at t=3s)");
+let summary_headers =
+  [
+    "estimator";
+    "n(pre)";
+    "med us";
+    "p10";
+    "p90";
+    "n(post)";
+    "med us";
+    "p10";
+    "p90";
+  ]
+
+let summary_cells result =
   let to_cells { label; before; after } =
     [
       label;
@@ -82,33 +91,29 @@ let print result =
       cell after.p90_us;
     ]
   in
-  let rows =
-    List.map to_cells ((result.truth :: result.fixed) @ [ result.ensemble ])
-  in
+  List.map to_cells ((result.truth :: result.fixed) @ [ result.ensemble ])
+
+let summary_table result =
+  Report.table ~headers:summary_headers (summary_cells result)
+
+let tracking_lines result =
+  Fmt.str "ensemble median relative error: before step %s, after step %s"
+    (Report.pct result.err_before)
+    (Report.pct result.err_after)
+  :: "chosen-delta timeline (changes only):"
+  :: List.map
+       (fun (at, delta) ->
+         Fmt.str "  t=%6.3fs  delta=%4dus" (Des.Time.to_float_s at)
+           (delta / 1000))
+       result.chosen_timeline
+
+let print result =
   print_endline
-    (Report.table
-       ~headers:
-         [
-           "estimator";
-           "n(pre)";
-           "med us";
-           "p10";
-           "p90";
-           "n(post)";
-           "med us";
-           "p10";
-           "p90";
-         ]
-       rows);
+    (Report.section
+       "Fig 2(a): FIXEDTIMEOUT T_LB vs ground truth (backlogged flow, +1ms \
+        RTT step at t=3s)");
+  print_endline (summary_table result);
   print_endline
     (Report.section "Fig 2(b): ENSEMBLETIMEOUT tracking and chosen timeout");
-  Fmt.pr "ensemble median relative error: before step %s, after step %s@."
-    (Report.pct result.err_before)
-    (Report.pct result.err_after);
-  Fmt.pr "chosen-delta timeline (changes only):@.";
-  List.iter
-    (fun (at, delta) ->
-      Fmt.pr "  t=%6.3fs  delta=%4dus@." (Des.Time.to_float_s at)
-        (delta / 1000))
-    result.chosen_timeline;
+  List.iter print_endline (tracking_lines result);
   Fmt.pr "@."

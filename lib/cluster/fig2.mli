@@ -25,6 +25,18 @@ type result = {
 
 val run : ?config:Bulk_flow.config -> unit -> result
 
+val summary_cells : result -> string list list
+(** The Fig. 2(a) table body: one row of rendered cells per estimator
+    (truth, each fixed δ, ensemble) — what {!print} tabulates, exposed
+    for the golden regression test. *)
+
+val summary_table : result -> string
+(** The Fig. 2(a) table exactly as {!print} renders it. *)
+
+val tracking_lines : result -> string list
+(** The Fig. 2(b) summary exactly as {!print} renders it: the relative
+    error line followed by the chosen-δ timeline, one line each. *)
+
 val print : result -> unit
 (** Write the Fig. 2(a) table, the Fig. 2(b) summary and the chosen-δ
     timeline to stdout. *)

@@ -5,6 +5,8 @@ type config = {
   policy : Inband.Policy.t;
   lb : Inband.Config.t;
   memtier : Workload.Memtier.config;
+  coord : Coordination.config;
+  pcc : bool;
   seed : int;
 }
 
@@ -26,6 +28,8 @@ let default_config =
       };
     memtier =
       { Workload.Memtier.default_config with Workload.Memtier.connections = 1 };
+    coord = Coordination.default_config;
+    pcc = false;
     seed = 0x2b1b;
   }
 
@@ -38,6 +42,9 @@ type t = {
   log : Workload.Latency_log.t;
   (* lb_server_links.(l).(i) is LB l's link to server i. *)
   lb_server_links : Netsim.Link.t array array;
+  registries : Telemetry.Registry.t array; (* one per LB *)
+  coordination : Coordination.t option;
+  oracles : Oracle.t array; (* one per LB when [config.pcc] *)
 }
 
 let vip_ip l = 1 + l
@@ -51,6 +58,9 @@ let build config =
   let fabric = Netsim.Fabric.create engine in
   let root_rng = Des.Rng.create ~seed:config.seed in
   let server_ips = Array.init config.n_servers server_ip in
+  let registries =
+    Array.init config.n_lbs (fun _ -> Telemetry.Registry.create ())
+  in
   let balancers =
     Array.init config.n_lbs (fun l ->
         Inband.Balancer.create fabric
@@ -58,7 +68,34 @@ let build config =
           ~server_ips ~policy:config.policy ~config:config.lb
           ~table_size:1021
           ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "lb-%d" l))
-          ())
+          ~telemetry:registries.(l) ())
+  in
+  let coordination =
+    if config.coord.Coordination.policy = Coordination.Uncoordinated then None
+    else begin
+      let controllers =
+        Array.map
+          (fun balancer ->
+            match Inband.Balancer.controller balancer with
+            | Some c -> c
+            | None ->
+                invalid_arg
+                  "Multi_lb.build: coordination needs a controller policy")
+          balancers
+      in
+      Some
+        (Coordination.create ~engine ~config:config.coord ~controllers
+           ~registries
+           ~rng:(Des.Rng.split root_rng ~label:"coord")
+           ())
+    end
+  in
+  let oracles =
+    if config.pcc then
+      Array.mapi
+        (fun l balancer -> Oracle.attach ~telemetry:registries.(l) balancer)
+        balancers
+    else [||]
   in
   (* Servers accept any destination IP on the service port so every
      LB's VIP works (wildcard bind, as with VIPs on loopback). *)
@@ -125,11 +162,31 @@ let build config =
            ())
     done
   done;
-  { engine; fabric; balancers; servers; clients; log; lb_server_links }
+  {
+    engine;
+    fabric;
+    balancers;
+    servers;
+    clients;
+    log;
+    lb_server_links;
+    registries;
+    coordination;
+    oracles;
+  }
 
 let engine t = t.engine
 let balancers t = t.balancers
 let log t = t.log
+let registries t = t.registries
+let coordination t = t.coordination
+let oracles t = t.oracles
+
+let pcc_checked t =
+  Array.fold_left (fun acc o -> acc + Oracle.checked o) 0 t.oracles
+
+let pcc_violations t =
+  Array.fold_left (fun acc o -> acc + Oracle.violation_count o) 0 t.oracles
 
 let inject_server_delay t ~server ~at ~delay =
   Array.iter
@@ -148,11 +205,19 @@ let run t ~until =
 
 type row = {
   n_lbs : int;
+  coord : Coordination.policy;
   p95_before_us : float;
   p95_after_us : float;
   total_actions : int;
+  per_lb_actions : int list;
   victim_flips : int;
   victim_weight_mean : float;
+  converged_ms : float;
+  msgs : int;
+  suppressed : int;
+  imposed : int;
+  pcc_checked : int;
+  pcc_violations : int;
 }
 
 let victim = 1
@@ -162,10 +227,35 @@ let median_float values =
   | [] -> nan
   | sorted -> List.nth sorted (List.length sorted / 2)
 
-let herd_one ~n_lbs ~duration ~inject_at =
-  let config = { default_config with n_lbs } in
+(* Mean of the victim's weight across the fleet, read live. *)
+let victim_weight_mean_of balancers =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun balancer ->
+      match Inband.Balancer.controller balancer with
+      | Some c ->
+          sum := !sum +. (Inband.Controller.weights c).(victim);
+          incr n
+      | None -> ())
+    balancers;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+let herd_one ?(coord = Coordination.default_config) ?(pcc = true) ~n_lbs
+    ~duration ~inject_at () =
+  let config = { default_config with n_lbs; coord; pcc } in
   let t = build config in
   inject_server_delay t ~server:victim ~at:inject_at ~delay:(Des.Time.ms 1);
+  (* Convergence probe: the first instant at which the fleet-mean victim
+     weight has fallen to <= 0.1 — how long the whole fleet takes to
+     concentrate traffic away from the victim (sampled every 50 ms).
+     Coordination trades churn against this: gossip is fleet-epoch
+     limited, leader mode waits on snapshot propagation. *)
+  let converged_at = ref None in
+  ignore
+    (Des.Timer.every t.engine ~period:(Des.Time.ms 50) (fun () ->
+         if !converged_at = None then
+           if victim_weight_mean_of t.balancers <= 0.1 then
+             converged_at := Some (Des.Engine.now t.engine)));
   run t ~until:duration;
   let rows =
     Workload.Latency_log.series t.log ~op:Workload.Latency_log.Get ~q:0.95
@@ -179,11 +269,20 @@ let herd_one ~n_lbs ~duration ~inject_at =
            else None)
     |> median_float
   in
-  let actions, flips, weights =
+  let per_lb_actions =
+    Array.to_list
+      (Array.map
+         (fun balancer ->
+           match Inband.Balancer.controller balancer with
+           | Some c -> Inband.Controller.action_count c
+           | None -> 0)
+         t.balancers)
+  in
+  let flips, weights =
     Array.fold_left
-      (fun (actions, flips, weights) balancer ->
+      (fun (flips, weights) balancer ->
         match Inband.Balancer.controller balancer with
-        | None -> (actions, flips, weights)
+        | None -> (flips, weights)
         | Some c ->
             let acts = Inband.Controller.actions c in
             let flip_count =
@@ -200,52 +299,116 @@ let herd_one ~n_lbs ~duration ~inject_at =
               in
               count None 0 acts
             in
-            ( actions + Inband.Controller.action_count c,
-              flips + flip_count,
+            ( flips + flip_count,
               (Inband.Controller.weights c).(victim) :: weights ))
-      (0, 0, []) t.balancers
+      (0, []) t.balancers
   in
   {
     n_lbs;
+    coord = coord.Coordination.policy;
     p95_before_us = p95_in (Des.Time.sec 1) inject_at;
     p95_after_us = p95_in (inject_at + Des.Time.sec 1) duration;
-    total_actions = actions;
+    total_actions = List.fold_left ( + ) 0 per_lb_actions;
+    per_lb_actions;
     victim_flips = flips;
     victim_weight_mean =
       (match weights with
       | [] -> nan
       | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+    converged_ms =
+      (match !converged_at with
+      | Some at -> Des.Time.to_float_s at *. 1e3
+      | None -> nan);
+    msgs =
+      (match t.coordination with
+      | Some c -> Coordination.messages_sent c
+      | None -> 0);
+    suppressed =
+      (match t.coordination with
+      | Some c -> Coordination.suppressed c
+      | None -> 0);
+    imposed =
+      (match t.coordination with
+      | Some c -> Coordination.imposed c
+      | None -> 0);
+    pcc_checked = pcc_checked t;
+    pcc_violations = pcc_violations t;
   }
+
+let coord_config_of policy =
+  { Coordination.default_config with Coordination.policy }
 
 let herd_sweep ?jobs ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
     ?(inject_at = Des.Time.sec 4) () =
   Parallel.map ?jobs
-    (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at)
+    (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at ())
     lb_counts
+
+let coord_sweep ?jobs
+    ?(policies =
+      Coordination.[ Uncoordinated; Gossip_average; Leader ])
+    ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
+    ?(inject_at = Des.Time.sec 4) () =
+  let cases =
+    List.concat_map
+      (fun policy -> List.map (fun n_lbs -> (policy, n_lbs)) lb_counts)
+      policies
+  in
+  Parallel.map ?jobs
+    (fun (policy, n_lbs) ->
+      herd_one ~coord:(coord_config_of policy) ~n_lbs ~duration ~inject_at ())
+    cases
+
+let cell_ms v = if Float.is_nan v then "-" else Fmt.str "%.0fms" v
+
+let coord_table rows =
+  Report.table
+    ~headers:
+      [
+        "coord";
+        "LBs";
+        "p95 pre";
+        "p95 post";
+        "actions";
+        "per-LB";
+        "flips";
+        "victim w";
+        "converged";
+        "msgs";
+        "suppr";
+        "imposed";
+        "pcc";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Coordination.policy_to_string r.coord;
+           string_of_int r.n_lbs;
+           Fmt.str "%.1fus" r.p95_before_us;
+           Fmt.str "%.1fus" r.p95_after_us;
+           string_of_int r.total_actions;
+           String.concat "+" (List.map string_of_int r.per_lb_actions);
+           string_of_int r.victim_flips;
+           Fmt.str "%.3f" r.victim_weight_mean;
+           cell_ms r.converged_ms;
+           string_of_int r.msgs;
+           string_of_int r.suppressed;
+           string_of_int r.imposed;
+           (if r.pcc_checked = 0 then "-"
+            else if r.pcc_violations = 0 then "ok"
+            else Fmt.str "%d VIOLATIONS" r.pcc_violations);
+         ])
+       rows)
 
 let print_herd rows =
   print_endline
     (Report.section
        "Ablation A7: uncoordinated LB fleet (thundering herd, §5 Q4)");
+  print_endline (coord_table rows)
+
+let print_coord rows =
   print_endline
-    (Report.table
-       ~headers:
-         [
-           "LBs";
-           "p95 pre";
-           "p95 post";
-           "actions";
-           "victim flips";
-           "victim weight (mean)";
-         ]
-       (List.map
-          (fun r ->
-            [
-              string_of_int r.n_lbs;
-              Fmt.str "%.1fus" r.p95_before_us;
-              Fmt.str "%.1fus" r.p95_after_us;
-              string_of_int r.total_actions;
-              string_of_int r.victim_flips;
-              Fmt.str "%.3f" r.victim_weight_mean;
-            ])
-          rows))
+    (Report.section
+       "Ablation A7 (extended): LB fleet coordination — uncoordinated vs \
+        gossip vs leader");
+  print_endline (coord_table rows)

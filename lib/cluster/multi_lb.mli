@@ -1,12 +1,15 @@
-(** Multiple independent LBs over one server pool (§5 Q4).
+(** Multiple LBs over one server pool (§5 Q4).
 
     Each LB owns its own VIP, serves its own clients, and runs its own
-    in-band estimator and feedback controller — none of them coordinate.
-    When a server degrades, every controller independently shifts
-    traffic away from it, and because each acts on a partial view, the
-    fleet can over-shift and oscillate (the thundering-herd concern the
-    paper raises as an open question). This experiment measures that
-    effect as the LB count grows while total offered load is fixed. *)
+    in-band estimator and feedback controller. Uncoordinated, every
+    controller independently shifts traffic away from a degraded server,
+    and because each acts on a partial view, the fleet over-shifts and
+    oscillates (the thundering-herd concern the paper raises as an open
+    question). With a {!Coordination} policy the fleet shares snapshots
+    over a simulated control plane and either gossips (merged estimates
+    + fleet-epoch hysteresis) or follows a leader. This experiment
+    measures churn and convergence as the LB count grows while total
+    offered load is fixed. *)
 
 type config = {
   n_lbs : int;
@@ -15,11 +18,14 @@ type config = {
   policy : Inband.Policy.t;
   lb : Inband.Config.t;
   memtier : Workload.Memtier.config;
+  coord : Coordination.config;  (** Control plane; default uncoordinated. *)
+  pcc : bool;  (** Attach a PCC {!Oracle} to every LB. *)
   seed : int;
 }
 
 val default_config : config
-(** 2 LBs, 3 servers, 4 clients, latency-aware. *)
+(** 2 LBs, 2 servers, 4 clients, latency-aware, uncoordinated, no PCC
+    oracle. *)
 
 type t
 
@@ -27,6 +33,21 @@ val build : config -> t
 val engine : t -> Des.Engine.t
 val balancers : t -> Inband.Balancer.t array
 val log : t -> Workload.Latency_log.t
+
+val registries : t -> Telemetry.Registry.t array
+(** One telemetry registry per LB, in LB order. *)
+
+val coordination : t -> Coordination.t option
+(** The control plane, when [config.coord.policy <> Uncoordinated]. *)
+
+val oracles : t -> Oracle.t array
+(** One PCC oracle per LB when [config.pcc]; empty otherwise. *)
+
+val pcc_checked : t -> int
+(** Fleet-total packets checked by the PCC oracles. *)
+
+val pcc_violations : t -> int
+(** Fleet-total PCC violations. 0 on a correct run. *)
 
 val inject_server_delay :
   t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit
@@ -39,15 +60,44 @@ val run : t -> until:Des.Time.t -> unit
 
 type row = {
   n_lbs : int;
+  coord : Coordination.policy;
   p95_before_us : float;
   p95_after_us : float;
   total_actions : int;
+      (** Fleet-total [ctl.actions]: local shifts plus leader-imposed
+          weight adoptions — every entry is one Maglev rebuild. *)
+  per_lb_actions : int list;
+      (** Per-LB [ctl.actions], LB order. Sums to [total_actions]. *)
   victim_flips : int;
       (** Controller actions whose victim differs from that controller's
           previous victim — a proxy for hunting/oscillation. *)
   victim_weight_mean : float;
       (** Mean over LBs of the degraded server's final weight. *)
+  converged_ms : float;
+      (** Time from the start of the run until the fleet-mean victim
+          weight first reaches 0.1 (50 ms sampling) — how long the
+          whole fleet takes to concentrate traffic away from the victim;
+          [nan] if it never does. *)
+  msgs : int;  (** Control-plane snapshots sent fleet-wide. *)
+  suppressed : int;  (** Hysteresis vetoes + no-change imposes. *)
+  imposed : int;  (** Follower weight adoptions (leader mode). *)
+  pcc_checked : int;
+  pcc_violations : int;
 }
+
+val herd_one :
+  ?coord:Coordination.config ->
+  ?pcc:bool ->
+  n_lbs:int ->
+  duration:Des.Time.t ->
+  inject_at:Des.Time.t ->
+  unit ->
+  row
+(** One Fig. 3-style injection run. [pcc] defaults to [true]: every
+    herd run doubles as a PCC assertion. *)
+
+val coord_config_of : Coordination.policy -> Coordination.config
+(** {!Coordination.default_config} with the given policy. *)
 
 val herd_sweep :
   ?jobs:int ->
@@ -56,7 +106,20 @@ val herd_sweep :
   ?inject_at:Des.Time.t ->
   unit ->
   row list
-(** Run the Fig. 3-style injection with 1, 2 and 4 uncoordinated LBs
-    (fixed total client count). *)
+(** Run the injection with 1, 2 and 4 uncoordinated LBs (fixed total
+    client count). *)
+
+val coord_sweep :
+  ?jobs:int ->
+  ?policies:Coordination.policy list ->
+  ?lb_counts:int list ->
+  ?duration:Des.Time.t ->
+  ?inject_at:Des.Time.t ->
+  unit ->
+  row list
+(** The extended A7: the herd run for every (policy, LB count) pair —
+    defaults [none; gossip; leader] x [1; 2; 4]. Deterministic and
+    byte-identical at any [jobs]. *)
 
 val print_herd : row list -> unit
+val print_coord : row list -> unit

@@ -1,0 +1,93 @@
+(* Per-connection consistency (PCC) oracle.
+
+   The core correctness property of a DSR load balancer: once a flow is
+   established, every subsequent packet of that flow must reach the same
+   backend, whatever the control plane does in between — weight shifts,
+   Maglev table rebuilds, drains/restores, or fleet disagreement. The
+   balancer guarantees this through its flow table (established flows
+   never consult the Maglev table again); this oracle checks the
+   guarantee from the outside, as a [routed_bus] subscriber keeping its
+   own independent flow -> backend map.
+
+   Two legitimate reassignments exist and are excluded:
+   - a flow that ended (FIN/RST) may reincarnate under the same 5-tuple
+     and land anywhere;
+   - a flow idle past the balancer's [flow_idle_timeout] may have been
+     expired and re-selected. The oracle replicates the expiry rule
+     rather than peeking at the balancer's sweep: a packet arriving
+     [gap > flow_idle_timeout] after its flow's previous packet may
+     re-select (the balancer cannot have swept it sooner than that, and
+     if it has not swept yet the routing is unchanged anyway). *)
+
+type violation = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  expected : int;
+  got : int;
+}
+
+type entry = { mutable server : int; mutable last_seen : Des.Time.t }
+
+type t = {
+  idle_timeout : Des.Time.t;
+  flows : (Netsim.Flow_key.t, entry) Hashtbl.t;
+  mutable violations_rev : violation list;
+  mutable checked : int;
+  bus : Inband.Balancer.routed_event Telemetry.Bus.t;
+  mutable sub : Telemetry.Bus.subscription option;
+}
+
+let on_routed t (ev : Inband.Balancer.routed_event) =
+  t.checked <- t.checked + 1;
+  let flags = ev.packet.Netsim.Packet.flags in
+  let ended = flags.Netsim.Packet.fin || flags.Netsim.Packet.rst in
+  (match Hashtbl.find_opt t.flows ev.flow with
+  | None -> if not ended then Hashtbl.add t.flows ev.flow { server = ev.server; last_seen = ev.at }
+  | Some e ->
+      if ev.at - e.last_seen > t.idle_timeout then
+        (* Possibly expired and re-selected: adopt the new backend. *)
+        e.server <- ev.server
+      else if e.server <> ev.server then
+        t.violations_rev <-
+          { at = ev.at; flow = ev.flow; expected = e.server; got = ev.server }
+          :: t.violations_rev;
+      e.last_seen <- ev.at;
+      if ended then Hashtbl.remove t.flows ev.flow)
+
+let attach ?telemetry ?index balancer =
+  let t =
+    {
+      idle_timeout = (Inband.Balancer.config balancer).Inband.Config.flow_idle_timeout;
+      flows = Hashtbl.create 1024;
+      violations_rev = [];
+      checked = 0;
+      bus = Inband.Balancer.routed_bus balancer;
+      sub = None;
+    }
+  in
+  t.sub <- Some (Telemetry.Bus.subscribe t.bus (on_routed t));
+  (match telemetry with
+  | Some registry ->
+      Telemetry.Registry.gauge_fn registry ?index "pcc.checked" (fun () ->
+          float_of_int t.checked);
+      Telemetry.Registry.gauge_fn registry ?index "pcc.violations" (fun () ->
+          float_of_int (List.length t.violations_rev))
+  | None -> ());
+  t
+
+let detach t =
+  match t.sub with
+  | Some sub ->
+      Telemetry.Bus.unsubscribe t.bus sub;
+      t.sub <- None
+  | None -> ()
+
+let checked t = t.checked
+let tracked t = Hashtbl.length t.flows
+let violations t = List.rev t.violations_rev
+let violation_count t = List.length t.violations_rev
+let ok t = t.violations_rev = []
+
+let pp_violation ppf v =
+  Fmt.pf ppf "t=%a flow %a: backend %d -> %d" Des.Time.pp v.at
+    Netsim.Flow_key.pp v.flow v.expected v.got

@@ -1,0 +1,45 @@
+(** Per-connection consistency (PCC) oracle.
+
+    Checks the core correctness property of DSR load balancing from the
+    outside: no established flow ever changes backend, across weight
+    shifts, Maglev table rebuilds, drains/restores and fleet
+    disagreement. Attach one to a balancer's routed-packet bus — from a
+    test, or via the [--assert-pcc] scenario flag — and inspect
+    {!violations} when the run ends.
+
+    Legitimate reassignments are excluded: a flow that ended (FIN/RST)
+    may reincarnate under the same 5-tuple, and a flow idle past the
+    balancer's [flow_idle_timeout] may have been expired and
+    re-selected. *)
+
+type violation = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  expected : int;  (** Backend the flow was pinned to. *)
+  got : int;  (** Backend the packet was actually routed to. *)
+}
+
+type t
+
+val attach :
+  ?telemetry:Telemetry.Registry.t -> ?index:int -> Inband.Balancer.t -> t
+(** Subscribe to the balancer's routed bus and start checking. With
+    [telemetry], registers polled gauges ["pcc.checked"] and
+    ["pcc.violations"] (with [index] for multi-LB fleets). *)
+
+val detach : t -> unit
+(** Stop checking (unsubscribe). Idempotent. *)
+
+val checked : t -> int
+(** Packets checked so far. *)
+
+val tracked : t -> int
+(** Flows currently tracked as established. *)
+
+val violations : t -> violation list
+(** All violations observed, oldest first. Empty on a correct run. *)
+
+val violation_count : t -> int
+val ok : t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -258,6 +258,8 @@ let install_faults t timeline =
   Faults.Injector.install t.engine ~env:(fault_env t) ~telemetry:t.telemetry
     timeline
 
+let attach_pcc t = Oracle.attach ~telemetry:t.telemetry t.balancer
+
 let run t ~until =
   Array.iter Workload.Memtier.start t.clients;
   Des.Engine.run ~until t.engine;

@@ -93,5 +93,10 @@ val install_faults : t -> Faults.Timeline.t -> Faults.Injector.t
 (** {!Faults.Injector.install} against {!fault_env}, publishing
     [fault.*] metrics into the cluster registry. Call before {!run}. *)
 
+val attach_pcc : t -> Oracle.t
+(** Attach a per-connection-consistency {!Oracle} to the balancer
+    (publishing [pcc.*] gauges into the cluster registry). Call before
+    {!run}; inspect after — the [--assert-pcc] scenario flag. *)
+
 val run : t -> until:Des.Time.t -> unit
 (** Start all clients, run the engine to [until], then stop clients. *)

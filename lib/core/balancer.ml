@@ -302,6 +302,7 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
   t
 
 let telemetry t = t.telemetry
+let config t = t.config
 let packet_bus t = t.packet_bus
 let sample_bus t = t.sample_bus
 let routed_bus t = t.routed_bus

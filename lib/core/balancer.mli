@@ -47,6 +47,10 @@ val telemetry : t -> Telemetry.Registry.t
     per-server ["lb.active_conns"], ["lb.est_latency_ns"]; and, under
     {!Policy.Latency_aware}, the controller's ["ctl.*"] metrics. *)
 
+val config : t -> Config.t
+(** The configuration the balancer was built with (flow idle timeout,
+    estimator and controller knobs). *)
+
 type sample_event = {
   at : Des.Time.t;
   flow : Netsim.Flow_key.t;

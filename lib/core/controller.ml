@@ -14,6 +14,12 @@ type t = {
   mutable actions_rev : action list;
   drained : bool array; (* administratively pinned at the weight floor *)
   m_actions : Telemetry.Registry.counter;
+  (* Coordination hooks (lib/cluster/coordination). All default to the
+     paper's fully-autonomous behaviour. *)
+  mutable est_override : (int -> float option) option;
+  mutable shift_gate : (now:Des.Time.t -> victim:int -> bool) option;
+  mutable autonomous : bool;
+  mutable imposed_count : int;
 }
 
 let create ~config ~pool ?telemetry () =
@@ -42,6 +48,10 @@ let create ~config ~pool ?telemetry () =
       actions_rev = [];
       drained = Array.make n false;
       m_actions = Telemetry.Registry.counter registry "ctl.actions";
+      est_override = None;
+      shift_gate = None;
+      autonomous = true;
+      imposed_count = 0;
     }
   in
   for i = 0 to n - 1 do
@@ -56,7 +66,48 @@ let create ~config ~pool ?telemetry () =
 let stats t = t.stats
 let actions t = List.rev t.actions_rev
 let action_count t = Telemetry.Registry.Counter.value t.m_actions
+let imposed_count t = t.imposed_count
 let weights t = Maglev.Pool.weights t.pool
+
+let last_action_at t =
+  match t.actions_rev with [] -> None | a :: _ -> Some a.at
+
+let set_estimate_override t f = t.est_override <- f
+let set_shift_gate t g = t.shift_gate <- g
+let set_autonomous t b = t.autonomous <- b
+let is_autonomous t = t.autonomous
+
+(* The estimate the decision loop sees for one server: the coordination
+   override (merged fleet view) when installed, the local smoothed
+   estimate otherwise. *)
+let estimate t i =
+  match t.est_override with
+  | Some f -> f i
+  | None -> Server_stats.estimate t.stats i
+
+(* Worst/best over the decision-loop estimates. Returns [None] unless at
+   least two servers have an estimate, mirroring the historical
+   [servers_with_samples >= 2] gate under local estimation. *)
+let extremes t =
+  let n = Array.length t.drained in
+  let worst = ref None and best = ref None and known = ref 0 in
+  for i = 0 to n - 1 do
+    match estimate t i with
+    | None -> ()
+    | Some v ->
+        incr known;
+        (match !worst with
+        | Some (_, w) when w >= v -> ()
+        | Some _ | None -> worst := Some (i, v));
+        (match !best with
+        | Some (_, b) when b <= v -> ()
+        | Some _ | None -> best := Some (i, v))
+  done;
+  if !known < 2 then None
+  else
+    match (!worst, !best) with
+    | Some w, Some b -> Some (w, b)
+    | (Some _ | None), _ -> None
 
 let normalize w =
   let total = Array.fold_left ( +. ) 0.0 w in
@@ -150,35 +201,62 @@ let on_sample t ~now ~server sample =
     (not t.updated_once)
     || now - t.last_update >= t.config.Config.control_interval
   in
-  if (not spaced) || Server_stats.servers_with_samples t.stats < 2 then None
+  if (not spaced) || not t.autonomous then None
   else begin
-    let w = Maglev.Pool.weights t.pool in
-    let recovered = apply_recovery t ~now w in
-    let shift =
-      match (Server_stats.worst t.stats, Server_stats.best t.stats) with
-      | Some (victim, worst_est), Some (_, best_est)
-        when worst_est >= t.config.Config.relative_threshold *. best_est ->
-          compute_shift t ~victim w |> Option.map (fun delta -> (victim, delta))
-      | Some _, Some _ | Some _, None | None, _ -> None
-    in
-    match shift with
-    | Some (victim, delta) ->
-        commit t ~now w;
-        let action =
-          {
-            at = now;
-            victim;
-            shifted = delta;
-            weights_after = Maglev.Pool.weights t.pool;
-          }
+    match extremes t with
+    | None -> None
+    | Some ((victim, worst_est), (_, best_est)) ->
+        let w = Maglev.Pool.weights t.pool in
+        let recovered = apply_recovery t ~now w in
+        (* The victim and threshold are decided before any weights move,
+           so a coordination gate can veto the shift (e.g. another LB
+           already acted this fleet epoch) without side effects. *)
+        let candidate =
+          if worst_est >= t.config.Config.relative_threshold *. best_est then
+            match t.shift_gate with
+            | Some gate when not (gate ~now ~victim) -> None
+            | Some _ | None -> Some victim
+          else None
         in
-        t.actions_rev <- action :: t.actions_rev;
-        Telemetry.Registry.Counter.incr t.m_actions;
-        Some action
-    | None ->
-        if recovered then commit t ~now w;
-        None
+        let shift =
+          match candidate with
+          | Some victim ->
+              compute_shift t ~victim w
+              |> Option.map (fun delta -> (victim, delta))
+          | None -> None
+        in
+        (match shift with
+        | Some (victim, delta) ->
+            commit t ~now w;
+            let action =
+              {
+                at = now;
+                victim;
+                shifted = delta;
+                weights_after = Maglev.Pool.weights t.pool;
+              }
+            in
+            t.actions_rev <- action :: t.actions_rev;
+            Telemetry.Registry.Counter.incr t.m_actions;
+            Some action
+        | None ->
+            if recovered then commit t ~now w;
+            None)
   end
+
+(* Externally-computed weights (leader/follower coordination). Drained
+   backends stay pinned — [commit] re-applies the floor — and the
+   imposed vector is normalized, so drain/restore keep working while a
+   leader drives the weights. Counted in [ctl.actions]: an imposed
+   rebuild is control-plane churn just like a local shift. *)
+let impose_weights t ~now w =
+  if Array.length w <> Array.length t.drained then
+    invalid_arg "Controller.impose_weights: length mismatch";
+  if Array.exists (fun v -> Float.is_nan v || v < 0.0) w then
+    invalid_arg "Controller.impose_weights: bad weight";
+  commit t ~now (Array.copy w);
+  t.imposed_count <- t.imposed_count + 1;
+  Telemetry.Registry.Counter.incr t.m_actions
 
 let first_action_after t at =
   let rec scan = function

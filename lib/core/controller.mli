@@ -48,6 +48,56 @@ val restore : t -> now:Des.Time.t -> server:int -> unit
 
 val is_drained : t -> int -> bool
 
+(** {1 Coordination hooks}
+
+    A fleet coordination layer (see [Cluster.Coordination]) can replace
+    the estimates the decision loop sees, veto shifts, or drive the
+    weights outright. All hooks default to the paper's fully-autonomous
+    behaviour and compose with {!drain}/{!restore}: drained backends
+    stay pinned at the weight floor whatever the coordinator does. *)
+
+val set_estimate_override : t -> (int -> float option) option -> unit
+(** When set, {!on_sample}'s worst/best decision reads this function
+    (e.g. a merged fleet-wide estimate) instead of the local
+    {!Server_stats} view. [None] for a server means "no estimate yet";
+    the controller acts only when at least two servers have one. Local
+    samples are still recorded, so the LB keeps publishing its own
+    view. Pass [None] to restore local estimation. *)
+
+val set_shift_gate : t -> (now:Des.Time.t -> victim:int -> bool) option -> unit
+(** When set, the gate is consulted after a shift's victim is chosen
+    but before any weight moves; returning [false] suppresses the
+    action (no commit, no rebuild, not counted). Recovery still
+    applies. Used for fleet-epoch hysteresis. *)
+
+val set_autonomous : t -> bool -> unit
+(** [set_autonomous t false] turns the controller into a follower: it
+    keeps recording samples (and serving estimates) but never shifts or
+    recovers on its own — weights change only via {!impose_weights},
+    {!drain} and {!restore}. Default [true]. *)
+
+val is_autonomous : t -> bool
+
+val impose_weights : t -> now:Des.Time.t -> float array -> unit
+(** Adopt an externally-computed weight vector (leader mode): drained
+    backends are re-pinned at the floor, the vector is normalized, and
+    the table rebuilt. Counted in [ctl.actions] and {!imposed_count} —
+    an imposed rebuild is churn just like a local shift.
+
+    @raise Invalid_argument on a length mismatch or negative/NaN
+    weight. *)
+
+val imposed_count : t -> int
+(** Number of {!impose_weights} commits. *)
+
+val estimate : t -> int -> float option
+(** The estimate the decision loop currently sees for one server:
+    the override when installed, the local smoothed estimate
+    otherwise. *)
+
+val last_action_at : t -> Des.Time.t option
+(** Time of the most recent shift action (imposed commits excluded). *)
+
 val stats : t -> Server_stats.t
 val actions : t -> action list
 (** All actions taken, oldest first. *)

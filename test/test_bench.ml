@@ -1,0 +1,106 @@
+(* Bench_store: BENCH_pr*.json parsing, write/read round-trips, and —
+   the regression that motivated this file — baseline discovery order:
+   the newest file is the highest PR *number*, not the lexicographically
+   greatest name (BENCH_pr10 must beat BENCH_pr4). *)
+
+let check_bool = Alcotest.(check bool)
+
+let tmp_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Fmt.str "bench_store_test.%d" (Unix.getpid ()))
+     in
+     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+     dir)
+
+let write_raw dir name contents =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc contents;
+  close_out oc
+
+let populate () =
+  let dir = Lazy.force tmp_dir in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Cluster.Bench_store.write
+    (Filename.concat dir "BENCH_pr3.json")
+    ~bench:"a" [ ("alpha", 1.0) ];
+  Cluster.Bench_store.write
+    (Filename.concat dir "BENCH_pr4.json")
+    ~bench:"b" [ ("beta", 2.0) ];
+  Cluster.Bench_store.write
+    (Filename.concat dir "BENCH_pr10.json")
+    ~bench:"c" [ ("alpha", 3.0); ("gamma", 4.0) ];
+  (* Files that must be ignored: no number, wrong suffix. *)
+  write_raw dir "BENCH_prX.json" "{\n  \"alpha\": 9.0\n}\n";
+  write_raw dir "BENCH_pr5.txt" "{\n  \"alpha\": 9.0\n}\n";
+  dir
+
+let newest_first () =
+  let dir = populate () in
+  Alcotest.(check (list string))
+    "numeric order, not lexicographic"
+    [ "BENCH_pr10.json"; "BENCH_pr4.json"; "BENCH_pr3.json" ]
+    (Cluster.Bench_store.files ~dir ())
+
+let locate_by_key () =
+  let dir = populate () in
+  let locate key =
+    Cluster.Bench_store.locate ~dir ~key ~fallback:"BENCH_pr99.json" ()
+  in
+  (* "alpha" lives in pr3 and pr10: the newest-numbered file wins, so a
+     bench keeps extending its own trajectory instead of resurrecting an
+     old baseline. *)
+  Alcotest.(check string)
+    "newest file carrying the key" (Filename.concat dir "BENCH_pr10.json")
+    (locate "alpha");
+  Alcotest.(check string)
+    "key only in an older file" (Filename.concat dir "BENCH_pr4.json")
+    (locate "beta");
+  Alcotest.(check string)
+    "unknown key falls back" (Filename.concat dir "BENCH_pr99.json")
+    (locate "missing");
+  check_bool "locate_opt reports discovery failure" true
+    (Cluster.Bench_store.locate_opt ~dir ~key:"missing" () = None)
+
+let roundtrip () =
+  let dir = Lazy.force tmp_dir in
+  let path = Filename.concat dir "BENCH_pr7.json" in
+  let fields = [ ("x", 1.5); ("y", -2.25); ("z", 1234567.891) ] in
+  Cluster.Bench_store.write path ~bench:"roundtrip" fields;
+  let got = Cluster.Bench_store.read path in
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k got with
+      | Some v' ->
+          Alcotest.(check (float 1e-3)) (Fmt.str "field %s" k) v v'
+      | None -> Alcotest.failf "field %s lost in round-trip" k)
+    fields;
+  check_bool "string fields are skipped" true
+    (List.assoc_opt "bench" got = None)
+
+let unreadable () =
+  Alcotest.(check (list (pair string (float 0.0))))
+    "missing file reads as empty" []
+    (Cluster.Bench_store.read "/nonexistent/BENCH_pr1.json");
+  Alcotest.(check (list string))
+    "missing dir lists as empty" []
+    (Cluster.Bench_store.files ~dir:"/nonexistent" ())
+
+let () =
+  Alcotest.run "bench_store"
+    [
+      ( "baseline-discovery",
+        [
+          Alcotest.test_case "newest first" `Quick newest_first;
+          Alcotest.test_case "locate by key" `Quick locate_by_key;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick roundtrip;
+          Alcotest.test_case "unreadable" `Quick unreadable;
+        ] );
+    ]

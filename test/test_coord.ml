@@ -1,0 +1,423 @@
+(* Fleet coordination, the PCC oracle, and churn accounting. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- A small balancer world driven packet by packet -------------------- *)
+
+let vip = Netsim.Addr.v 1 80
+let server_ips = [| 10; 11; 12; 13 |]
+let n_servers = Array.length server_ips
+let client_ips = [ 100; 101 ]
+
+(* Short idle horizon so generated op sequences cross flow expiry. *)
+let world_config =
+  {
+    Inband.Config.default with
+    Inband.Config.flow_idle_timeout = Des.Time.ms 50;
+    sweep_interval = Des.Time.ms 10;
+  }
+
+let mk_world () =
+  let engine = Des.Engine.create () in
+  let fabric = Netsim.Fabric.create engine in
+  let balancer =
+    Inband.Balancer.create fabric ~vip ~server_ips
+      ~policy:Inband.Policy.Latency_aware ~config:world_config ()
+  in
+  Array.iter
+    (fun ip -> Netsim.Fabric.register fabric ~ip (fun _ -> ()))
+    server_ips;
+  let link () = Netsim.Link.create engine ~delay:(Des.Time.us 5) () in
+  List.iter
+    (fun c ->
+      Netsim.Fabric.add_link fabric ~src:c ~dst:vip.Netsim.Addr.ip (link ()))
+    client_ips;
+  Array.iter
+    (fun s ->
+      Netsim.Fabric.add_link fabric ~src:vip.Netsim.Addr.ip ~dst:s (link ()))
+    server_ips;
+  (engine, fabric, balancer)
+
+(* --- PCC oracle semantics over synthetic routed events ----------------- *)
+
+let oracle_semantics () =
+  let _, _, balancer = mk_world () in
+  let oracle = Cluster.Oracle.attach balancer in
+  let bus = Inband.Balancer.routed_bus balancer in
+  let src = Netsim.Addr.v 100 1234 in
+  let flow = Netsim.Flow_key.v ~src ~dst:vip in
+  let publish ~at_ms ~server ~flags =
+    Telemetry.Bus.publish bus
+      {
+        Inband.Balancer.at = Des.Time.ms at_ms;
+        flow;
+        server;
+        packet = Netsim.Packet.make ~src ~dst:vip ~seq:0 ~ack:0 ~flags ~payload:"";
+      }
+  in
+  publish ~at_ms:1 ~server:0 ~flags:Netsim.Packet.flag_ack;
+  publish ~at_ms:2 ~server:0 ~flags:Netsim.Packet.flag_ack;
+  check_bool "same backend is consistent" true (Cluster.Oracle.ok oracle);
+  check_int "one flow tracked" 1 (Cluster.Oracle.tracked oracle);
+  (* A backend change inside the idle horizon is the violation. *)
+  publish ~at_ms:3 ~server:2 ~flags:Netsim.Packet.flag_ack;
+  check_int "backend change violates" 1 (Cluster.Oracle.violation_count oracle);
+  (match Cluster.Oracle.violations oracle with
+  | [ v ] ->
+      check_int "pinned backend" 0 v.Cluster.Oracle.expected;
+      check_int "observed backend" 2 v.Cluster.Oracle.got
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs));
+  (* FIN ends the flow: the same 5-tuple may reincarnate anywhere. *)
+  publish ~at_ms:4 ~server:0 ~flags:Netsim.Packet.flag_fin_ack;
+  check_int "fin releases tracking" 0 (Cluster.Oracle.tracked oracle);
+  publish ~at_ms:5 ~server:1 ~flags:Netsim.Packet.flag_ack;
+  check_int "reincarnation is legitimate" 1
+    (Cluster.Oracle.violation_count oracle);
+  (* Past the idle timeout the balancer may have expired the flow. *)
+  publish ~at_ms:100 ~server:3 ~flags:Netsim.Packet.flag_ack;
+  check_int "idle expiry re-selection is legitimate" 1
+    (Cluster.Oracle.violation_count oracle);
+  check_int "every event checked" 6 (Cluster.Oracle.checked oracle);
+  Cluster.Oracle.detach oracle;
+  publish ~at_ms:101 ~server:0 ~flags:Netsim.Packet.flag_ack;
+  check_int "detach stops checking" 6 (Cluster.Oracle.checked oracle)
+
+let oracle_rst () =
+  let _, _, balancer = mk_world () in
+  let oracle = Cluster.Oracle.attach balancer in
+  let bus = Inband.Balancer.routed_bus balancer in
+  let src = Netsim.Addr.v 101 4321 in
+  let flow = Netsim.Flow_key.v ~src ~dst:vip in
+  let publish ~at_ms ~server ~flags =
+    Telemetry.Bus.publish bus
+      {
+        Inband.Balancer.at = Des.Time.ms at_ms;
+        flow;
+        server;
+        packet = Netsim.Packet.make ~src ~dst:vip ~seq:0 ~ack:0 ~flags ~payload:"";
+      }
+  in
+  publish ~at_ms:1 ~server:2 ~flags:Netsim.Packet.flag_ack;
+  publish ~at_ms:2 ~server:2 ~flags:Netsim.Packet.flag_rst;
+  publish ~at_ms:3 ~server:0 ~flags:Netsim.Packet.flag_ack;
+  check_bool "rst ends the flow too" true (Cluster.Oracle.ok oracle)
+
+(* --- qcheck: PCC holds under random control-plane turbulence ----------- *)
+
+type op =
+  | Pkt of int  (* data packet on flow i *)
+  | Fin of int  (* end flow i; the same 5-tuple reincarnates later *)
+  | Shift of float array  (* imposed weight vector + Maglev rebuild *)
+  | Drain of int
+  | Restore of int
+  | Rebuild  (* gratuitous Maglev rebuild *)
+  | Advance of int  (* let the clock run, ms; may cross flow expiry *)
+
+let n_flows = 12
+
+let pp_op ppf = function
+  | Pkt i -> Fmt.pf ppf "Pkt %d" i
+  | Fin i -> Fmt.pf ppf "Fin %d" i
+  | Shift w ->
+      Fmt.pf ppf "Shift [%a]" Fmt.(array ~sep:(any ";") (fmt "%.2f")) w
+  | Drain s -> Fmt.pf ppf "Drain %d" s
+  | Restore s -> Fmt.pf ppf "Restore %d" s
+  | Rebuild -> Fmt.pf ppf "Rebuild"
+  | Advance ms -> Fmt.pf ppf "Advance %dms" ms
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun i -> Pkt i) (int_bound (n_flows - 1)));
+        (1, map (fun i -> Fin i) (int_bound (n_flows - 1)));
+        ( 1,
+          map
+            (fun l -> Shift (Array.of_list l))
+            (list_size (return n_servers) (float_range 0.01 1.0)) );
+        (1, map (fun s -> Drain s) (int_bound (n_servers - 1)));
+        (1, map (fun s -> Restore s) (int_bound (n_servers - 1)));
+        (1, return Rebuild);
+        (2, map (fun ms -> Advance ms) (int_range 1 80));
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" Fmt.(Dump.list pp_op))
+    QCheck.Gen.(list_size (int_range 20 120) op_gen)
+
+let run_ops ops =
+  let engine, fabric, balancer = mk_world () in
+  let oracle = Cluster.Oracle.attach balancer in
+  let controller = Inband.Balancer.controller balancer in
+  let seq = Array.make n_flows 0 in
+  let now () = Des.Engine.now engine in
+  let step_to t = Des.Engine.run ~until:t engine in
+  let send i flags =
+    let cip = 100 + (i mod 2) in
+    Netsim.Fabric.send fabric ~from:cip
+      (Netsim.Packet.make
+         ~src:(Netsim.Addr.v cip (1000 + i))
+         ~dst:vip ~seq:seq.(i) ~ack:0 ~flags ~payload:"x");
+    seq.(i) <- seq.(i) + 1
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Pkt i -> send i Netsim.Packet.flag_ack
+      | Fin i -> send i Netsim.Packet.flag_fin_ack
+      | Shift w ->
+          Option.iter
+            (fun c -> Inband.Controller.impose_weights c ~now:(now ()) w)
+            controller
+      | Drain s ->
+          Option.iter
+            (fun c -> Inband.Controller.drain c ~now:(now ()) ~server:s)
+            controller
+      | Restore s ->
+          Option.iter
+            (fun c -> Inband.Controller.restore c ~now:(now ()) ~server:s)
+            controller
+      | Rebuild -> Maglev.Pool.rebuild (Inband.Balancer.pool balancer)
+      | Advance ms -> step_to (now () + Des.Time.ms ms));
+      (* Drain the in-flight packets before the next control action. *)
+      step_to (now () + Des.Time.us 50))
+    ops;
+  step_to (now () + Des.Time.ms 5);
+  (match Cluster.Oracle.violations oracle with
+  | [] -> ()
+  | v :: _ ->
+      QCheck.Test.fail_reportf "PCC violated after %d checked packets: %a"
+        (Cluster.Oracle.checked oracle)
+        Cluster.Oracle.pp_violation v);
+  true
+
+let pcc_property =
+  QCheck.Test.make ~count:40
+    ~name:
+      "per-connection consistency holds under random shifts, drains, \
+       restores and rebuilds"
+    ops_arbitrary run_ops
+
+(* --- Coordination: leader/follower over a bare controller pair --------- *)
+
+let mk_controller () =
+  let pool = Maglev.Pool.create ~names:[| "a"; "b" |] () in
+  Inband.Controller.create ~config:Inband.Config.default ~pool ()
+
+let leader_follower () =
+  let engine = Des.Engine.create () in
+  let c0 = mk_controller () and c1 = mk_controller () in
+  let coord =
+    Cluster.Coordination.create ~engine
+      ~config:
+        {
+          Cluster.Coordination.default_config with
+          Cluster.Coordination.policy = Cluster.Coordination.Leader;
+        }
+      ~controllers:[| c0; c1 |] ()
+  in
+  check_bool "leader stays autonomous" true (Inband.Controller.is_autonomous c0);
+  check_bool "follower is not" false (Inband.Controller.is_autonomous c1);
+  (* Uniform weights everywhere: snapshots flow but nothing is imposed. *)
+  Des.Engine.run ~until:(Des.Time.ms 25) engine;
+  check_bool "snapshots flow" true (Cluster.Coordination.messages_sent coord > 0);
+  check_int "identical weights impose nothing" 0
+    (Cluster.Coordination.imposed coord);
+  (* The leader moves; the follower adopts within a period + delay. *)
+  Inband.Controller.impose_weights c0 ~now:(Des.Time.ms 25) [| 0.9; 0.1 |];
+  Des.Engine.run ~until:(Des.Time.ms 50) engine;
+  check_bool "follower adopted the leader's weights" true
+    (Float.abs ((Inband.Controller.weights c1).(0) -. 0.9) < 1e-9);
+  check_bool "imposition counted" true (Cluster.Coordination.imposed coord >= 1);
+  (* Drained backends stay pinned through imposes. *)
+  Inband.Controller.drain c1 ~now:(Des.Time.ms 50) ~server:1;
+  Inband.Controller.impose_weights c0 ~now:(Des.Time.ms 50) [| 0.5; 0.5 |];
+  Des.Engine.run ~until:(Des.Time.ms 80) engine;
+  check_bool "drain survives imposed weights" true
+    ((Inband.Controller.weights c1).(1) < 0.1);
+  Inband.Controller.restore c1 ~now:(Des.Time.ms 80) ~server:1;
+  (* Stop: timers cease, in-flight snapshots still land. *)
+  Cluster.Coordination.stop coord;
+  Des.Engine.run ~until:(Des.Time.ms 200) engine;
+  let sent = Cluster.Coordination.messages_sent coord in
+  Des.Engine.run ~until:(Des.Time.ms 400) engine;
+  check_int "no messages after stop" sent
+    (Cluster.Coordination.messages_sent coord);
+  check_int "all sent arrived (no loss)"
+    (Cluster.Coordination.messages_sent coord)
+    (Cluster.Coordination.messages_received coord
+    + Cluster.Coordination.dropped coord)
+
+let lossy_channel () =
+  let engine = Des.Engine.create () in
+  let c0 = mk_controller () and c1 = mk_controller () in
+  let coord =
+    Cluster.Coordination.create ~engine
+      ~config:
+        {
+          Cluster.Coordination.default_config with
+          Cluster.Coordination.policy = Cluster.Coordination.Gossip_average;
+          loss = 0.5;
+        }
+      ~controllers:[| c0; c1 |] ()
+  in
+  Des.Engine.run ~until:(Des.Time.sec 1) engine;
+  Cluster.Coordination.stop coord;
+  Des.Engine.run ~until:(Des.Time.sec 2) engine;
+  let sent = Cluster.Coordination.messages_sent coord in
+  let recv = Cluster.Coordination.messages_received coord in
+  let dropped = Cluster.Coordination.dropped coord in
+  check_bool "some dropped" true (dropped > 0);
+  check_bool "some delivered" true (recv > 0);
+  check_int "sent = received + dropped" sent (recv + dropped)
+
+let policy_strings () =
+  List.iter
+    (fun p ->
+      match
+        Cluster.Coordination.policy_of_string
+          (Cluster.Coordination.policy_to_string p)
+      with
+      | Ok p' -> check_bool "round-trip" true (p = p')
+      | Error msg -> Alcotest.fail msg)
+    Cluster.Coordination.[ Uncoordinated; Gossip_average; Leader ];
+  check_bool "gossip-average alias" true
+    (Cluster.Coordination.policy_of_string "gossip-average"
+    = Ok Cluster.Coordination.Gossip_average);
+  check_bool "unknown rejected" true
+    (Result.is_error (Cluster.Coordination.policy_of_string "quorum"))
+
+let config_validation () =
+  let base = Cluster.Coordination.default_config in
+  let bad config =
+    Result.is_error (Cluster.Coordination.validate config)
+  in
+  check_bool "default ok" true
+    (Result.is_ok (Cluster.Coordination.validate base));
+  check_bool "loss >= 1 rejected" true
+    (bad { base with Cluster.Coordination.loss = 1.0 });
+  check_bool "negative delay rejected" true
+    (bad { base with Cluster.Coordination.delay = -1 });
+  check_bool "zero period rejected" true
+    (bad { base with Cluster.Coordination.period = 0 })
+
+(* --- Fleet-level: the short herd run per policy ------------------------ *)
+
+let short_herd coord_policy n_lbs =
+  Cluster.Multi_lb.herd_one
+    ~coord:(Cluster.Multi_lb.coord_config_of coord_policy)
+    ~n_lbs ~duration:(Des.Time.sec 3) ~inject_at:(Des.Time.sec 1) ()
+
+let fleet_gossip_cuts_churn () =
+  let none = short_herd Cluster.Coordination.Uncoordinated 2 in
+  let gossip = short_herd Cluster.Coordination.Gossip_average 2 in
+  check_bool "uncoordinated fleet churns" true
+    (none.Cluster.Multi_lb.total_actions > 0);
+  check_bool "gossip cuts fleet churn" true
+    (gossip.Cluster.Multi_lb.total_actions
+    < none.Cluster.Multi_lb.total_actions);
+  check_bool "hysteresis suppressed shifts" true
+    (gossip.Cluster.Multi_lb.suppressed > 0);
+  check_bool "snapshots were exchanged" true
+    (gossip.Cluster.Multi_lb.msgs > 0);
+  check_int "gossip run is PCC-clean" 0 gossip.Cluster.Multi_lb.pcc_violations;
+  check_int "uncoordinated run is PCC-clean" 0
+    none.Cluster.Multi_lb.pcc_violations
+
+let fleet_leader_imposes () =
+  let leader = short_herd Cluster.Coordination.Leader 2 in
+  check_bool "followers adopt leader weights" true
+    (leader.Cluster.Multi_lb.imposed > 0);
+  (match leader.Cluster.Multi_lb.per_lb_actions with
+  | [ l0; l1 ] ->
+      check_bool "follower churns less than the leader" true (l1 < l0)
+  | other ->
+      Alcotest.failf "expected 2 per-LB counters, got %d" (List.length other));
+  check_int "leader run is PCC-clean" 0 leader.Cluster.Multi_lb.pcc_violations
+
+(* Fleet-total ctl.actions must equal the sum of the per-LB telemetry
+   counters, for every fleet size and coordination policy. *)
+let churn_accounting () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun n_lbs ->
+          let label =
+            Fmt.str "%s x%d"
+              (Cluster.Coordination.policy_to_string policy)
+              n_lbs
+          in
+          let config =
+            {
+              Cluster.Multi_lb.default_config with
+              Cluster.Multi_lb.n_lbs;
+              coord = Cluster.Multi_lb.coord_config_of policy;
+              pcc = true;
+            }
+          in
+          let t = Cluster.Multi_lb.build config in
+          Cluster.Multi_lb.inject_server_delay t ~server:1 ~at:(Des.Time.sec 1)
+            ~delay:(Des.Time.ms 1);
+          Cluster.Multi_lb.run t ~until:(Des.Time.sec 3);
+          let per_lb =
+            Array.to_list (Cluster.Multi_lb.balancers t)
+            |> List.map (fun b ->
+                   match Inband.Balancer.controller b with
+                   | Some c -> Inband.Controller.action_count c
+                   | None -> 0)
+          in
+          let from_registries =
+            Array.fold_left
+              (fun acc reg ->
+                acc
+                + int_of_float
+                    (Option.value ~default:0.0
+                       (Telemetry.Registry.value reg "ctl.actions")))
+              0
+              (Cluster.Multi_lb.registries t)
+          in
+          check_int
+            (label ^ ": fleet total = sum of per-LB ctl.actions")
+            (List.fold_left ( + ) 0 per_lb)
+            from_registries;
+          check_int (label ^ ": PCC-clean") 0 (Cluster.Multi_lb.pcc_violations t);
+          check_bool (label ^ ": oracle saw traffic") true
+            (Cluster.Multi_lb.pcc_checked t > 0))
+        [ 1; 2; 4 ])
+    Cluster.Coordination.[ Uncoordinated; Gossip_average; Leader ]
+
+let sweep_deterministic_at_any_jobs () =
+  let run jobs =
+    Cluster.Multi_lb.coord_sweep ~jobs
+      ~policies:[ Cluster.Coordination.Gossip_average ] ~lb_counts:[ 2 ]
+      ~duration:(Des.Time.sec 2) ~inject_at:(Des.Time.sec 1) ()
+  in
+  check_bool "rows identical at -j 1 and -j 2" true (compare (run 1) (run 2) = 0)
+
+let () =
+  Alcotest.run "coord"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "semantics" `Quick oracle_semantics;
+          Alcotest.test_case "rst" `Quick oracle_rst;
+          QCheck_alcotest.to_alcotest pcc_property;
+        ] );
+      ( "coordination",
+        [
+          Alcotest.test_case "leader-follower" `Quick leader_follower;
+          Alcotest.test_case "lossy channel" `Quick lossy_channel;
+          Alcotest.test_case "policy strings" `Quick policy_strings;
+          Alcotest.test_case "config validation" `Quick config_validation;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "gossip cuts churn" `Slow fleet_gossip_cuts_churn;
+          Alcotest.test_case "leader imposes" `Slow fleet_leader_imposes;
+          Alcotest.test_case "churn accounting" `Slow churn_accounting;
+          Alcotest.test_case "jobs-deterministic" `Slow
+            sweep_deterministic_at_any_jobs;
+        ] );
+    ]

@@ -1,0 +1,45 @@
+(* Golden regression: the Fig 2 summary tables must render byte-exactly
+   as the checked-in expected files (seed 0x5eed2, the default). Any
+   change to the estimator, the TCP model, the DES engine or the report
+   renderer that moves a single cell shows up as a diff here. *)
+
+(* Under [dune runtest] the cwd is the test directory and the (deps ...)
+   stanza stages the golden files there; under [dune exec] the cwd is the
+   project root. Accept either. *)
+let read_file name =
+  let path =
+    if Sys.file_exists name then name else Filename.concat "test" name
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let result = lazy (Cluster.Fig2.run ())
+
+let fig2a () =
+  let expected = read_file "golden_fig2a.expected" in
+  Alcotest.(check string)
+    "fig2a summary table (seed 0x5eed2)" expected
+    (Cluster.Fig2.summary_table (Lazy.force result) ^ "\n")
+
+let fig2b () =
+  let expected = read_file "golden_fig2b.expected" in
+  let rendered =
+    String.concat ""
+      (List.map
+         (fun l -> l ^ "\n")
+         (Cluster.Fig2.tracking_lines (Lazy.force result)))
+  in
+  Alcotest.(check string) "fig2b tracking summary (seed 0x5eed2)" expected
+    rendered
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "fig2a table" `Slow fig2a;
+          Alcotest.test_case "fig2b tracking" `Slow fig2b;
+        ] );
+    ]
