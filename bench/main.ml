@@ -6,7 +6,9 @@
 
    Targets (as arguments): fig2a fig2b fig3 [--full]
    ablation-delta ablation-alpha ablation-epoch ablation-timing
-   ablation-policy micro e2e [--check] all
+   ablation-policy ablation-far ablation-herd [--check]
+   ablation-law [--check] ablation-dependency ablation-estimator
+   ablation-source micro e2e [--check] all
 
    [-j N] runs the independent simulations inside each target on N
    domains (Cluster.Parallel); N = 0 picks the runtime's recommended
@@ -187,6 +189,127 @@ let require_discovered ~smoke ~key ~check discovered =
       (match Cluster.Bench_store.files () with
       | [] -> "none found"
       | fs -> String.concat ", " fs)
+
+(* A8: the control-law zoo under the herd injection. Under [--check] it
+   is the law-smoke CI gate. Tripwires: every law must stay PCC-clean;
+   the baseline law (shift-worst, 1 LB, uncoordinated) must converge,
+   and no slower than the recorded BENCH_pr6.json baseline (25%
+   tolerance); the gradient law's post-injection p95 must stay within
+   10% of shift-worst's at every fleet size; and gradient+gossip must
+   cut fleet-total actions vs uncoordinated gradient at every multi-LB
+   fleet size. Results are recorded via Cluster.Bench_store so the
+   newest-baseline discovery picks them up. *)
+let run_ablation_law ~jobs ~check () =
+  let rows = Cluster.Ablations.law_sweep ~jobs () in
+  Cluster.Ablations.print_laws rows;
+  let find law coord n_lbs =
+    List.find_opt
+      (fun r ->
+        r.Cluster.Multi_lb.law = law
+        && r.Cluster.Multi_lb.coord = coord
+        && r.Cluster.Multi_lb.n_lbs = n_lbs)
+      rows
+  in
+  let lb_counts =
+    List.sort_uniq compare (List.map (fun r -> r.Cluster.Multi_lb.n_lbs) rows)
+  in
+  let finite v = if Float.is_nan v then -1.0 else v in
+  let fields =
+    List.concat_map
+      (fun r ->
+        let prefix =
+          Fmt.str "law_%s_%s_%dlb"
+            (Inband.Control_law.to_string r.Cluster.Multi_lb.law)
+            (Cluster.Coordination.policy_to_string r.Cluster.Multi_lb.coord)
+            r.Cluster.Multi_lb.n_lbs
+        in
+        [
+          (prefix ^ "_converged_ms", finite r.Cluster.Multi_lb.converged_ms);
+          (prefix ^ "_p95_after_us", finite r.Cluster.Multi_lb.p95_after_us);
+          (prefix ^ "_actions", float_of_int r.Cluster.Multi_lb.total_actions);
+        ])
+      rows
+  in
+  let baseline_key = "law_baseline_converged_ms" in
+  let bench_json_path, discovered =
+    bench_json_locate ~key:baseline_key ~fallback:"BENCH_pr6.json"
+  in
+  require_discovered ~smoke:"law-smoke" ~key:baseline_key ~check discovered;
+  let measured_baseline =
+    match
+      find Inband.Control_law.Shift_worst Cluster.Coordination.Uncoordinated 1
+    with
+    | Some r -> r.Cluster.Multi_lb.converged_ms
+    | None -> nan
+  in
+  let recorded_baseline =
+    (* First ever run records itself as the baseline; later runs keep
+       the recorded value and update only the per-law fields. *)
+    match List.assoc_opt baseline_key (bench_json_read bench_json_path) with
+    | Some v when v > 0.0 -> v
+    | Some _ | None -> finite measured_baseline
+  in
+  bench_json_write bench_json_path ~bench:"ablation-law"
+    ((baseline_key, recorded_baseline) :: fields);
+  Fmt.pr "wrote %s@." bench_json_path;
+  if check then begin
+    let violations =
+      List.fold_left
+        (fun acc r -> acc + r.Cluster.Multi_lb.pcc_violations)
+        0 rows
+    in
+    if violations > 0 then
+      tripwire_fail ~smoke:"law-smoke" ~tripwire:"pcc" "%d violations"
+        violations;
+    (if Float.is_nan measured_baseline then
+       tripwire_fail ~smoke:"law-smoke" ~tripwire:"convergence"
+         "the baseline law (shift-worst, 1 LB) never converged"
+     else if
+       recorded_baseline > 0.0
+       && measured_baseline > 1.25 *. recorded_baseline
+     then
+       tripwire_fail ~smoke:"law-smoke" ~tripwire:"convergence"
+         "shift-worst at 1 LB converged in %.0fms, slower than 1.25x the \
+          recorded %.0fms"
+         measured_baseline recorded_baseline);
+    List.iter
+      (fun n_lbs ->
+        match
+          ( find Inband.Control_law.Shift_worst
+              Cluster.Coordination.Uncoordinated n_lbs,
+            find Inband.Control_law.Gradient Cluster.Coordination.Uncoordinated
+              n_lbs,
+            find Inband.Control_law.Gradient Cluster.Coordination.Gossip_average
+              n_lbs )
+        with
+        | Some base, Some grad, gossip ->
+            if
+              grad.Cluster.Multi_lb.p95_after_us
+              > 1.10 *. base.Cluster.Multi_lb.p95_after_us
+            then
+              tripwire_fail ~smoke:"law-smoke" ~tripwire:"p95"
+                "gradient post-injection p95 at %d LBs is %.1fus, above 1.1x \
+                 shift-worst's %.1fus"
+                n_lbs grad.Cluster.Multi_lb.p95_after_us
+                base.Cluster.Multi_lb.p95_after_us;
+            (match gossip with
+            | Some g
+              when n_lbs > 1
+                   && g.Cluster.Multi_lb.total_actions
+                      >= grad.Cluster.Multi_lb.total_actions ->
+                tripwire_fail ~smoke:"law-smoke" ~tripwire:"churn"
+                  "gradient+gossip at %d LBs took %d actions, no fewer than \
+                   uncoordinated gradient's %d"
+                  n_lbs g.Cluster.Multi_lb.total_actions
+                  grad.Cluster.Multi_lb.total_actions
+            | Some _ | None -> ())
+        | _ -> ())
+      lb_counts;
+    Fmt.pr
+      "law-smoke: ok (pcc clean; baseline converged in %.0fms; gradient p95 \
+       within 1.1x; gossip cuts gradient churn)@."
+      measured_baseline
+  end
 
 let measurement_fields prefix m =
   [
@@ -583,6 +706,7 @@ let targets =
     ("ablation-policy", fun ~jobs ~check:_ () -> run_ablation_policy ~jobs ());
     ("ablation-far", fun ~jobs ~check:_ () -> run_ablation_far ~jobs ());
     ("ablation-herd", fun ~jobs ~check () -> run_ablation_herd ~jobs ~check ());
+    ("ablation-law", fun ~jobs ~check () -> run_ablation_law ~jobs ~check ());
     ( "ablation-dependency",
       fun ~jobs ~check:_ () -> run_ablation_dependency ~jobs () );
     ( "ablation-estimator",
@@ -602,6 +726,7 @@ let run_all ~full ~jobs () =
   run_ablation_policy ~jobs ();
   run_ablation_far ~jobs ();
   run_ablation_herd ~jobs ~check:false ();
+  run_ablation_law ~jobs ~check:false ();
   run_ablation_dependency ~jobs ();
   run_ablation_estimator ~jobs ();
   run_ablation_source ~jobs ();

@@ -3,12 +3,17 @@
    Subcommands mirror the paper's experiments with the knobs exposed:
 
      lbsim fig2   [--duration 6] [--step-at 3] [--step-ms 1.0] ...
-     lbsim fig3   [--duration 30] [--inject-at 10] [--policy ...] ...
-     lbsim sweep  (alpha | epoch | timing | policy | herd | ...)
-     lbsim herd   [--coord none|gossip|leader|all] [--lbs 1,2,4] [--assert-pcc]
+     lbsim fig3   [--duration 30] [--inject-at 10] [--policy ...] [--law ...]
+     lbsim sweep  (alpha | epoch | timing | policy | herd | law | ...)
+     lbsim herd   [--coord none|gossip|leader|all] [--law ...] [--lbs 1,2,4]
      lbsim run    [--faults FILE] [--assert-pcc] ...  (free-form scenario)
      lbsim churn  [--faults FILE] [--assert-recovery]
-     lbsim estimate --help      (run the estimator over a bulk flow) *)
+     lbsim estimate --help      (run the estimator over a bulk flow)
+
+   Two orthogonal selection axes recur: --policy is the routing policy
+   (which backend each new connection goes to); --law is the control
+   law (how the feedback controller moves the weight vector, under the
+   latency-aware policy only). *)
 
 open Cmdliner
 
@@ -27,6 +32,31 @@ let policy =
     | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, Inband.Policy.pp)
+
+(* The control law is a different axis from the routing policy:
+   --policy picks how new connections are routed, --law picks the
+   decision rule the feedback controller runs (latency-aware policy
+   only). *)
+let law =
+  let parse s =
+    match Inband.Control_law.of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Inband.Control_law.pp)
+
+let law_arg =
+  Arg.(
+    value
+    & opt law Inband.Control_law.Shift_worst
+    & info [ "law" ] ~docv:"LAW"
+        ~doc:
+          "Control law the feedback controller runs: $(b,shift-worst) \
+           (the paper's alpha-shift, default), $(b,knapsack) \
+           (capacity-curve solver), or $(b,gradient) (distributed \
+           gradient descent on latency). Steers the weight vector; \
+           distinct from $(b,--policy), which picks the routing \
+           algorithm and must be latency-aware for any law to run.")
 
 (* --- fig2 -------------------------------------------------------------- *)
 
@@ -102,8 +132,8 @@ let fig2_cmd =
 (* --- fig3 -------------------------------------------------------------- *)
 
 let fig3_cmd =
-  let run duration inject_at inject_ms policies servers connections alpha seed
-      csv metrics_csv metrics_interval jobs =
+  let run duration inject_at inject_ms policies servers connections alpha law
+      seed csv metrics_csv metrics_interval jobs =
     let scenario =
       {
         Cluster.Scenario.default_config with
@@ -115,8 +145,8 @@ let fig3_cmd =
       }
     in
     let result =
-      Cluster.Fig3.run ~scenario ~metrics_interval ~jobs ~policies ~duration
-        ~inject_at
+      Cluster.Fig3.run ~scenario ~law ~metrics_interval ~jobs ~policies
+        ~duration ~inject_at
         ~inject_delay:(Des.Time.of_float_s (inject_ms /. 1e3))
         ()
     in
@@ -162,13 +192,13 @@ let fig3_cmd =
        ~doc:"Tail latency under a server delay injection (Fig 3).")
     Term.(
       const run $ duration $ inject_at $ inject_ms $ policies $ servers
-      $ connections $ alpha $ seed $ csv_arg $ metrics_csv_arg
+      $ connections $ alpha $ law_arg $ seed $ csv_arg $ metrics_csv_arg
       $ metrics_interval_arg $ jobs_arg)
 
 (* --- sweeps ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run which metrics_csv metrics_interval jobs =
+  let run which law metrics_csv metrics_interval jobs =
     let dump_metrics result =
       match metrics_csv with
       | Some path ->
@@ -185,14 +215,16 @@ let sweep_cmd =
         Cluster.Ablations.print_timing (Cluster.Ablations.timing_sweep ~jobs ())
     | "policy" ->
         let result =
-          Cluster.Ablations.policy_comparison ~jobs ~metrics_interval ()
+          Cluster.Ablations.policy_comparison ~jobs ~law ~metrics_interval ()
         in
         Cluster.Fig3.print result;
         dump_metrics result
     | "far" ->
         Cluster.Ablations.print_far (Cluster.Ablations.far_clients ~jobs ())
     | "herd" ->
-        Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ~jobs ())
+        Cluster.Multi_lb.print_herd (Cluster.Multi_lb.herd_sweep ~jobs ~law ())
+    | "law" ->
+        Cluster.Ablations.print_laws (Cluster.Ablations.law_sweep ~jobs ())
     | "dependency" ->
         Cluster.Dependency.print (Cluster.Dependency.run_cases ~jobs ())
     | "estimator" ->
@@ -203,7 +235,8 @@ let sweep_cmd =
           (Cluster.Ablations.source_comparison ~jobs ())
     | other ->
         Fmt.epr
-          "unknown sweep %S (alpha|epoch|timing|policy|far|herd|dependency)@."
+          "unknown sweep %S \
+           (alpha|epoch|timing|policy|far|herd|law|dependency|estimator|source)@."
           other
   in
   let which =
@@ -212,11 +245,17 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
-         "Ablation sweeps: alpha, epoch, timing, policy, far, herd, \
-          dependency, estimator, source. The policy sweep honours \
-          $(b,--metrics-csv)/$(b,--metrics-interval); all sweeps honour \
-          $(b,--jobs) and render identically at any job count.")
-    Term.(const run $ which $ metrics_csv_arg $ metrics_interval_arg $ jobs_arg)
+         "Ablation sweeps: alpha, epoch, timing, policy, far, herd, law, \
+          dependency, estimator, source. The law sweep compares control \
+          laws (shift-worst/knapsack/gradient — the $(b,--law) axis) \
+          across fleet sizes; the policy sweep compares routing policies \
+          (the $(b,--policy) axis) and honours \
+          $(b,--metrics-csv)/$(b,--metrics-interval). $(b,--law) selects \
+          the control law for the policy and herd sweeps; all sweeps \
+          honour $(b,--jobs) and render identically at any job count.")
+    Term.(
+      const run $ which $ law_arg $ metrics_csv_arg $ metrics_interval_arg
+      $ jobs_arg)
 
 (* --- herd: coordinated LB fleet (extended A7) --------------------------- *)
 
@@ -239,7 +278,7 @@ let report_pcc ~checked ~violations =
   end
 
 let herd_cmd =
-  let run coord lbs duration inject_at assert_pcc jobs =
+  let run coord law lbs duration inject_at assert_pcc jobs =
     let policies =
       match coord with
       | "all" -> Ok Cluster.Coordination.[ Uncoordinated; Gossip_average; Leader ]
@@ -251,8 +290,8 @@ let herd_cmd =
         exit 2
     | Ok policies ->
         let rows =
-          Cluster.Multi_lb.coord_sweep ~jobs ~policies ~lb_counts:lbs ~duration
-            ~inject_at ()
+          Cluster.Multi_lb.coord_sweep ~jobs ~law ~policies ~lb_counts:lbs
+            ~duration ~inject_at ()
         in
         Cluster.Multi_lb.print_coord rows;
         if assert_pcc then begin
@@ -302,9 +341,10 @@ let herd_cmd =
        ~doc:
          "The extended A7 fleet experiment: per-policy churn and \
           convergence for 1..N LBs over one server pool, with the PCC \
-          oracle attached to every LB.")
+          oracle attached to every LB. $(b,--law) swaps the control law \
+          every controller runs (default the paper's shift-worst).")
     Term.(
-      const run $ coord $ lbs $ duration $ inject_at $ assert_pcc_arg
+      const run $ coord $ law_arg $ lbs $ duration $ inject_at $ assert_pcc_arg
       $ jobs_arg)
 
 (* --- run: free-form scenario ------------------------------------------- *)
@@ -342,7 +382,7 @@ let print_fault_intervals injector =
     (Faults.Injector.intervals injector)
 
 let run_cmd =
-  let run duration policy servers clients connections pipeline get_ratio
+  let run duration policy law servers clients connections pipeline get_ratio
       inject_at inject_ms interfere zipf seed estimate_window threshold
       metrics faults assert_pcc =
     let lb =
@@ -350,6 +390,7 @@ let run_cmd =
         Inband.Config.default with
         Inband.Config.estimate_window;
         relative_threshold = Float.max 1.0 threshold;
+        law;
       }
     in
     let config =
@@ -445,7 +486,12 @@ let run_cmd =
     Arg.(
       value
       & opt policy Inband.Policy.Latency_aware
-      & info [ "policy" ] ~doc:"Routing policy.")
+      & info [ "policy" ]
+          ~doc:
+            "Routing policy — how each new connection picks a backend \
+             (static-maglev, latency-aware, round-robin, least-conn, \
+             p2c). The feedback controller — and $(b,--law) — only \
+             runs under latency-aware.")
   in
   let servers = Arg.(value & opt int 2 & info [ "servers" ] ~doc:"Servers.") in
   let clients = Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Client hosts.") in
@@ -500,8 +546,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a free-form cluster scenario and print a summary.")
     Term.(
-      const run $ duration $ pol $ servers $ clients $ connections $ pipeline
-      $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
+      const run $ duration $ pol $ law_arg $ servers $ clients $ connections
+      $ pipeline $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
       $ estimate_window $ threshold $ metrics $ faults_arg $ assert_pcc_arg)
 
 (* --- churn: multi-fault timeline with per-fault latencies --------------- *)

@@ -175,11 +175,20 @@ let print_timing rows =
 
 (* --- A5: policy comparison --------------------------------------------- *)
 
-let policy_comparison ?jobs ?(duration = Des.Time.sec 15)
+let policy_comparison ?jobs ?law ?(duration = Des.Time.sec 15)
     ?(inject_at = Des.Time.sec 5) ?metrics_interval () =
-  Fig3.run ?metrics_interval ?jobs ~policies:Inband.Policy.all ~duration
+  Fig3.run ?law ?metrics_interval ?jobs ~policies:Inband.Policy.all ~duration
     ~inject_at
     ()
+
+(* --- A8: control-law zoo ----------------------------------------------- *)
+
+(* The decision-rule ablation rides the herd harness: same injection,
+   same fleet sizes, laws swapped inside the controller. Defined in
+   {!Multi_lb} (it owns the harness); re-exported here so the ablation
+   battery stays one module. *)
+let law_sweep = Multi_lb.law_sweep
+let print_laws = Multi_lb.print_laws
 
 
 (* --- A6: far, non-equidistant clients ---------------------------------- *)

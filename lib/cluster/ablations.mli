@@ -3,9 +3,12 @@
     - A2: controller shift fraction α (speed vs stability),
     - A3: ensemble epoch length E,
     - A4: client/server packet-timing assumption violations (§5 Q2),
-    - A5: routing-policy comparison under the Fig. 3 injection.
+    - A5: routing-policy comparison under the Fig. 3 injection,
+    - A8: control-law comparison (shift-worst/knapsack/gradient) across
+      fleet sizes.
 
-    (A1, the fixed-δ sweep, is part of the Fig. 2 output itself.) *)
+    (A1, the fixed-δ sweep, is part of the Fig. 2 output itself; A7,
+    the fleet/coordination sweep, lives in {!Multi_lb}.) *)
 
 (** {1 A2 — shift fraction α} *)
 
@@ -69,12 +72,33 @@ val print_timing : timing_row list -> unit
 
 val policy_comparison :
   ?jobs:int ->
+  ?law:Inband.Control_law.kind ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->
   ?metrics_interval:Des.Time.t ->
   unit ->
   Fig3.result
-(** Fig. 3 under all five routing policies. *)
+(** Fig. 3 under all five routing policies. [law] selects the control
+    law the latency-aware run's controller uses (default the paper's
+    shift-worst); the other policies run no controller and ignore
+    it. *)
+
+(** {1 A8 — control-law zoo (law x fleet size)} *)
+
+val law_sweep :
+  ?jobs:int ->
+  ?laws:Inband.Control_law.kind list ->
+  ?lb_counts:int list ->
+  ?duration:Des.Time.t ->
+  ?inject_at:Des.Time.t ->
+  unit ->
+  Multi_lb.row list
+(** {!Multi_lb.law_sweep}: the herd injection under every control law
+    at 1/2/4 LBs (uncoordinated), plus gradient+gossip — convergence
+    time, post-injection p95 and action churn, the paper's shift-worst
+    as baseline. *)
+
+val print_laws : Multi_lb.row list -> unit
 
 (** {1 A6 — far, non-equidistant clients (§5 Q1)} *)
 

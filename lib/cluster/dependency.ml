@@ -187,7 +187,7 @@ let run_cases ?jobs ?(duration = Des.Time.sec 10) ?(inject_at = Des.Time.sec 4)
 let print rows =
   print_endline
     (Report.section
-       "Ablation A8: slowness in a downstream dependency (§5 Q3)");
+       "Ablation A11: slowness in a downstream dependency (§5 Q3)");
   print_endline
     (Report.table
        ~headers:

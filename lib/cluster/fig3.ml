@@ -174,7 +174,7 @@ let default_scenario =
       { Inband.Config.default with Inband.Config.relative_threshold = 1.3 };
   }
 
-let run ?(scenario = default_scenario) ?metrics_interval ?jobs
+let run ?(scenario = default_scenario) ?law ?metrics_interval ?jobs
     ?(policies = [ Inband.Policy.Static_maglev; Inband.Policy.Latency_aware ])
     ?(duration = Des.Time.sec 30) ?(inject_at = Des.Time.sec 10)
     ?(inject_delay = Des.Time.ms 1) ?(recovery_factor = 1.5)
@@ -183,6 +183,15 @@ let run ?(scenario = default_scenario) ?metrics_interval ?jobs
     match metrics_interval with
     | None -> scenario
     | Some interval -> { scenario with Scenario.metrics_interval = interval }
+  in
+  let scenario =
+    match law with
+    | None -> scenario
+    | Some law ->
+        {
+          scenario with
+          Scenario.lb = { scenario.Scenario.lb with Inband.Config.law };
+        }
   in
   let runs =
     (* One fully independent simulation per policy; run order does not

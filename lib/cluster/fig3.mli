@@ -42,6 +42,7 @@ type result = {
 
 val run :
   ?scenario:Scenario.config ->
+  ?law:Inband.Control_law.kind ->
   ?metrics_interval:Des.Time.t ->
   ?jobs:int ->
   ?policies:Inband.Policy.t list ->
@@ -59,7 +60,9 @@ val run :
     The default scenario sets [relative_threshold = 1.3] — one
     stabiliser over the paper's always-act rule, without which the
     controller wanders before the injection (DESIGN.md §5); pass your
-    own [scenario] for the paper-exact profile.
+    own [scenario] for the paper-exact profile. [law] overrides the
+    scenario's control law ([Inband.Control_law], default the paper's
+    shift-worst).
 
     [jobs] runs the per-policy simulations on that many domains
     ({!Parallel.map}); each run is independent and seeded, so the

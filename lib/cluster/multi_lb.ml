@@ -206,6 +206,7 @@ let run t ~until =
 type row = {
   n_lbs : int;
   coord : Coordination.policy;
+  law : Inband.Control_law.kind;
   p95_before_us : float;
   p95_after_us : float;
   total_actions : int;
@@ -240,9 +241,17 @@ let victim_weight_mean_of balancers =
     balancers;
   if !n = 0 then nan else !sum /. float_of_int !n
 
-let herd_one ?(coord = Coordination.default_config) ?(pcc = true) ~n_lbs
-    ~duration ~inject_at () =
-  let config = { default_config with n_lbs; coord; pcc } in
+let herd_one ?(coord = Coordination.default_config) ?(pcc = true)
+    ?(law = Inband.Control_law.Shift_worst) ~n_lbs ~duration ~inject_at () =
+  let config =
+    {
+      default_config with
+      n_lbs;
+      coord;
+      pcc;
+      lb = { default_config.lb with Inband.Config.law };
+    }
+  in
   let t = build config in
   inject_server_delay t ~server:victim ~at:inject_at ~delay:(Des.Time.ms 1);
   (* Convergence probe: the first instant at which the fleet-mean victim
@@ -306,6 +315,7 @@ let herd_one ?(coord = Coordination.default_config) ?(pcc = true) ~n_lbs
   {
     n_lbs;
     coord = coord.Coordination.policy;
+    law;
     p95_before_us = p95_in (Des.Time.sec 1) inject_at;
     p95_after_us = p95_in (inject_at + Des.Time.sec 1) duration;
     total_actions = List.fold_left ( + ) 0 per_lb_actions;
@@ -338,13 +348,13 @@ let herd_one ?(coord = Coordination.default_config) ?(pcc = true) ~n_lbs
 let coord_config_of policy =
   { Coordination.default_config with Coordination.policy }
 
-let herd_sweep ?jobs ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
-    ?(inject_at = Des.Time.sec 4) () =
+let herd_sweep ?jobs ?law ?(lb_counts = [ 1; 2; 4 ])
+    ?(duration = Des.Time.sec 12) ?(inject_at = Des.Time.sec 4) () =
   Parallel.map ?jobs
-    (fun n_lbs -> herd_one ~n_lbs ~duration ~inject_at ())
+    (fun n_lbs -> herd_one ?law ~n_lbs ~duration ~inject_at ())
     lb_counts
 
-let coord_sweep ?jobs
+let coord_sweep ?jobs ?law
     ?(policies =
       Coordination.[ Uncoordinated; Gossip_average; Leader ])
     ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
@@ -356,7 +366,33 @@ let coord_sweep ?jobs
   in
   Parallel.map ?jobs
     (fun (policy, n_lbs) ->
-      herd_one ~coord:(coord_config_of policy) ~n_lbs ~duration ~inject_at ())
+      herd_one ~coord:(coord_config_of policy) ?law ~n_lbs ~duration ~inject_at
+        ())
+    cases
+
+(* The control-law ablation (A8): every law at every fleet size,
+   uncoordinated — the paper's shift-worst as baseline — plus the
+   gradient law under gossip, the composition arXiv 2504.10693 suggests
+   (each LB descends on the merged fleet estimates; fleet-epoch
+   hysteresis bounds churn). *)
+let law_sweep ?jobs ?(laws = Inband.Control_law.all) ?(lb_counts = [ 1; 2; 4 ])
+    ?(duration = Des.Time.sec 12) ?(inject_at = Des.Time.sec 4) () =
+  let cases =
+    List.concat_map
+      (fun law ->
+        List.map (fun n_lbs -> (law, Coordination.Uncoordinated, n_lbs)) lb_counts)
+      laws
+    @ (if List.mem Inband.Control_law.Gradient laws then
+         List.map
+           (fun n_lbs ->
+             (Inband.Control_law.Gradient, Coordination.Gossip_average, n_lbs))
+           lb_counts
+       else [])
+  in
+  Parallel.map ?jobs
+    (fun (law, policy, n_lbs) ->
+      herd_one ~coord:(coord_config_of policy) ~law ~n_lbs ~duration ~inject_at
+        ())
     cases
 
 let cell_ms v = if Float.is_nan v then "-" else Fmt.str "%.0fms" v
@@ -400,6 +436,41 @@ let coord_table rows =
          ])
        rows)
 
+let law_table rows =
+  Report.table
+    ~headers:
+      [
+        "law";
+        "coord";
+        "LBs";
+        "p95 pre";
+        "p95 post";
+        "actions";
+        "per-LB";
+        "flips";
+        "victim w";
+        "converged";
+        "pcc";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Inband.Control_law.to_string r.law;
+           Coordination.policy_to_string r.coord;
+           string_of_int r.n_lbs;
+           Fmt.str "%.1fus" r.p95_before_us;
+           Fmt.str "%.1fus" r.p95_after_us;
+           string_of_int r.total_actions;
+           String.concat "+" (List.map string_of_int r.per_lb_actions);
+           string_of_int r.victim_flips;
+           Fmt.str "%.3f" r.victim_weight_mean;
+           cell_ms r.converged_ms;
+           (if r.pcc_checked = 0 then "-"
+            else if r.pcc_violations = 0 then "ok"
+            else Fmt.str "%d VIOLATIONS" r.pcc_violations);
+         ])
+       rows)
+
 let print_herd rows =
   print_endline
     (Report.section
@@ -412,3 +483,10 @@ let print_coord rows =
        "Ablation A7 (extended): LB fleet coordination — uncoordinated vs \
         gossip vs leader");
   print_endline (coord_table rows)
+
+let print_laws rows =
+  print_endline
+    (Report.section
+       "Ablation A8: control-law zoo — shift-worst (paper) vs knapsack vs \
+        gradient, across fleet sizes");
+  print_endline (law_table rows)

@@ -61,6 +61,7 @@ val run : t -> until:Des.Time.t -> unit
 type row = {
   n_lbs : int;
   coord : Coordination.policy;
+  law : Inband.Control_law.kind;  (** The control law every LB ran. *)
   p95_before_us : float;
   p95_after_us : float;
   total_actions : int;
@@ -88,19 +89,22 @@ type row = {
 val herd_one :
   ?coord:Coordination.config ->
   ?pcc:bool ->
+  ?law:Inband.Control_law.kind ->
   n_lbs:int ->
   duration:Des.Time.t ->
   inject_at:Des.Time.t ->
   unit ->
   row
 (** One Fig. 3-style injection run. [pcc] defaults to [true]: every
-    herd run doubles as a PCC assertion. *)
+    herd run doubles as a PCC assertion. [law] (default
+    [Shift_worst]) is the control law every LB's controller runs. *)
 
 val coord_config_of : Coordination.policy -> Coordination.config
 (** {!Coordination.default_config} with the given policy. *)
 
 val herd_sweep :
   ?jobs:int ->
+  ?law:Inband.Control_law.kind ->
   ?lb_counts:int list ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->
@@ -111,6 +115,7 @@ val herd_sweep :
 
 val coord_sweep :
   ?jobs:int ->
+  ?law:Inband.Control_law.kind ->
   ?policies:Coordination.policy list ->
   ?lb_counts:int list ->
   ?duration:Des.Time.t ->
@@ -121,5 +126,20 @@ val coord_sweep :
     defaults [none; gossip; leader] x [1; 2; 4]. Deterministic and
     byte-identical at any [jobs]. *)
 
+val law_sweep :
+  ?jobs:int ->
+  ?laws:Inband.Control_law.kind list ->
+  ?lb_counts:int list ->
+  ?duration:Des.Time.t ->
+  ?inject_at:Des.Time.t ->
+  unit ->
+  row list
+(** The control-law ablation (A8): the herd injection for every
+    (law, LB count) pair, uncoordinated — the paper's shift-worst as
+    baseline — plus the gradient law under gossip coordination (each
+    LB descends on the merged fleet estimates). Deterministic and
+    byte-identical at any [jobs]. *)
+
 val print_herd : row list -> unit
 val print_coord : row list -> unit
+val print_laws : row list -> unit

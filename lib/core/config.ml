@@ -13,6 +13,7 @@ type t = {
   relative_threshold : float;
   control_interval : Des.Time.t;
   recovery_rate : float;
+  law : Control_law.kind;
   flow_idle_timeout : Des.Time.t;
   sweep_interval : Des.Time.t;
 }
@@ -34,6 +35,7 @@ let default =
     relative_threshold = 1.0;
     control_interval = Des.Time.ms 1;
     recovery_rate = 0.0;
+    law = Control_law.Shift_worst;
     flow_idle_timeout = Des.Time.sec 5;
     sweep_interval = Des.Time.sec 1;
   }

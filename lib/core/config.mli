@@ -45,6 +45,11 @@ type t = {
       (** Pull of all weights towards uniform, per second of elapsed
           time (0 = off; a §5(4) extension that keeps starved backends
           probed so their estimates refresh). *)
+  law : Control_law.kind;
+      (** The decision rule inside the control loop (default
+          {!Control_law.Shift_worst}, the paper's α-shift). Distinct
+          from the routing {!Policy}: the law steers weights, the
+          policy routes connections. *)
   flow_idle_timeout : Des.Time.t;  (** Evict idle flow state after this. *)
   sweep_interval : Des.Time.t;  (** How often to scan for idle flows. *)
 }

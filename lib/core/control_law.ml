@@ -1,0 +1,255 @@
+type kind = Shift_worst | Knapsack | Gradient
+
+let all = [ Shift_worst; Knapsack; Gradient ]
+
+let to_string = function
+  | Shift_worst -> "shift-worst"
+  | Knapsack -> "knapsack"
+  | Gradient -> "gradient"
+
+let of_string = function
+  | "shift-worst" | "shift_worst" -> Ok Shift_worst
+  | "knapsack" -> Ok Knapsack
+  | "gradient" | "gradient-descent" -> Ok Gradient
+  | s ->
+      Error (Printf.sprintf "unknown law %S (shift-worst|knapsack|gradient)" s)
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+type view = {
+  now : Des.Time.t;
+  estimate : int -> float option;
+  weights : float array;
+  drained : int -> bool;
+  alpha : float;
+  min_weight : float;
+  relative_threshold : float;
+}
+
+type proposal = { victim : int; shifted : float; weights : float array }
+
+type t = {
+  law : kind;
+  capacity : float array;
+      (* Knapsack: EWMA of observed weight/latency operating points —
+         the learned capacity curve. nan = no observation yet. *)
+}
+
+let create law ~n =
+  if n < 2 then invalid_arg "Control_law.create: need at least 2 servers";
+  { law; capacity = Array.make n Float.nan }
+
+let kind t = t.law
+
+(* Worst/best over the decision-loop estimates: highest estimate wins
+   [worst] only when strictly greater (ties keep the earlier index),
+   symmetrically for [best]. Returns [None] unless at least two servers
+   have an estimate — the historical [servers_with_samples >= 2] gate.
+   This is the paper controller's loop, moved verbatim so Shift_worst
+   stays byte-identical to the pre-refactor code. *)
+let extremes (v : view) n =
+  let worst = ref None and best = ref None and known = ref 0 in
+  for i = 0 to n - 1 do
+    match v.estimate i with
+    | None -> ()
+    | Some e ->
+        incr known;
+        (match !worst with
+        | Some (_, w) when w >= e -> ()
+        | Some _ | None -> worst := Some (i, e));
+        (match !best with
+        | Some (_, b) when b <= e -> ()
+        | Some _ | None -> best := Some (i, e))
+  done;
+  if !known < 2 then None
+  else
+    match (!worst, !best) with
+    | Some w, Some b -> Some (w, b)
+    | (Some _ | None), _ -> None
+
+(* ---------- shift-worst: the paper's rule (§3) ---------- *)
+
+(* Move delta = min(alpha, victim's headroom above the floor) from the
+   worst server to the remaining non-drained servers, equally. The
+   arithmetic (order of operations included) mirrors the historical
+   [Controller.compute_shift] exactly. When the threshold fires but the
+   move is empty (victim already at the floor, or nobody to receive) we
+   still return a proposal with [shifted = 0.0]: the controller consults
+   the shift gate in exactly the cases the old code did, keeping gossip
+   suppression counters identical. *)
+let shift_worst (v : view) =
+  let n = Array.length v.weights in
+  match extremes v n with
+  | None -> None
+  | Some ((victim, worst_est), (_, best_est)) ->
+      if worst_est >= v.relative_threshold *. best_est then begin
+        let w = Array.copy v.weights in
+        let available = Float.max 0.0 (w.(victim) -. v.min_weight) in
+        let delta = Float.min v.alpha available in
+        let recipients = ref 0 in
+        for i = 0 to n - 1 do
+          if i <> victim && not (v.drained i) then incr recipients
+        done;
+        if delta <= 1e-9 || !recipients = 0 then
+          Some { victim; shifted = 0.0; weights = w }
+        else begin
+          let share = delta /. float_of_int !recipients in
+          Array.iteri
+            (fun i x ->
+              if i = victim then w.(i) <- x -. delta
+              else if not (v.drained i) then w.(i) <- x +. share)
+            w;
+          Some { victim; shifted = delta; weights = w }
+        end
+      end
+      else None
+
+(* ---------- shared helpers for the solver-style laws ---------- *)
+
+(* Normalise in place, then lift non-drained entries below the weight
+   floor up to it, taking the deficit pro rata from the above-floor
+   mass (exact: the sum stays 1). Skipped when the floors alone exceed
+   the simplex. Returns false if the vector is degenerate. *)
+let floor_normalize (v : view) w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if (not (Float.is_finite total)) || total <= 0.0 then false
+  else begin
+    Array.iteri (fun i x -> w.(i) <- x /. total) w;
+    let floor_w = v.min_weight in
+    let deficit = ref 0.0 and free = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        if not (v.drained i) then
+          if x < floor_w then deficit := !deficit +. (floor_w -. x)
+          else free := !free +. (x -. floor_w))
+      w;
+    if !deficit > 0.0 && !free > !deficit then begin
+      let scale = (!free -. !deficit) /. !free in
+      Array.iteri
+        (fun i x ->
+          if not (v.drained i) then
+            if x < floor_w then w.(i) <- floor_w
+            else w.(i) <- floor_w +. ((x -. floor_w) *. scale))
+        w
+    end;
+    true
+  end
+
+(* Turn a finished target vector into a proposal: victim = the server
+   losing the most mass (ties keep the earlier index), shifted = total
+   mass leaving losers. [None] below [min_step] — the law is at its
+   fixed point and silence keeps action churn bounded. *)
+let to_proposal ~min_step (v : view) w =
+  let victim = ref (-1) and worst_loss = ref 0.0 and shifted = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let loss = v.weights.(i) -. x in
+      if loss > 0.0 then begin
+        shifted := !shifted +. loss;
+        if loss > !worst_loss then begin
+          worst_loss := loss;
+          victim := i
+        end
+      end)
+    w;
+  if !victim < 0 || !shifted < min_step then None
+  else Some { victim = !victim; shifted = !shifted; weights = w }
+
+(* Estimates below 1 ns (including the all-zero edge case) are clamped
+   so ratios and divisions stay finite. *)
+let clamp_est e = Float.max 1.0 e
+
+(* ---------- knapsack: solve for weights from the capacity curve ---------- *)
+
+(* KnapsackLB-style (arXiv 2404.17783): each observed (weight, latency)
+   pair is an operating point on the server's latency curve; its ratio
+   c_i = w_i / e_i is the load the server absorbs per unit latency. We
+   learn c_i online (EWMA, so successive operating points trace out the
+   curve) and solve min–max predicted latency over the simplex — whose
+   solution is w_i ∝ c_i — then move at most alpha of total mass per
+   epoch (trust region). Servers without an estimate hold their current
+   weight. *)
+let knapsack t (v : view) =
+  (* Learned state is sized at [create]; a wider view (qcheck drives
+     laws raw) leaves the extra servers holding their weight. *)
+  let n = min (Array.length v.weights) (Array.length t.capacity) in
+  let target = Array.copy v.weights in
+  let cap_total = ref 0.0 and w_known = ref 0.0 in
+  for i = 0 to n - 1 do
+    (match v.estimate i with
+    | Some e ->
+        let c = v.weights.(i) /. clamp_est e in
+        t.capacity.(i) <-
+          (if Float.is_nan t.capacity.(i) then c
+           else (0.8 *. t.capacity.(i)) +. (0.2 *. c))
+    | None -> ());
+    if (not (v.drained i)) && not (Float.is_nan t.capacity.(i)) then begin
+      cap_total := !cap_total +. t.capacity.(i);
+      w_known := !w_known +. v.weights.(i)
+    end
+  done;
+  if !cap_total <= 0.0 then None
+  else begin
+    (* Split the mass currently on known, non-drained servers in
+       proportion to capacity; everyone else holds. *)
+    for i = 0 to n - 1 do
+      if (not (v.drained i)) && not (Float.is_nan t.capacity.(i)) then
+        target.(i) <- !w_known *. t.capacity.(i) /. !cap_total
+    done;
+    (* Trust region: cap the mass moved in one epoch at alpha. *)
+    let moving = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let d = v.weights.(i) -. x in
+        if d > 0.0 then moving := !moving +. d)
+      target;
+    let lambda = if !moving > v.alpha then v.alpha /. !moving else 1.0 in
+    Array.iteri
+      (fun i x -> target.(i) <- x +. (lambda *. (target.(i) -. x)))
+      v.weights;
+    if not (floor_normalize v target) then None
+    else to_proposal ~min_step:1e-3 v target
+  end
+
+(* ---------- gradient: distributed descent on latency ---------- *)
+
+(* Exponentiated-gradient / mirror-descent step on mean latency
+   (arXiv 2504.10693): w_i ← w_i · exp(−alpha · (e_i/ē − 1)),
+   renormalised. Centering on the mean estimate ē makes uniform
+   estimates an exact fixed point. Each LB descends on whatever
+   estimates its view serves — local ones when autonomous, the merged
+   fleet view under gossip, which is how the distributed iterates come
+   to agree. *)
+let gradient (v : view) =
+  let n = Array.length v.weights in
+  let sum = ref 0.0 and known = ref 0 in
+  for i = 0 to n - 1 do
+    match v.estimate i with
+    | Some e ->
+        sum := !sum +. clamp_est e;
+        incr known
+    | None -> ()
+  done;
+  if !known < 2 then None
+  else begin
+    let mean = !sum /. float_of_int !known in
+    let w = Array.copy v.weights in
+    for i = 0 to n - 1 do
+      if not (v.drained i) then
+        match v.estimate i with
+        | Some e ->
+            w.(i) <- w.(i) *. Float.exp (-.v.alpha *. ((clamp_est e /. mean) -. 1.0))
+        | None -> ()
+    done;
+    if not (floor_normalize v w) then None
+    else to_proposal ~min_step:1e-3 v w
+  end
+
+let propose t (v : view) =
+  let n = Array.length v.weights in
+  if n = 0 then None
+  else
+    match t.law with
+    | Shift_worst -> shift_worst v
+    | Knapsack -> knapsack t v
+    | Gradient -> gradient v

@@ -8,6 +8,7 @@ type action = {
 type t = {
   config : Config.t;
   pool : Maglev.Pool.t;
+  law : Control_law.t; (* the pluggable decision rule (control-law zoo) *)
   stats : Server_stats.t;
   mutable last_update : Des.Time.t; (* last table rebuild (shift or recovery) *)
   mutable updated_once : bool;
@@ -40,6 +41,7 @@ let create ~config ~pool ?telemetry () =
     {
       config;
       pool;
+      law = Control_law.create config.Config.law ~n;
       stats =
         Server_stats.create ~n ~ewma_alpha:config.Config.ewma_alpha
           ~window:config.Config.estimate_window ();
@@ -85,29 +87,19 @@ let estimate t i =
   | Some f -> f i
   | None -> Server_stats.estimate t.stats i
 
-(* Worst/best over the decision-loop estimates. Returns [None] unless at
-   least two servers have an estimate, mirroring the historical
-   [servers_with_samples >= 2] gate under local estimation. *)
-let extremes t =
+let law_kind t = Control_law.kind t.law
+
+(* The decision loop acts only when at least two servers have an
+   estimate, mirroring the historical [servers_with_samples >= 2] gate
+   under local estimation (laws re-check as needed, but the gate lives
+   here so it is uniform across laws). *)
+let known_estimates t =
   let n = Array.length t.drained in
-  let worst = ref None and best = ref None and known = ref 0 in
+  let known = ref 0 in
   for i = 0 to n - 1 do
-    match estimate t i with
-    | None -> ()
-    | Some v ->
-        incr known;
-        (match !worst with
-        | Some (_, w) when w >= v -> ()
-        | Some _ | None -> worst := Some (i, v));
-        (match !best with
-        | Some (_, b) when b <= v -> ()
-        | Some _ | None -> best := Some (i, v))
+    match estimate t i with None -> () | Some _ -> incr known
   done;
-  if !known < 2 then None
-  else
-    match (!worst, !best) with
-    | Some w, Some b -> Some (w, b)
-    | (Some _ | None), _ -> None
+  !known
 
 let normalize w =
   let total = Array.fold_left ( +. ) 0.0 w in
@@ -137,27 +129,6 @@ let apply_recovery t ~now w =
         w;
       !moved
     end
-  end
-
-(* The paper's shift: move delta = min(alpha, victim's headroom) from the
-   worst server to the remaining (non-drained) servers, equally. *)
-let compute_shift t ~victim w =
-  let floor_w = t.config.Config.min_weight in
-  let available = Float.max 0.0 (w.(victim) -. floor_w) in
-  let delta = Float.min t.config.Config.alpha available in
-  let recipients = ref 0 in
-  Array.iteri
-    (fun i d -> if i <> victim && not d then incr recipients)
-    t.drained;
-  if delta <= 1e-9 || !recipients = 0 then None
-  else begin
-    let share = delta /. float_of_int !recipients in
-    Array.iteri
-      (fun i v ->
-        if i = victim then w.(i) <- v -. delta
-        else if not t.drained.(i) then w.(i) <- v +. share)
-      w;
-    Some delta
   end
 
 let commit t ~now w =
@@ -201,47 +172,54 @@ let on_sample t ~now ~server sample =
     (not t.updated_once)
     || now - t.last_update >= t.config.Config.control_interval
   in
-  if (not spaced) || not t.autonomous then None
+  if (not spaced) || not t.autonomous || known_estimates t < 2 then None
   else begin
-    match extremes t with
-    | None -> None
-    | Some ((victim, worst_est), (_, best_est)) ->
-        let w = Maglev.Pool.weights t.pool in
-        let recovered = apply_recovery t ~now w in
-        (* The victim and threshold are decided before any weights move,
-           so a coordination gate can veto the shift (e.g. another LB
-           already acted this fleet epoch) without side effects. *)
-        let candidate =
-          if worst_est >= t.config.Config.relative_threshold *. best_est then
-            match t.shift_gate with
-            | Some gate when not (gate ~now ~victim) -> None
-            | Some _ | None -> Some victim
-          else None
+    let w = Maglev.Pool.weights t.pool in
+    let recovered = apply_recovery t ~now w in
+    let view =
+      {
+        Control_law.now;
+        estimate = (fun i -> estimate t i);
+        weights = w;
+        drained = (fun i -> t.drained.(i));
+        alpha = t.config.Config.alpha;
+        min_weight = t.config.Config.min_weight;
+        relative_threshold = t.config.Config.relative_threshold;
+      }
+    in
+    (* The law proposes before any table moves, so a coordination gate
+       can veto the shift (e.g. another LB already acted this fleet
+       epoch) without side effects. An empty proposal (shifted ~ 0) is
+       still shown to the gate — fleet-hysteresis accounting must not
+       depend on the law — but commits nothing beyond recovery. *)
+    match Control_law.propose t.law view with
+    | None ->
+        if recovered then commit t ~now w;
+        None
+    | Some { Control_law.victim; shifted; weights } ->
+        let vetoed =
+          match t.shift_gate with
+          | Some gate -> not (gate ~now ~victim)
+          | None -> false
         in
-        let shift =
-          match candidate with
-          | Some victim ->
-              compute_shift t ~victim w
-              |> Option.map (fun delta -> (victim, delta))
-          | None -> None
-        in
-        (match shift with
-        | Some (victim, delta) ->
-            commit t ~now w;
-            let action =
-              {
-                at = now;
-                victim;
-                shifted = delta;
-                weights_after = Maglev.Pool.weights t.pool;
-              }
-            in
-            t.actions_rev <- action :: t.actions_rev;
-            Telemetry.Registry.Counter.incr t.m_actions;
-            Some action
-        | None ->
-            if recovered then commit t ~now w;
-            None)
+        if vetoed || shifted <= 1e-9 then begin
+          if recovered then commit t ~now w;
+          None
+        end
+        else begin
+          commit t ~now weights;
+          let action =
+            {
+              at = now;
+              victim;
+              shifted;
+              weights_after = Maglev.Pool.weights t.pool;
+            }
+          in
+          t.actions_rev <- action :: t.actions_rev;
+          Telemetry.Registry.Counter.incr t.m_actions;
+          Some action
+        end
   end
 
 (* Externally-computed weights (leader/follower coordination). Drained

@@ -1,11 +1,13 @@
-(** The paper's feedback controller (§3, "Simple load balancing
-    strategy").
+(** The feedback controller (§3, "Simple load balancing strategy").
 
-    On each new in-band latency sample the controller may redistribute a
-    fixed fraction α of total traffic away from the server with the
-    highest smoothed latency, spreading it equally over the remaining
-    servers, and rebuild the weighted Maglev table. Extensions beyond
-    the paper, all off by default: a minimum spacing between actions, a
+    On each new in-band latency sample the controller may ask its
+    {!Control_law} (chosen by [Config.law]; default the paper's
+    α shift-from-worst) for a new weight vector and rebuild the
+    weighted Maglev table. The controller owns everything around that
+    decision — epoch spacing, drain/restore pins, recovery towards
+    uniform, the coordination hooks below, telemetry and the table
+    rebuild — so laws stay pure decision rules. Extensions beyond the
+    paper, all off by default: a minimum spacing between actions, a
     relative-latency activation threshold, a weight floor, and a slow
     recovery towards uniform weights (see {!Config}). *)
 
@@ -29,8 +31,13 @@ val create :
     has fewer than 2 backends. *)
 
 val on_sample : t -> now:Des.Time.t -> server:int -> Des.Time.t -> action option
-(** Attribute a latency sample (ns) to [server]; possibly shift traffic.
-    Returns the action taken, if any. *)
+(** Attribute a latency sample (ns) to [server]; possibly shift traffic
+    (per the configured {!Control_law}). Returns the action taken, if
+    any. [action.victim]/[action.shifted] report the law's proposal:
+    the server losing the most mass and the total mass moved. *)
+
+val law_kind : t -> Control_law.kind
+(** The decision rule this controller runs ([Config.law]). *)
 
 val drain : t -> now:Des.Time.t -> server:int -> unit
 (** Administratively pin one backend at the weight floor

@@ -3,7 +3,13 @@
     [Latency_aware] is the paper's design: Maglev hashing over weights
     steered by the in-band feedback controller. [Static_maglev] is the
     paper's baseline. The remaining classics support the policy-
-    comparison ablation. *)
+    comparison ablation.
+
+    A routing policy is not a {!Control_law}: the policy
+    ([lbsim --policy]) decides which backend each {e new connection}
+    goes to; a control law ([lbsim --law]) decides how the controller
+    moves the {e weight vector} those connections are hashed over, and
+    only runs under [Latency_aware]. *)
 
 type t =
   | Static_maglev  (** Maglev hashing, fixed equal weights (§4 baseline). *)

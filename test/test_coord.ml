@@ -250,6 +250,58 @@ let leader_follower () =
     (Cluster.Coordination.messages_received coord
     + Cluster.Coordination.dropped coord)
 
+(* Satellite: the leader-mode staleness bound is inclusive. A snapshot
+   whose age on arrival is exactly the bound is adopted; one tick past
+   is rejected as stale — and [ctl.actions] counts only the accepted
+   commit. The channel delay is the age at delivery, so setting
+   [delay = staleness_bound] lands the snapshot exactly on the
+   boundary. *)
+let staleness_boundary () =
+  let case ~delay =
+    let engine = Des.Engine.create () in
+    let c0 = mk_controller () and c1 = mk_controller () in
+    let coord =
+      Cluster.Coordination.create ~engine
+        ~config:
+          {
+            Cluster.Coordination.default_config with
+            Cluster.Coordination.policy = Cluster.Coordination.Leader;
+            period = Des.Time.ms 100;
+            delay;
+          }
+        ~controllers:[| c0; c1 |] ()
+    in
+    (* The leader's weights must differ from the follower's, or the
+       delivery counts as a no-change suppression, not an adoption. *)
+    Inband.Controller.impose_weights c0 ~now:0 [| 0.9; 0.1 |];
+    (* The first leader snapshot publishes at t = period and arrives at
+       t = period + delay; stop just after, before the second lands. *)
+    Des.Engine.run ~until:(Des.Time.ms 100 + delay + Des.Time.ms 1) engine;
+    Cluster.Coordination.stop coord;
+    (coord, c1)
+  in
+  let bound =
+    Cluster.Coordination.default_config.Cluster.Coordination.staleness_bound
+  in
+  (* Exactly at the 500 ms bound: accepted. *)
+  let coord, c1 = case ~delay:bound in
+  check_int "at-bound snapshot imposed" 1 (Cluster.Coordination.imposed coord);
+  check_int "at-bound nothing stale" 0 (Cluster.Coordination.stale coord);
+  check_bool "follower adopted the leader's weights" true
+    (Float.abs ((Inband.Controller.weights c1).(0) -. 0.9) < 1e-9);
+  check_int "ctl.actions counts the accepted commit" 1
+    (Inband.Controller.action_count c1);
+  check_int "imposed_count matches" 1 (Inband.Controller.imposed_count c1);
+  (* One tick past the bound: rejected. *)
+  let coord, c1 = case ~delay:(bound + 1) in
+  check_int "past-bound snapshot not imposed" 0
+    (Cluster.Coordination.imposed coord);
+  check_int "past-bound counted stale" 1 (Cluster.Coordination.stale coord);
+  check_bool "follower kept uniform weights" true
+    (Float.abs ((Inband.Controller.weights c1).(0) -. 0.5) < 1e-9);
+  check_int "ctl.actions counts only the accepted commit" 0
+    (Inband.Controller.action_count c1)
+
 let lossy_channel () =
   let engine = Des.Engine.create () in
   let c0 = mk_controller () and c1 = mk_controller () in
@@ -408,6 +460,7 @@ let () =
       ( "coordination",
         [
           Alcotest.test_case "leader-follower" `Quick leader_follower;
+          Alcotest.test_case "staleness boundary" `Quick staleness_boundary;
           Alcotest.test_case "lossy channel" `Quick lossy_channel;
           Alcotest.test_case "policy strings" `Quick policy_strings;
           Alcotest.test_case "config validation" `Quick config_validation;

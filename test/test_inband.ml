@@ -796,6 +796,137 @@ let balancer_rejects_empty_pool () =
     (Invalid_argument "Balancer.create: no servers") (fun () ->
       ignore (Inband.Balancer.create fabric ~vip ~server_ips:[||] ()))
 
+(* --- Control-law zoo -------------------------------------------------- *)
+
+let law_view ?(alpha = 0.1) ?(min_weight = 0.01) ?(threshold = 1.3) ~weights
+    ~ests () =
+  {
+    Inband.Control_law.now = ms 10;
+    estimate = (fun i -> if i < Array.length ests then ests.(i) else None);
+    weights;
+    drained = (fun _ -> false);
+    alpha;
+    min_weight;
+    relative_threshold = threshold;
+  }
+
+let law_name = Inband.Control_law.to_string
+
+let law_string_round_trip () =
+  List.iter
+    (fun k ->
+      match Inband.Control_law.of_string (law_name k) with
+      | Ok k' -> check_bool (law_name k) true (k = k')
+      | Error m -> Alcotest.fail m)
+    Inband.Control_law.all;
+  (match Inband.Control_law.of_string "shift_worst" with
+  | Ok Inband.Control_law.Shift_worst -> ()
+  | _ -> Alcotest.fail "shift_worst alias not accepted");
+  (match Inband.Control_law.of_string "gradient-descent" with
+  | Ok Inband.Control_law.Gradient -> ()
+  | _ -> Alcotest.fail "gradient-descent alias not accepted");
+  match Inband.Control_law.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted a bogus law name"
+  | Error m ->
+      Alcotest.(check string)
+        "error quotes the input and lists the laws"
+        "unknown law \"bogus\" (shift-worst|knapsack|gradient)" m
+
+(* Every law, offered a server 10x slower than its peer, moves mass off
+   it — and proposes on a fresh array, leaving the view's untouched. *)
+let law_moves_off_slow_server () =
+  List.iter
+    (fun k ->
+      let t = Inband.Control_law.create k ~n:2 in
+      let weights = [| 0.5; 0.5 |] in
+      let ests = [| Some 100_000.0; Some 1_000_000.0 |] in
+      match Inband.Control_law.propose t (law_view ~weights ~ests ()) with
+      | None -> Alcotest.fail (law_name k ^ ": held on a 10x-slow server")
+      | Some p ->
+          check_bool (law_name k ^ ": victim is the slow server") true
+            (p.Inband.Control_law.victim = 1);
+          check_bool (law_name k ^ ": mass moved off it") true
+            (p.Inband.Control_law.weights.(1) < 0.5 -. 1e-6);
+          check_bool (law_name k ^ ": shifted matches the move") true
+            (Float.abs
+               (p.Inband.Control_law.shifted
+               -. (0.5 -. p.Inband.Control_law.weights.(1)))
+            < 1e-9);
+          check_bool (law_name k ^ ": view weights untouched") true
+            (weights.(0) = 0.5 && weights.(1) = 0.5))
+    Inband.Control_law.all
+
+(* Uniform estimates over uniform weights are a fixed point of all three
+   laws: shift-worst is below threshold, knapsack's targets equal the
+   current weights, and the gradient's centred step is exactly zero. *)
+let law_uniform_fixed_point () =
+  List.iter
+    (fun k ->
+      let n = 4 in
+      let t = Inband.Control_law.create k ~n in
+      let weights = Array.make n (1.0 /. float_of_int n) in
+      let ests = Array.make n (Some 300_000.0) in
+      for step = 1 to 3 do
+        match Inband.Control_law.propose t (law_view ~weights ~ests ()) with
+        | None -> ()
+        | Some p ->
+            check_bool
+              (Fmt.str "%s: step %d stays empty at the fixed point"
+                 (law_name k) step)
+              true
+              (p.Inband.Control_law.shifted <= 1e-9)
+      done)
+    Inband.Control_law.all
+
+(* The raw-view battery: any law, fed arbitrary weight vectors and
+   estimate patterns (including the all-zero and single-hot edge
+   cases), either holds or proposes a finite, non-negative, normalised
+   vector with a coherent victim — without mutating the input. *)
+let law_simplex_qcheck =
+  QCheck.Test.make ~count:500
+    ~name:"every control law proposes on the weight simplex"
+    QCheck.(
+      triple (int_range 0 2) (int_range 0 3)
+        (list_of_size
+           Gen.(int_range 2 8)
+           (pair (int_range 1 1000) (option (int_range 0 2000)))))
+    (fun (law_ix, shape, raw) ->
+      let n = List.length raw in
+      let weights =
+        Array.of_list (List.map (fun (w, _) -> float_of_int w) raw)
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      Array.iteri (fun i w -> weights.(i) <- w /. total) weights;
+      let snapshot = Array.copy weights in
+      let ests =
+        match shape with
+        | 1 -> Array.make n (Some 0.0) (* all-zero: clamped inside *)
+        | 2 -> Array.init n (fun i -> Some (if i = 0 then 1e9 else 100.0))
+        | 3 -> Array.make n (Some 300_000.0) (* uniform *)
+        | _ ->
+            Array.of_list
+              (List.map
+                 (fun (_, e) -> Option.map (fun v -> float_of_int v *. 1e3) e)
+                 raw)
+      in
+      let kind = List.nth Inband.Control_law.all law_ix in
+      let t = Inband.Control_law.create kind ~n in
+      let ok =
+        match Inband.Control_law.propose t (law_view ~weights ~ests ()) with
+        | None -> true
+        | Some p ->
+            let w = p.Inband.Control_law.weights in
+            let sum = Array.fold_left ( +. ) 0.0 w in
+            Array.length w = n
+            && Array.for_all (fun v -> Float.is_finite v && v >= 0.0) w
+            && Float.abs (sum -. 1.0) <= 1e-6
+            && Float.is_finite p.Inband.Control_law.shifted
+            && p.Inband.Control_law.shifted >= 0.0
+            && p.Inband.Control_law.victim >= 0
+            && p.Inband.Control_law.victim < n
+      in
+      ok && snapshot = weights)
+
 let () =
   Alcotest.run "inband"
     [
@@ -866,6 +997,15 @@ let () =
             controller_no_rebuild_when_unmoved;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ controller_weight_simplex_qcheck ] );
+      ( "control_law",
+        [
+          Alcotest.test_case "string round trip" `Quick law_string_round_trip;
+          Alcotest.test_case "moves off slow server" `Quick
+            law_moves_off_slow_server;
+          Alcotest.test_case "uniform fixed point" `Quick
+            law_uniform_fixed_point;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ law_simplex_qcheck ] );
       ( "balancer",
         [
           Alcotest.test_case "forwards and pins" `Quick balancer_forwards_and_pins;
