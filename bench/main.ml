@@ -360,6 +360,94 @@ let run_e2e ~check () =
   | Some _ | None -> ())
 
 
+(* --- Soak battery (bench soak) ---------------------------------------- *)
+
+(* Hours-scale churn + repeating faults + pathological clients, judged
+   on flatness of memory telemetry rather than throughput (Cluster.Soak).
+   Under [--check] it is the soak-smoke CI gate: ~3 simulated minutes
+   with the full adversarial battery, tripwires on flatness, stuck
+   flows, estimator health, PCC, and the reassembly cap actually
+   engaging (the gap flood must be refused, not buffered). [--minutes N]
+   overrides the simulated length; the full default is 30 minutes. *)
+let run_soak ~minutes ~check () =
+  let config =
+    let base = Cluster.Soak.default_config in
+    if minutes > 0 then
+      let duration = Des.Time.sec (minutes * 60) in
+      {
+        base with
+        Cluster.Soak.duration;
+        warmup = Stdlib.min base.Cluster.Soak.warmup (duration / 4);
+      }
+    else if check then
+      {
+        base with
+        Cluster.Soak.duration = Des.Time.sec (3 * 60);
+        warmup = Des.Time.sec 30;
+        windows = 4;
+      }
+    else base
+  in
+  print_endline
+    (Cluster.Report.section
+       (Fmt.str "Soak battery (%.0f simulated minutes)"
+          (Des.Time.to_float_s config.Cluster.Soak.duration /. 60.0)));
+  let t0 = Unix.gettimeofday () in
+  let result = Cluster.Soak.run ~config () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Cluster.Soak.print ~config result;
+  Fmt.pr "wall: %.1fs (%.1fx real time)@." wall_s
+    (Des.Time.to_float_s config.Cluster.Soak.duration /. wall_s);
+  let metric_field (v : Cluster.Soak.verdict) =
+    ( "soak_growth_"
+      ^ String.map (fun c -> if c = '.' then '_' else c) v.Cluster.Soak.metric,
+      v.Cluster.Soak.growth )
+  in
+  bench_json_write "BENCH_pr7.json" ~bench:"soak"
+    ([
+       ("soak_sim_minutes", result.Cluster.Soak.sim_minutes);
+       ("soak_wall_s", wall_s);
+       ("soak_events", float_of_int result.Cluster.Soak.events_fired);
+       ("soak_responses", float_of_int result.Cluster.Soak.responses);
+       ("soak_p95_us", result.Cluster.Soak.p95_us);
+       ("soak_fault_intervals", float_of_int result.Cluster.Soak.fault_intervals);
+       ("soak_pcc_checked", float_of_int result.Cluster.Soak.pcc_checked);
+       ("soak_reasm_drops", float_of_int result.Cluster.Soak.reasm_drops);
+       ("soak_send_drops", float_of_int result.Cluster.Soak.send_drops);
+       ("soak_stuck_flows", float_of_int result.Cluster.Soak.stuck_flows);
+       ("soak_stuck_conns", float_of_int result.Cluster.Soak.stuck_conns);
+     ]
+    @ List.map metric_field result.Cluster.Soak.verdicts);
+  Fmt.pr "wrote BENCH_pr7.json@.";
+  if check then begin
+    List.iter
+      (fun (v : Cluster.Soak.verdict) ->
+        if not v.Cluster.Soak.flat then
+          tripwire_fail ~smoke:"soak-smoke" ~tripwire:"flatness"
+            "%s grew %+.0f%% across windows%s" v.Cluster.Soak.metric
+            (100.0 *. v.Cluster.Soak.growth)
+            (if v.Cluster.Soak.monotonic then " (strictly monotonic)" else ""))
+      result.Cluster.Soak.verdicts;
+    if result.Cluster.Soak.stuck_flows > 0 || result.Cluster.Soak.stuck_conns > 0
+    then
+      tripwire_fail ~smoke:"soak-smoke" ~tripwire:"stuck-flows"
+        "%d LB flows and %d server connections survived the drain"
+        result.Cluster.Soak.stuck_flows result.Cluster.Soak.stuck_conns;
+    if not result.Cluster.Soak.estimator_ok then
+      tripwire_fail ~smoke:"soak-smoke" ~tripwire:"estimator"
+        "a post-warmup latency estimate went NaN or infinite";
+    if result.Cluster.Soak.pcc_violations > 0 then
+      tripwire_fail ~smoke:"soak-smoke" ~tripwire:"pcc" "%d violations"
+        result.Cluster.Soak.pcc_violations;
+    if result.Cluster.Soak.reasm_drops = 0 then
+      tripwire_fail ~smoke:"soak-smoke" ~tripwire:"reasm-cap"
+        "the gap flood never hit the reassembly cap: either the flood is \
+         broken or out-of-order memory is unbounded";
+    Fmt.pr
+      "soak-smoke: ok (%.1f sim minutes flat; %d reasm drops; pcc clean)@."
+      result.Cluster.Soak.sim_minutes result.Cluster.Soak.reasm_drops
+  end
+
 (* --- Flow-scale churn benchmark (bench flows) ------------------------- *)
 
 (* N concurrent flows doing request/response churn through the balancer
@@ -760,6 +848,10 @@ let () =
   let flows_n, args =
     extract_int_opt ~flag:"-n" ~default:(1 lsl 20) ~min:flows_clients args
   in
+  (* --minutes N: simulated length of the [soak] target (0 = default). *)
+  let soak_minutes, args =
+    extract_int_opt ~flag:"--minutes" ~default:0 ~min:0 args
+  in
   match args with
   | [] | [ "all" ] -> run_all ~full ~jobs ()
   | names ->
@@ -771,8 +863,11 @@ let () =
               else f ~jobs ~check ()
           | None ->
               if name = "flows" then run_flows ~n:flows_n ~check ()
+              else if name = "soak" then
+                run_soak ~minutes:soak_minutes ~check ()
               else begin
-                Fmt.epr "unknown target %S; available: %s, flows, all@." name
+                Fmt.epr "unknown target %S; available: %s, flows, soak, all@."
+                  name
                   (String.concat ", " (List.map fst targets));
                 exit 1
               end)

@@ -603,6 +603,67 @@ let churn_cmd =
       const run $ duration $ seed $ faults_arg $ assert_recovery $ csv_arg
       $ metrics_csv_arg)
 
+(* --- soak: long-horizon churn + adversarial clients -------------------- *)
+
+let soak_cmd =
+  let run minutes warmup_s windows seed check =
+    let base = Cluster.Soak.default_config in
+    let duration = Des.Time.sec (minutes * 60) in
+    let config =
+      {
+        base with
+        Cluster.Soak.duration;
+        warmup = Stdlib.min (Des.Time.sec warmup_s) (duration / 4);
+        windows;
+        scenario = { base.Cluster.Soak.scenario with Cluster.Scenario.seed };
+      }
+    in
+    let result = Cluster.Soak.run ~config () in
+    Cluster.Soak.print ~config result;
+    if check && not (Cluster.Soak.ok result) then begin
+      Fmt.epr "soak: flatness, stuck-state or PCC check failed@.";
+      exit 1
+    end
+  in
+  let minutes =
+    Arg.(
+      value & opt int 30
+      & info [ "minutes" ] ~doc:"Simulated soak length, minutes.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 60
+      & info [ "warmup" ]
+          ~doc:
+            "Seconds excluded from the flatness and health checks \
+             (capped at a quarter of the duration).")
+  in
+  let windows =
+    Arg.(
+      value & opt int 6
+      & info [ "windows" ] ~doc:"Flatness windows over [warmup, duration].")
+  in
+  let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero unless every watched gauge stayed flat, no \
+             flow or connection was stuck after the drain, the latency \
+             estimator stayed finite, and the PCC oracle saw zero \
+             violations (CI soak-smoke check).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Soak the churn cluster for hours of simulated time under \
+          repeating faults and adversarial clients (slowloris, pipeline \
+          bursts, reconnect storms, segment-gap floods, RST floods), \
+          asserting that memory telemetry stays flat and nothing gets \
+          stuck.")
+    Term.(const run $ minutes $ warmup $ windows $ seed $ check)
+
 (* --- estimate: run the estimators over a packet-timestamp trace ------- *)
 
 let estimate_cmd =
@@ -697,6 +758,15 @@ let main_cmd =
        ~doc:
          "Packet-level simulator for in-band feedback control at load \
           balancers (HotNets '22 reproduction).")
-    [ fig2_cmd; fig3_cmd; sweep_cmd; herd_cmd; estimate_cmd; run_cmd; churn_cmd ]
+    [
+      fig2_cmd;
+      fig3_cmd;
+      sweep_cmd;
+      herd_cmd;
+      estimate_cmd;
+      run_cmd;
+      churn_cmd;
+      soak_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -42,7 +42,14 @@ let on_routed t (ev : Inband.Balancer.routed_event) =
   let flags = ev.packet.Netsim.Packet.flags in
   let ended = flags.Netsim.Packet.fin || flags.Netsim.Packet.rst in
   (match Hashtbl.find_opt t.flows ev.flow with
-  | None -> if not ended then Hashtbl.add t.flows ev.flow { server = ev.server; last_seen = ev.at }
+  | None ->
+      (* Track from the SYN only. After a FIN drops the entry, the
+         client's final teardown ACK still traverses the LB; adopting it
+         here would re-add the flow — one forever-idle entry leaked per
+         graceful close. A packet that is neither an opener nor from a
+         tracked flow has no expectation to check anyway. *)
+      if flags.Netsim.Packet.syn && not ended then
+        Hashtbl.add t.flows ev.flow { server = ev.server; last_seen = ev.at }
   | Some e ->
       if ev.at - e.last_seen > t.idle_timeout then
         (* Possibly expired and re-selected: adopt the new backend. *)
@@ -71,7 +78,12 @@ let attach ?telemetry ?index balancer =
       Telemetry.Registry.gauge_fn registry ?index "pcc.checked" (fun () ->
           float_of_int t.checked);
       Telemetry.Registry.gauge_fn registry ?index "pcc.violations" (fun () ->
-          float_of_int (List.length t.violations_rev))
+          float_of_int (List.length t.violations_rev));
+      (* Tracked-entry count: a leak here (flows re-adopted after
+         retirement, or never retired) is invisible in pcc.checked but
+         shows up as monotonic growth in any soak window. *)
+      Telemetry.Registry.gauge_fn registry ?index "pcc.tracked" (fun () ->
+          float_of_int (Hashtbl.length t.flows))
   | None -> ());
   t
 

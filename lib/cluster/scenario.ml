@@ -222,6 +222,22 @@ let client_lb_link t j = t.client_lb_links.(j)
 let telemetry t = t.telemetry
 let snapshots t = t.snapshots
 
+(* Wire an extra client host built after {!build} (e.g. a pathology
+   client) into the DSR topology: host→VIP request link plus one
+   server→host return link per server. The host must already be
+   registered on the fabric (creating its endpoint does that). *)
+let wire_client_host t ~host_ip =
+  let link delay =
+    Netsim.Link.create t.engine ~delay ~rate_bps:t.config.link_rate_bps ()
+  in
+  Netsim.Fabric.add_link t.fabric ~src:host_ip ~dst:vip_ip
+    (link t.config.client_lb_delay);
+  Array.iteri
+    (fun i _ ->
+      Netsim.Fabric.add_link t.fabric ~src:(server_ip i) ~dst:host_ip
+        (link t.config.server_client_delay))
+    t.servers
+
 let inject_server_delay t ~server ~at ~delay =
   let link = t.lb_server_links.(server) in
   ignore

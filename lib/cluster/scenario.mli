@@ -78,6 +78,16 @@ val snapshots : t -> Telemetry.Snapshot.t
 (** The periodic snapshotter sampling {!telemetry} every
     [metrics_interval]; started at build time. *)
 
+val wire_client_host : t -> host_ip:int -> unit
+(** Wire an extra client host (built after {!build}, e.g. a
+    {!Workload.Pathology} client) into the DSR topology: a host→VIP
+    request link and a server→host return link per server, all at the
+    default delays. The host must already be registered on the fabric —
+    create its TCP endpoint first.
+
+    @raise Invalid_argument if the host is unregistered or links
+    already exist. *)
+
 val inject_server_delay :
   t -> server:int -> at:Des.Time.t -> delay:Des.Time.t -> unit
 (** Schedule [Link.set_extra_delay] on the LB→server link at time [at] —

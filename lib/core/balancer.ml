@@ -276,6 +276,18 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
   in
   Telemetry.Registry.gauge_fn registry "lb.active_flows" (fun () ->
       float_of_int (Netsim.Flow_table.length t.flows));
+  (* Flow-table health for the soak battery: capacity must plateau once
+     the working set stabilises, and tombstones must stay under the
+     resize threshold rather than accumulate — churn attacks (RST
+     floods, reconnect storms) show up here first. *)
+  Telemetry.Registry.gauge_fn registry "lb.flow_capacity" (fun () ->
+      float_of_int (Netsim.Flow_table.capacity t.flows));
+  Telemetry.Registry.gauge_fn registry "lb.flow_tombstones" (fun () ->
+      float_of_int (Netsim.Flow_table.tombstones t.flows));
+  Telemetry.Registry.gauge_fn registry "lb.slab_capacity" (fun () ->
+      float_of_int (Ensemble.slab_capacity t.ensemble));
+  Telemetry.Registry.gauge_fn registry "lb.slab_live" (fun () ->
+      float_of_int (Ensemble.live_flows t.ensemble));
   for i = 0 to n - 1 do
     Telemetry.Registry.gauge_fn registry ~index:i "lb.active_conns" (fun () ->
         float_of_int t.conn_gauge.(i))
@@ -326,5 +338,7 @@ let packets_forwarded t = Telemetry.Registry.Counter.value t.m_forwarded
 let packets_to t i = Telemetry.Registry.Counter.value t.m_pkts_to.(i)
 let flows_assigned_to t i = Telemetry.Registry.Counter.value t.m_flows_to.(i)
 let active_flows t = Netsim.Flow_table.length t.flows
+let flow_capacity t = Netsim.Flow_table.capacity t.flows
+let flow_tombstones t = Netsim.Flow_table.tombstones t.flows
 let active_conns t = Array.copy t.conn_gauge
 let samples_produced t = Telemetry.Registry.Counter.value t.m_samples

@@ -102,6 +102,15 @@ val flows_assigned_to : t -> int -> int
 val active_flows : t -> int
 (** Flow-table entries currently tracked. *)
 
+val flow_capacity : t -> int
+(** Flow-table bucket count (["lb.flow_capacity"]). Plateaus once the
+    working set stabilises; sustained doubling under steady load is a
+    flow leak. *)
+
+val flow_tombstones : t -> int
+(** Flow-table tombstone count (["lb.flow_tombstones"]). Sawtooths
+    between purges; the soak battery bounds the tombstone {e ratio}. *)
+
 val active_conns : t -> int array
 (** Per-server live connection gauge (drives least-conn / P2C). *)
 

@@ -13,6 +13,7 @@ type t = {
   mutable last_update : Des.Time.t; (* last table rebuild (shift or recovery) *)
   mutable updated_once : bool;
   mutable actions_rev : action list;
+  mutable actions_len : int;
   drained : bool array; (* administratively pinned at the weight floor *)
   m_actions : Telemetry.Registry.counter;
   (* Coordination hooks (lib/cluster/coordination). All default to the
@@ -22,6 +23,12 @@ type t = {
   mutable autonomous : bool;
   mutable imposed_count : int;
 }
+
+let max_action_history = 4096
+
+let rec take n l =
+  if n = 0 then []
+  else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
 
 let create ~config ~pool ?telemetry () =
   (match Config.validate config with
@@ -48,6 +55,7 @@ let create ~config ~pool ?telemetry () =
       last_update = 0;
       updated_once = false;
       actions_rev = [];
+      actions_len = 0;
       drained = Array.make n false;
       m_actions = Telemetry.Registry.counter registry "ctl.actions";
       est_override = None;
@@ -217,6 +225,17 @@ let on_sample t ~now ~server sample =
             }
           in
           t.actions_rev <- action :: t.actions_rev;
+          t.actions_len <- t.actions_len + 1;
+          (* The history exists for post-run analysis of bounded
+             experiments; a soak shifting every few control intervals
+             for hours would grow it without limit. Keep the most
+             recent [max_action_history], trimming at 2x so the rebuild
+             is amortized O(1) per action ([ctl.actions] still counts
+             every action ever taken). *)
+          if t.actions_len > 2 * max_action_history then begin
+            t.actions_rev <- take max_action_history t.actions_rev;
+            t.actions_len <- max_action_history
+          end;
           Telemetry.Registry.Counter.incr t.m_actions;
           Some action
         end

@@ -107,7 +107,9 @@ val last_action_at : t -> Des.Time.t option
 
 val stats : t -> Server_stats.t
 val actions : t -> action list
-(** All actions taken, oldest first. *)
+(** Actions taken, oldest first. The history is capped at the most
+    recent 4096 (trimmed in amortized O(1)) so an hours-long soak does
+    not grow it without bound; {!action_count} keeps the true total. *)
 
 val action_count : t -> int
 val weights : t -> float array

@@ -3,6 +3,7 @@ type config = {
   service_get : Stats.Dist.t;
   service_set : Stats.Dist.t;
   tcp : Tcpsim.Conn.config;
+  idle_timeout : Des.Time.t;
 }
 
 let default_config =
@@ -12,6 +13,7 @@ let default_config =
     service_get = Stats.Dist.Lognormal { mu = log 50_000.0; sigma = 0.25 };
     service_set = Stats.Dist.Lognormal { mu = log 60_000.0; sigma = 0.25 };
     tcp = Tcpsim.Conn.default_config;
+    idle_timeout = Des.Time.sec 60;
   }
 
 type job = { request : Protocol.request; arrived : Des.Time.t }
@@ -23,6 +25,7 @@ type conn_state = {
   mutable in_service : bool;
   mutable queued : bool; (* present in the ready queue *)
   mutable close_requested : bool; (* peer sent FIN *)
+  mutable last_activity : Des.Time.t; (* last byte received *)
 }
 
 type t = {
@@ -38,6 +41,9 @@ type t = {
   m_gets : Telemetry.Registry.counter;
   m_sets : Telemetry.Registry.counter;
   sojourn : Stats.Histogram.t;
+  live : (int, conn_state) Hashtbl.t; (* for the idle-connection reaper *)
+  mutable next_conn_id : int;
+  mutable endpoint : Tcpsim.Endpoint.t option; (* set once in [create] *)
 }
 
 let process t = function
@@ -109,6 +115,40 @@ and enqueue_ready t cs =
   end
 
 
+(* memcached-style idle reaper. A client that vanishes without its RST
+   surviving the network (aborts during a loss burst, a crashed host)
+   leaves a server-side connection in [Established] with no traffic to
+   trigger any TCP-level recovery: nothing is in flight, so nothing
+   retransmits and nothing elicits a stray-segment reset. Only an
+   application-level idle timeout reclaims these; without it a soak
+   accumulates stuck connections linearly with fault count. *)
+let reap t =
+  let now = Des.Engine.now t.engine in
+  let idle cs = now - cs.last_activity >= t.config.idle_timeout in
+  let victims =
+    Hashtbl.fold
+      (fun _ cs acc ->
+        if (not cs.in_service) && Queue.is_empty cs.jobs && idle cs then
+          cs :: acc
+        else acc)
+      t.live []
+  in
+  List.iter
+    (fun cs ->
+      match Tcpsim.Conn.state cs.conn with
+      | Established | Close_wait -> Tcpsim.Conn.close cs.conn
+      | Syn_received -> Tcpsim.Conn.abort cs.conn
+      (* A graceful close above can wedge: a gap-flooding peer ACKs our
+         FIN but never closes its side, parking the connection in
+         [Fin_wait] with a reassembly buffer pinned at the full cap
+         (its segments keep arriving out of order, so nothing delivers
+         and [last_activity] never advances). Still idle a timeout
+         later means the peer is gone or hostile — abort reclaims the
+         buffer. *)
+      | Fin_wait | Last_ack -> Tcpsim.Conn.abort cs.conn
+      | Syn_sent | Closed -> ())
+    victims
+
 let on_request t cs request =
   Queue.add { request; arrived = Des.Engine.now t.engine } cs.jobs;
   t.queue_depth <- t.queue_depth + 1;
@@ -124,9 +164,17 @@ let accept t conn =
       in_service = false;
       queued = false;
       close_requested = false;
+      last_activity = Des.Engine.now t.engine;
     }
   in
+  if t.config.idle_timeout > 0 then begin
+    let id = t.next_conn_id in
+    t.next_conn_id <- id + 1;
+    Hashtbl.replace t.live id cs;
+    Tcpsim.Conn.set_on_close conn (fun () -> Hashtbl.remove t.live id)
+  end;
   Tcpsim.Conn.set_on_data conn (fun chunk ->
+      cs.last_activity <- Des.Engine.now t.engine;
       match Protocol.Reader.feed cs.reader chunk with
       | Ok requests -> List.iter (on_request t cs) requests
       | Error _ -> Tcpsim.Conn.abort conn);
@@ -159,10 +207,20 @@ let create fabric ~host_ip ~listen_addr ?(config = default_config)
       m_gets = Telemetry.Registry.counter registry ?index "server.gets";
       m_sets = Telemetry.Registry.counter registry ?index "server.sets";
       sojourn = Stats.Histogram.create ();
+      live = Hashtbl.create 64;
+      next_conn_id = 0;
+      endpoint = None;
     }
   in
+  if config.idle_timeout > 0 then
+    ignore
+      (Des.Timer.every engine
+         ~period:(Stdlib.max (Des.Time.ms 500) (config.idle_timeout / 4))
+         (fun () -> reap t));
   Telemetry.Registry.gauge_fn registry ?index "server.queue_depth" (fun () ->
       float_of_int t.queue_depth);
+  Telemetry.Registry.gauge_fn registry ?index "server.live_conns" (fun () ->
+      float_of_int (Hashtbl.length t.live));
   Telemetry.Registry.gauge_fn registry ?index "server.busy_workers" (fun () ->
       float_of_int (t.config.workers - t.free_workers));
   Telemetry.Registry.attach_histogram registry ?index "server.sojourn_ns"
@@ -170,9 +228,26 @@ let create fabric ~host_ip ~listen_addr ?(config = default_config)
   let endpoint = Tcpsim.Endpoint.create fabric ~host_ip in
   Tcpsim.Endpoint.listen endpoint ~addr:listen_addr ~config:config.tcp
     (fun conn -> accept t conn);
+  (* Bounded-datapath gauges: how much memory the TCP stack is holding
+     for this server and how often the caps fired. A leak (or a
+     gap-flood attack breaching the reassembly cap) shows up here in any
+     metrics CSV or soak flatness window. *)
+  let ep_gauge name f =
+    Telemetry.Registry.gauge_fn registry ?index name (fun () ->
+        float_of_int (f endpoint))
+  in
+  ep_gauge "reasm.pending_bytes" Tcpsim.Endpoint.reasm_pending;
+  ep_gauge "reasm.drops" Tcpsim.Endpoint.reasm_drops;
+  ep_gauge "conn.send_backlog" Tcpsim.Endpoint.send_backlog;
+  ep_gauge "conn.send_drops" Tcpsim.Endpoint.send_drops;
+  ep_gauge "conn.active" Tcpsim.Endpoint.active_connections;
+  t.endpoint <- Some endpoint;
   t
 
 let store t = t.store
+
+let endpoint t =
+  match t.endpoint with Some ep -> ep | None -> assert false
 
 let set_slow_factor t f =
   if not (f > 0.0) || Float.is_nan f then

@@ -15,11 +15,19 @@ type config = {
   service_get : Stats.Dist.t;  (** GET service time, ns. *)
   service_set : Stats.Dist.t;  (** SET service time, ns. *)
   tcp : Tcpsim.Conn.config;  (** TCP options for accepted connections. *)
+  idle_timeout : Des.Time.t;
+      (** Close connections that received no bytes for this long
+          (memcached's [-o idle_timeout]); [0] disables. A client that
+          vanishes without its RST surviving the network leaves an
+          [Established] server-side connection that no TCP mechanism
+          will ever reclaim — nothing is in flight, so nothing
+          retransmits and nothing elicits a reset. Only this
+          application-level timeout bounds that residue. *)
 }
 
 val default_config : config
 (** 2 workers; GET ~ lognormal with ~50 µs median; SET slightly slower;
-    default TCP options. *)
+    default TCP options; 60 s idle timeout. *)
 
 type t
 
@@ -45,6 +53,11 @@ val create :
 
 val store : t -> Store.t
 (** The backing store, e.g. for preloading the keyspace. *)
+
+val endpoint : t -> Tcpsim.Endpoint.t
+(** The server's TCP stack, exposing the host-wide bounded-datapath
+    counters (reassembly pending/drops, send backlog/drops) that also
+    back the [reasm.*] and [conn.*] gauges. *)
 
 val set_slow_factor : t -> float -> unit
 (** Multiply every subsequently drawn service time by this factor —

@@ -100,8 +100,14 @@ let maybe_grow t =
        tombstones) when churn, not growth, filled the table. *)
     resize t (if 2 * t.len >= cap then cap * 2 else cap)
 
+(* The grow check runs only once the probe has proven the key absent:
+   updating an existing key at 3/4 load must not trigger a spurious
+   resize (and a steady-state update must stay allocation-free). The
+   occupancy invariant is unchanged — every true insert still checks
+   the pre-insert load, so occupied + tombstone buckets never exceed
+   3/4 of capacity plus the one insert in flight, and probe loops
+   always find an empty bucket. *)
 let add t key v =
-  maybe_grow t;
   let mask = t.mask in
   let i = ref (Flow_key.hash key land mask) in
   let slot = ref (-1) in (* first tombstone passed *)
@@ -109,11 +115,20 @@ let add t key v =
   while !continue do
     match Bytes.unsafe_get t.state !i with
     | c when c = empty ->
-        let j = if !slot >= 0 then !slot else !i in
-        if !slot >= 0 then t.tombs <- t.tombs - 1;
-        Bytes.unsafe_set t.state j occupied;
-        Array.unsafe_set t.keys j key;
-        Array.unsafe_set t.vals j v;
+        (* True insert. Grow/purge first if this key would push the
+           table past 3/4 load; the rebuilt table has no tombstones and
+           no [key], so a fresh probe suffices. *)
+        if 4 * (t.len + t.tombs) >= 3 * (t.mask + 1) then begin
+          maybe_grow t;
+          insert_fresh t.keys t.vals t.state t.mask key v
+        end
+        else begin
+          let j = if !slot >= 0 then !slot else !i in
+          if !slot >= 0 then t.tombs <- t.tombs - 1;
+          Bytes.unsafe_set t.state j occupied;
+          Array.unsafe_set t.keys j key;
+          Array.unsafe_set t.vals j v
+        end;
         t.len <- t.len + 1;
         continue := false
     | c when c = occupied ->

@@ -1,4 +1,12 @@
-type t = { bucket : Des.Time.t; table : (int, Histogram.t) Hashtbl.t }
+(* A bucket starts as a bare scalar and upgrades to a histogram on its
+   second observation. Metric snapshotters record exactly one reading
+   per metric per interval — with an eager histogram each of those
+   buckets carried a ~2k-word counts array to hold a single sample, so
+   retained memory grew at O(metrics x duration) for the life of the
+   run (the dominant "leak" the soak battery flushed out). *)
+type cell = Single of int | Hist of Histogram.t
+
+type t = { bucket : Des.Time.t; table : (int, cell ref) Hashtbl.t }
 
 let create ~bucket =
   if bucket <= 0 then invalid_arg "Timeseries.create: bucket";
@@ -6,15 +14,14 @@ let create ~bucket =
 
 let record t ~at v =
   let idx = at / t.bucket in
-  let hist =
-    match Hashtbl.find_opt t.table idx with
-    | Some h -> h
-    | None ->
-        let h = Histogram.create () in
-        Hashtbl.add t.table idx h;
-        h
-  in
-  Histogram.record hist v
+  match Hashtbl.find_opt t.table idx with
+  | None -> Hashtbl.add t.table idx (ref (Single v))
+  | Some ({ contents = Single v0 } as cell) ->
+      let h = Histogram.create () in
+      Histogram.record h v0;
+      Histogram.record h v;
+      cell := Hist h
+  | Some { contents = Hist h } -> Histogram.record h v
 
 type row = {
   t_start : Des.Time.t;
@@ -24,11 +31,23 @@ type row = {
 }
 
 let rows t ~q =
-  Hashtbl.fold (fun idx hist acc -> (idx, hist) :: acc) t.table []
+  Hashtbl.fold (fun idx cell acc -> (idx, cell) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  |> List.map (fun (idx, hist) ->
+  |> List.map (fun (idx, cell) ->
+         let t_start = idx * t.bucket in
+         let hist =
+           (* Render single-sample buckets through a scratch histogram so
+              rows are bit-identical to the eager representation
+              (quantiles are bucket-rounded either way). *)
+           match !cell with
+           | Hist hist -> hist
+           | Single v ->
+               let h = Histogram.create () in
+               Histogram.record h v;
+               h
+         in
          {
-           t_start = idx * t.bucket;
+           t_start;
            count = Histogram.count hist;
            mean = Histogram.mean hist;
            quantile = Histogram.quantile hist q;

@@ -10,6 +10,10 @@ type config = {
   rto_initial : Des.Time.t;
   rto_min : Des.Time.t;
   rto_max : Des.Time.t;
+  reasm_cap : int;
+  send_queue_cap : int;
+  max_inflight_segments : int;
+  send_queue_max_writes : int;
 }
 
 let default_config =
@@ -20,6 +24,21 @@ let default_config =
     rto_initial = Des.Time.ms 10;
     rto_min = Des.Time.ms 1;
     rto_max = Des.Time.sec 2;
+    (* Both caps are far above anything polite traffic reaches (the
+       64 KiB window bounds ooo buffering for a well-behaved peer);
+       they exist so a gapped or firehosing peer is bounded too. *)
+    reasm_cap = 256 * 1024;
+    send_queue_cap = 1024 * 1024;
+    (* The byte caps above bound *payload*; these bound *entries*. A
+       peer that writes or acknowledges one byte at a time pays tens of
+       words of queue overhead per payload byte, so a byte cap alone
+       lets a stalled connection retain ~60x more memory than its
+       nominal limit (a 64 KiB window of 1-byte segments is ~850k
+       words). Count caps are the truesize accounting: defaults sit
+       far above anything a well-behaved flow reaches (window/mss is
+       ~46 in-flight segments), so only degenerate senders feel them. *)
+    max_inflight_segments = 256;
+    send_queue_max_writes = 2048;
   }
 
 type state =
@@ -79,6 +98,7 @@ type t = {
   mutable bytes_received : int;
   mutable retransmit_count : int;
   mutable head_retx_count : int;
+  mutable send_drop_count : int;
   (* Callbacks. *)
   mutable on_connect : unit -> unit;
   mutable on_data : string -> unit;
@@ -104,6 +124,11 @@ let bytes_sent t = t.bytes_sent_acked
 let bytes_received t = t.bytes_received
 let retransmits t = t.retransmit_count
 let send_queue_len t = t.pending_bytes
+let send_drops t = t.send_drop_count
+let reasm_pending t =
+  match t.reasm with None -> 0 | Some r -> Reassembly.pending r
+let reasm_drops t =
+  match t.reasm with None -> 0 | Some r -> Reassembly.drops r
 
 (* The cumulative acknowledgement we advertise: contiguous stream bytes
    plus one for the peer's FIN once consumed. *)
@@ -226,7 +251,13 @@ let rec try_send t =
     let sent_something = ref false in
     let continue = ref true in
     while
-      !continue && t.pending_bytes > 0 && window_used () < t.config.window
+      !continue && t.pending_bytes > 0
+      && window_used () < t.config.window
+      (* Segment-count brake: a receiver that stops acknowledging tiny
+         segments would otherwise let [inflight] grow to one record per
+         byte of window. Data waits in [pending] instead, where the
+         write caps shed it. *)
+      && Queue.length t.inflight < t.config.max_inflight_segments
     do
       let room = t.config.window - window_used () in
       let len = Stdlib.min (Stdlib.min t.config.mss t.pending_bytes) room in
@@ -277,9 +308,21 @@ let send t data =
   | Syn_sent | Syn_received | Established | Close_wait -> ());
   if t.fin_queued then invalid_arg "Conn.send: close already requested";
   if String.length data > 0 then begin
-    Queue.add data t.pending;
-    t.pending_bytes <- t.pending_bytes + String.length data;
-    try_send t
+    if
+      t.pending_bytes + String.length data > t.config.send_queue_cap
+      || Queue.length t.pending >= t.config.send_queue_max_writes
+    then
+      (* Backpressure cap: a writer that keeps pushing while the window
+         is stalled is shed (whole writes, newest first) instead of
+         growing the queue without limit. The dropped bytes truncate the
+         application stream — a pathological sender's problem, counted
+         so it fails loudly. *)
+      t.send_drop_count <- t.send_drop_count + 1
+    else begin
+      Queue.add data t.pending;
+      t.pending_bytes <- t.pending_bytes + String.length data;
+      try_send t
+    end
   end
 
 let close t =
@@ -392,7 +435,10 @@ let handle_packet t (pkt : Netsim.Packet.t) =
       match t.state with
       | Syn_sent ->
           if pkt.flags.syn && pkt.flags.ack && pkt.ack >= t.snd_una + 1 then begin
-            t.reasm <- Some (Reassembly.create ~rcv_nxt:(pkt.seq + 1));
+            t.reasm <-
+              Some
+                (Reassembly.create ~cap:t.config.reasm_cap
+                   ~rcv_nxt:(pkt.seq + 1) ());
             process_ack t pkt.ack;
             t.state <- Established;
             ack_now t;
@@ -458,6 +504,7 @@ let make engine ~tx ~config ~local ~remote ~on_teardown ~state =
       bytes_received = 0;
       retransmit_count = 0;
       head_retx_count = 0;
+      send_drop_count = 0;
       on_connect = nop;
       on_data = ignore;
       on_drain = nop;
@@ -497,7 +544,8 @@ let create_passive engine ~tx ~config ~local ~remote ~peer_isn ~on_teardown =
   let t =
     make engine ~tx ~config ~local ~remote ~on_teardown ~state:Syn_received
   in
-  t.reasm <- Some (Reassembly.create ~rcv_nxt:(peer_isn + 1));
+  t.reasm <-
+    Some (Reassembly.create ~cap:config.reasm_cap ~rcv_nxt:(peer_isn + 1) ());
   let seg =
     {
       seq = 0;

@@ -27,10 +27,29 @@ type config = {
   rto_initial : Des.Time.t;
   rto_min : Des.Time.t;
   rto_max : Des.Time.t;
+  reasm_cap : int;
+      (** Max bytes buffered out of order on the receive side; segments
+          past the cap are dropped (and recovered by retransmission), so
+          a gap-flooding peer cannot grow memory without limit. *)
+  send_queue_cap : int;
+      (** Max application bytes queued for transmission; writes past the
+          cap are discarded whole and counted ({!send_drops}). *)
+  max_inflight_segments : int;
+      (** Max retransmission-queue entries. The byte caps bound payload;
+          this bounds per-segment overhead, which dominates when a peer
+          sends or acknowledges a byte at a time (a full 64 KiB window
+          of 1-byte segments is ~850k words of queue records). When the
+          cap is reached, data waits in the send queue instead. *)
+  send_queue_max_writes : int;
+      (** Max send-queue entries, the write-count counterpart of
+          [send_queue_cap]; writes past it are shed and counted in
+          {!send_drops}. *)
 }
 
 val default_config : config
-(** mss 1448, window 65535, delayed ACK (2, 500 µs), RTO floor 1 ms. *)
+(** mss 1448, window 65535, delayed ACK (2, 500 µs), RTO floor 1 ms,
+    reassembly cap 256 KiB, send-queue cap 1 MiB / 2048 writes, 256
+    in-flight segments. *)
 
 type state =
   | Syn_sent
@@ -97,6 +116,15 @@ val bytes_received : t -> int
 val retransmits : t -> int
 val send_queue_len : t -> int
 (** Application bytes queued but not yet on the wire. *)
+
+val send_drops : t -> int
+(** Writes discarded because the send queue was at [send_queue_cap]. *)
+
+val reasm_pending : t -> int
+(** Bytes buffered out of order on the receive side. *)
+
+val reasm_drops : t -> int
+(** Out-of-order segments dropped at the reassembly cap. *)
 
 (**/**)
 

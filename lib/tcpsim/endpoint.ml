@@ -6,6 +6,10 @@ type t = {
   conns : Conn.t Netsim.Flow_key.Table.t;
   listeners : (Netsim.Addr.t, listener) Hashtbl.t;
   mutable strays : int;
+  (* Drop counters carried over from torn-down connections, so the
+     host-wide totals below survive connection churn. *)
+  mutable retired_reasm_drops : int;
+  mutable retired_send_drops : int;
 }
 
 let tx t pkt = Netsim.Fabric.send t.fabric ~from:t.host_ip pkt
@@ -19,12 +23,29 @@ let teardown t conn =
   let key =
     Netsim.Flow_key.v ~src:(Conn.local_addr conn) ~dst:(Conn.remote_addr conn)
   in
+  t.retired_reasm_drops <- t.retired_reasm_drops + Conn.reasm_drops conn;
+  t.retired_send_drops <- t.retired_send_drops + Conn.send_drops conn;
   Netsim.Flow_key.Table.remove t.conns key
 
 let find_listener t (dst : Netsim.Addr.t) =
   match Hashtbl.find_opt t.listeners dst with
   | Some l -> Some l
   | None -> Hashtbl.find_opt t.listeners (Netsim.Addr.v 0 dst.Netsim.Addr.port)
+
+(* RFC 793: a segment for a nonexistent connection elicits a reset (never
+   reset-on-reset), so a peer retransmitting into a dead connection —
+   a SYN-ACK or FIN whose other side was aborted mid-handshake — gives
+   up instead of retrying forever. Without this, connection churn leaves
+   a residue of stuck retransmitting connections. Hosts with no return
+   route simply drop, like a real network. *)
+let reset_stray t (pkt : Netsim.Packet.t) =
+  if not pkt.flags.rst then begin
+    let rst =
+      Netsim.Packet.make ~src:pkt.dst ~dst:pkt.src ~seq:pkt.ack ~ack:pkt.seq
+        ~flags:Netsim.Packet.flag_rst ~payload:""
+    in
+    try tx t rst with Invalid_argument _ -> ()
+  end
 
 let handle t (pkt : Netsim.Packet.t) =
   let key = key_of_packet pkt in
@@ -42,9 +63,14 @@ let handle t (pkt : Netsim.Packet.t) =
             in
             Netsim.Flow_key.Table.add t.conns key conn;
             accept conn
-        | None -> t.strays <- t.strays + 1
+        | None ->
+            t.strays <- t.strays + 1;
+            reset_stray t pkt
       end
-      else t.strays <- t.strays + 1
+      else begin
+        t.strays <- t.strays + 1;
+        reset_stray t pkt
+      end
 
 let make fabric ~host_ip ~replace =
   let t =
@@ -54,6 +80,8 @@ let make fabric ~host_ip ~replace =
       conns = Netsim.Flow_key.Table.create 64;
       listeners = Hashtbl.create 4;
       strays = 0;
+      retired_reasm_drops = 0;
+      retired_send_drops = 0;
     }
   in
   if replace then Netsim.Fabric.replace_handler fabric ~ip:host_ip (handle t)
@@ -83,3 +111,14 @@ let connect t ?(config = Conn.default_config) ~local ~remote () =
 
 let active_connections t = Netsim.Flow_key.Table.length t.conns
 let stray_packets t = t.strays
+
+let fold_conns f t init =
+  Netsim.Flow_key.Table.fold (fun _ conn acc -> f acc conn) t.conns init
+
+let sum_conns t f base =
+  Netsim.Flow_key.Table.fold (fun _ conn acc -> acc + f conn) t.conns base
+
+let reasm_pending t = sum_conns t Conn.reasm_pending 0
+let reasm_drops t = sum_conns t Conn.reasm_drops t.retired_reasm_drops
+let send_backlog t = sum_conns t Conn.send_queue_len 0
+let send_drops t = sum_conns t Conn.send_drops t.retired_send_drops

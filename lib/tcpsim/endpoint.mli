@@ -46,4 +46,27 @@ val active_connections : t -> int
 (** Number of live (non-closed) connections. *)
 
 val stray_packets : t -> int
-(** Packets received that matched no connection or listener. *)
+(** Packets received that matched no connection or listener. Strays
+    other than resets are answered with an RFC 793 reset so the peer
+    abandons the dead connection instead of retransmitting forever. *)
+
+val fold_conns : ('a -> Conn.t -> 'a) -> t -> 'a -> 'a
+(** Fold over the live connections (diagnostics, e.g. the soak
+    battery's stuck-connection census). *)
+
+(** {1 Host-wide datapath memory counters}
+
+    Sums over all live connections plus everything already torn down, so
+    they are stable under connection churn. O(live connections). *)
+
+val reasm_pending : t -> int
+(** Bytes currently buffered out of order across live connections. *)
+
+val reasm_drops : t -> int
+(** Total out-of-order segments dropped at the reassembly cap. *)
+
+val send_backlog : t -> int
+(** Application bytes queued for transmission across live connections. *)
+
+val send_drops : t -> int
+(** Total writes discarded at the send-queue cap. *)

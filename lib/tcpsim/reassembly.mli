@@ -3,12 +3,22 @@
     Buffers out-of-order segments and releases the longest contiguous
     prefix starting at the next expected sequence number. Duplicate and
     partially overlapping segments (from spurious retransmissions) are
-    trimmed. *)
+    trimmed.
+
+    The out-of-order buffer is bounded: segments that would push it past
+    the configured byte cap are dropped (newest first) and counted, so a
+    deliberately gapped sender — never filling the hole below its flood —
+    costs at most [cap] bytes of memory. Dropped segments are recovered
+    by the peer's ordinary retransmission once the gap fills, so the cap
+    trades retransmissions for boundedness, never correctness. *)
 
 type t
 
-val create : rcv_nxt:int -> t
-(** [create ~rcv_nxt] expects the next in-order byte at [rcv_nxt]. *)
+val create : ?cap:int -> rcv_nxt:int -> unit -> t
+(** [create ~rcv_nxt ()] expects the next in-order byte at [rcv_nxt].
+    [cap] bounds the bytes buffered out of order (default: unbounded).
+
+    @raise Invalid_argument if [cap <= 0]. *)
 
 val rcv_nxt : t -> int
 (** Next expected sequence number. *)
@@ -18,4 +28,11 @@ val insert : t -> seq:int -> string -> string
     empty) newly contiguous bytes, advancing {!rcv_nxt} past them. *)
 
 val pending : t -> int
-(** Bytes buffered out of order (not yet released). *)
+(** Bytes buffered out of order (not yet released). O(1). *)
+
+val cap : t -> int
+(** The configured out-of-order byte cap. *)
+
+val drops : t -> int
+(** Out-of-order segments dropped because buffering them would have
+    exceeded the cap. *)

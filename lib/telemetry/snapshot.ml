@@ -57,6 +57,13 @@ let start engine registry ~interval =
 
 let stop t = Des.Timer.stop t.timer
 let rows t = List.rev t.rows_rev
+
+let retained_words t =
+  (* Only the accumulated history — rows and the bucketed mirror — not
+     the registry or engine (those belong to the system under test).
+     Lets a memory-flatness monitor subtract its own O(duration)
+     footprint from what it judges. *)
+  Obj.reachable_words (Obj.repr (t.rows_rev, t.series))
 let snap_count t = t.snaps
 let interval t = t.interval
 let series t ?index name = Hashtbl.find_opt t.series (name, index)

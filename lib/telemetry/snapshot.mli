@@ -28,6 +28,12 @@ val snap : t -> unit
 val stop : t -> unit
 (** Stop the periodic timer. Already-collected rows remain readable. *)
 
+val retained_words : t -> int
+(** Heap words retained by the collected history itself (the row stream
+    and the bucketed mirror) — inherently O(duration). A memory-flatness
+    monitor (the soak battery) subtracts this from the live-word count
+    so the monitoring's own history does not fail its verdicts. *)
+
 val rows : t -> row list
 (** All rows, chronological (metrics in registration order within one
     snapshot). *)

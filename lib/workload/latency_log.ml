@@ -48,6 +48,14 @@ let record t ~op ~latency =
       Stats.Histogram.record t.set_hist latency;
       Stats.Timeseries.record t.set_series ~at:now latency
 
+let retained_words t =
+  (* The bucketed series grow one histogram per bucket for the life of
+     the run — measurement history, not system state. Exposed so the
+     soak battery can subtract the monitoring's own footprint from its
+     live-memory verdicts (the summary histograms are fixed-size and
+     not worth counting). *)
+  Obj.reachable_words (Obj.repr (t.get_series, t.set_series))
+
 let count t = Telemetry.Registry.Counter.value t.m_count
 let hist t = function Get -> t.get_hist | Set -> t.set_hist
 

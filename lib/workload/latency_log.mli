@@ -25,6 +25,11 @@ val create :
 val record : t -> op:op -> latency:Des.Time.t -> unit
 (** Record one completed request at the current simulated time. *)
 
+val retained_words : t -> int
+(** Heap words held by the accumulated per-bucket series — measurement
+    history that grows with run length by design. The soak battery
+    subtracts it from live-memory flatness verdicts. *)
+
 val count : t -> int
 (** Total requests recorded. *)
 

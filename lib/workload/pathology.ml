@@ -1,0 +1,273 @@
+type kind =
+  | Slowloris of { drip : Des.Time.t }
+  | Pipeline_burst of { burst : int; gap : Des.Time.t }
+  | Reconnect_storm of { hold : Des.Time.t }
+  | Gap_flood of { rate : Des.Time.t; segment : int }
+  | Rst_flood of { rate : Des.Time.t }
+
+type config = { kind : kind; connections : int; tcp : Tcpsim.Conn.config }
+
+let default_config =
+  {
+    kind = Slowloris { drip = Des.Time.ms 10 };
+    connections = 4;
+    tcp = Tcpsim.Conn.default_config;
+  }
+
+type slot = { mutable conn : Tcpsim.Conn.t option; mutable drip_pos : int }
+
+type t = {
+  fabric : Netsim.Fabric.t;
+  engine : Des.Engine.t;
+  endpoint : Tcpsim.Endpoint.t;
+  host_ip : int;
+  vip : Netsim.Addr.t;
+  config : config;
+  rng : Des.Rng.t;
+  slots : slot array;
+  mutable next_port : int;
+  mutable gap_seq : int; (* next raw sequence number for Gap_flood *)
+  mutable running : bool;
+  m_conns : Telemetry.Registry.counter;
+  m_bytes : Telemetry.Registry.counter;
+  m_requests : Telemetry.Registry.counter;
+  m_gap_segments : Telemetry.Registry.counter;
+  m_rsts : Telemetry.Registry.counter;
+}
+
+let validate config =
+  if config.connections <= 0 then
+    invalid_arg "Pathology.create: connections must be positive";
+  match config.kind with
+  | Slowloris { drip } ->
+      if drip <= 0 then invalid_arg "Pathology.create: drip must be positive"
+  | Pipeline_burst { burst; gap } ->
+      if burst <= 0 || gap <= 0 then
+        invalid_arg "Pathology.create: burst/gap must be positive"
+  | Reconnect_storm { hold } ->
+      if hold <= 0 then invalid_arg "Pathology.create: hold must be positive"
+  | Gap_flood { rate; segment } ->
+      if rate <= 0 || segment <= 0 then
+        invalid_arg "Pathology.create: rate/segment must be positive"
+  | Rst_flood { rate } ->
+      if rate <= 0 then invalid_arg "Pathology.create: rate must be positive"
+
+let create fabric ~host_ip ~vip ?(config = default_config) ?telemetry ?index
+    ~rng () =
+  validate config;
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let counter name = Telemetry.Registry.counter registry ?index name in
+  {
+    fabric;
+    engine = Netsim.Fabric.engine fabric;
+    endpoint = Tcpsim.Endpoint.create fabric ~host_ip;
+    host_ip;
+    vip;
+    config;
+    rng;
+    slots =
+      Array.init config.connections (fun _ -> { conn = None; drip_pos = 0 });
+    next_port = 40_000;
+    (* Far above any sequence the real connection will reach, so the
+       flood segments always leave a gap at the receiver and are never
+       delivered in order. *)
+    gap_seq = 1_000_000;
+    running = false;
+    m_conns = counter "path.conns_opened";
+    m_bytes = counter "path.bytes_trickled";
+    m_requests = counter "path.requests_sent";
+    m_gap_segments = counter "path.gap_segments";
+    m_rsts = counter "path.rst_sent";
+  }
+
+(* One canned request, dripped byte-by-byte by Slowloris and blasted in
+   batches by Pipeline_burst. Protocol-valid so the server never aborts
+   the connection as malformed. *)
+let request_bytes =
+  Memcache.Protocol.encode_request (Get { key = "pathology" })
+
+let fresh_local t =
+  let port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  Netsim.Addr.v t.host_ip port
+
+let incr = Telemetry.Registry.Counter.incr
+
+(* Open a connection whose responses are read and discarded; [on_up]
+   runs once established, [on_gone] after teardown. *)
+let open_conn t ~on_up ~on_gone =
+  let conn =
+    Tcpsim.Endpoint.connect t.endpoint ~config:t.config.tcp
+      ~local:(fresh_local t) ~remote:t.vip ()
+  in
+  incr t.m_conns;
+  Tcpsim.Conn.set_on_data conn (fun _ -> ());
+  Tcpsim.Conn.set_on_connect conn (fun () -> on_up conn);
+  Tcpsim.Conn.set_on_close conn (fun () -> on_gone ());
+  conn
+
+let conn_usable conn =
+  match Tcpsim.Conn.state conn with
+  | Established | Close_wait -> true
+  | Syn_sent | Syn_received | Fin_wait | Last_ack | Closed -> false
+
+let reopen_later t slot ~delay ~respawn =
+  slot.conn <- None;
+  if t.running then
+    Des.Engine.post_after t.engine ~delay (fun () ->
+        if t.running then respawn t slot)
+
+(* Slowloris: trickle a well-formed request one byte at a time, [drip]
+   apart. The server's reader buffers a forever-partial request while
+   the connection pins LB flow state at near-zero throughput. *)
+let rec slowloris_open t slot ~drip =
+  slot.conn <-
+    Some
+      (open_conn t
+         ~on_up:(fun conn -> slowloris_drip t slot conn ~drip)
+         ~on_gone:(fun () ->
+           reopen_later t slot ~delay:drip ~respawn:(fun t slot ->
+               slowloris_open t slot ~drip)))
+
+and slowloris_drip t slot conn ~drip =
+  if t.running && conn_usable conn then begin
+    let pos = slot.drip_pos mod String.length request_bytes in
+    Tcpsim.Conn.send conn (String.make 1 request_bytes.[pos]);
+    incr t.m_bytes;
+    slot.drip_pos <- slot.drip_pos + 1;
+    if pos = String.length request_bytes - 1 then incr t.m_requests;
+    Des.Engine.post_after t.engine ~delay:drip (fun () ->
+        slowloris_drip t slot conn ~drip)
+  end
+
+(* Pipeline burst: open-loop batches of [burst] requests every [gap],
+   ignoring responses — no causal trigger, so the server queue and both
+   sides' TCP buffers absorb the excess. *)
+let rec burst_open t slot ~burst ~gap =
+  slot.conn <-
+    Some
+      (open_conn t
+         ~on_up:(fun conn -> burst_fire t slot conn ~burst ~gap)
+         ~on_gone:(fun () ->
+           reopen_later t slot ~delay:gap ~respawn:(fun t slot ->
+               burst_open t slot ~burst ~gap)))
+
+and burst_fire t slot conn ~burst ~gap =
+  if t.running && conn_usable conn then begin
+    for _ = 1 to burst do
+      Tcpsim.Conn.send conn request_bytes;
+      incr t.m_requests
+    done;
+    Des.Engine.post_after t.engine ~delay:gap (fun () ->
+        burst_fire t slot conn ~burst ~gap)
+  end
+
+(* Reconnect storm: hold each connection for [hold], then abort (RST,
+   no FIN handshake) and reopen from a fresh port — maximal flow-table
+   and listener churn per unit time. *)
+let rec storm_open t slot ~hold =
+  slot.conn <-
+    Some
+      (open_conn t
+         ~on_up:(fun conn ->
+           Des.Engine.post_after t.engine ~delay:hold (fun () ->
+               if t.running then Tcpsim.Conn.abort conn))
+         ~on_gone:(fun () ->
+           reopen_later t slot ~delay:1 ~respawn:(fun t slot ->
+               storm_open t slot ~hold)))
+
+(* Gap flood: establish one real connection, then inject raw segments
+   far beyond the receiver's expected sequence. The gap never fills, so
+   an uncapped reassembly buffer grows without bound; the capped one
+   drops and counts. *)
+let rec gap_open t slot ~rate ~segment =
+  slot.conn <-
+    Some
+      (open_conn t
+         ~on_up:(fun conn -> gap_inject t slot conn ~rate ~segment)
+         ~on_gone:(fun () ->
+           reopen_later t slot ~delay:rate ~respawn:(fun t slot ->
+               gap_open t slot ~rate ~segment)))
+
+and gap_inject t slot conn ~rate ~segment =
+  if t.running && conn_usable conn then begin
+    let seq = t.gap_seq in
+    (* +1 leaves a one-byte hole between consecutive flood segments so
+       they can never coalesce into an in-order run. *)
+    t.gap_seq <- t.gap_seq + segment + 1;
+    let pkt =
+      Netsim.Packet.make
+        ~src:(Tcpsim.Conn.local_addr conn)
+        ~dst:(Tcpsim.Conn.remote_addr conn)
+        ~seq ~ack:0 ~flags:Netsim.Packet.flag_ack
+        ~payload:(String.make segment 'g')
+    in
+    Netsim.Fabric.send t.fabric ~from:t.host_ip pkt;
+    incr t.m_gap_segments;
+    Des.Engine.post_after t.engine ~delay:rate (fun () ->
+        gap_inject t slot conn ~rate ~segment)
+  end
+
+(* RST flood: bare resets from ever-fresh source ports straight at the
+   VIP. Each one makes the balancer admit and immediately release a
+   flow, exercising tombstone churn; at the server they count as
+   strays. *)
+let rec rst_fire t ~rate =
+  if t.running then begin
+    let pkt =
+      Netsim.Packet.make ~src:(fresh_local t) ~dst:t.vip
+        ~seq:(Des.Rng.int t.rng 1_000_000)
+        ~ack:0 ~flags:Netsim.Packet.flag_rst ~payload:""
+    in
+    Netsim.Fabric.send t.fabric ~from:t.host_ip pkt;
+    incr t.m_rsts;
+    Des.Engine.post_after t.engine ~delay:rate (fun () -> rst_fire t ~rate)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    match t.config.kind with
+    | Slowloris { drip } ->
+        Array.iter (fun slot -> slowloris_open t slot ~drip) t.slots
+    | Pipeline_burst { burst; gap } ->
+        Array.iter (fun slot -> burst_open t slot ~burst ~gap) t.slots
+    | Reconnect_storm { hold } ->
+        Array.iter (fun slot -> storm_open t slot ~hold) t.slots
+    | Gap_flood { rate; segment } ->
+        Array.iter (fun slot -> gap_open t slot ~rate ~segment) t.slots
+    | Rst_flood { rate } ->
+        (* Stagger the injectors so the floods don't beat in phase. *)
+        Array.iteri
+          (fun i _ ->
+            Des.Engine.post_after t.engine
+              ~delay:(1 + (i * rate / Array.length t.slots))
+              (fun () -> rst_fire t ~rate))
+          t.slots
+  end
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    Array.iter
+      (fun slot ->
+        match slot.conn with
+        | Some conn ->
+            slot.conn <- None;
+            if Tcpsim.Conn.state conn <> Closed then Tcpsim.Conn.abort conn
+        | None -> ())
+      t.slots
+  end
+
+let endpoint t = t.endpoint
+
+let value = Telemetry.Registry.Counter.value
+let conns_opened t = value t.m_conns
+let bytes_trickled t = value t.m_bytes
+let requests_sent t = value t.m_requests
+let gap_segments t = value t.m_gap_segments
+let rsts_sent t = value t.m_rsts

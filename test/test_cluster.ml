@@ -399,6 +399,102 @@ let jobs_do_not_change_figures () =
   Alcotest.(check string) "fig3 CSV identical at -j 1 and -j 4" sequential
     parallel
 
+(* --- Soak -------------------------------------------------------------------- *)
+
+let soak_row at value = { Telemetry.Snapshot.at; metric = "m"; index = None; value }
+
+let judge ?bound rows =
+  Cluster.Soak.flatness ?bound rows ~metric:"m" ~from_:0
+    ~until:(Des.Time.sec 100) ~windows:4 ~growth_tolerance:0.35
+    ~monotonic_tolerance:0.10
+
+let soak_flatness_flags_growth () =
+  (* A linear leak: 100 → 290 over the span. Growth over the window means
+     is ~66% of the mean — far past the 35% tolerance. *)
+  let rows =
+    List.init 20 (fun i ->
+        soak_row (Des.Time.sec (5 * i)) (100.0 +. (10.0 *. float_of_int i)))
+  in
+  let v = judge rows in
+  check_bool "growth detected" true (v.Cluster.Soak.growth > 0.35);
+  check_bool "monotonic" true v.Cluster.Soak.monotonic;
+  check_bool "not flat" false v.Cluster.Soak.flat
+
+let soak_flatness_catches_slow_monotonic_leak () =
+  (* +15% over the run: under the 35% growth tolerance, but strictly
+     monotonic window means past the 10% monotonic floor — a slow leak
+     never oscillates, so it must still fail. *)
+  let rows =
+    List.init 20 (fun i ->
+        soak_row (Des.Time.sec (5 * i)) (1000.0 +. (8.0 *. float_of_int i)))
+  in
+  let v = judge rows in
+  check_bool "below growth tolerance" true (v.Cluster.Soak.growth < 0.35);
+  check_bool "monotonic" true v.Cluster.Soak.monotonic;
+  check_bool "still fails" false v.Cluster.Soak.flat
+
+let soak_flatness_accepts_flat_and_bounded_sawtooth () =
+  let flat_rows =
+    List.init 20 (fun i ->
+        soak_row (Des.Time.sec (5 * i)) (if i mod 2 = 0 then 99.0 else 101.0))
+  in
+  check_bool "flat passes" true (judge flat_rows).Cluster.Soak.flat;
+  (* A sawtooth that happens to end high would trip a growth check; under
+     an absolute bound it is judged only on its ceiling. *)
+  let saw =
+    List.init 20 (fun i ->
+        soak_row (Des.Time.sec (5 * i)) (float_of_int (i mod 5) *. 20.0))
+  in
+  check_bool "bounded sawtooth passes" true
+    (judge ~bound:100.0 saw).Cluster.Soak.flat;
+  check_bool "bound violation fails" false
+    (judge ~bound:50.0 saw).Cluster.Soak.flat
+
+let soak_repeat_timeline_tiles_and_clips () =
+  let event =
+    Faults.Timeline.event ~at:(Des.Time.sec 2)
+      ~target:(Faults.Timeline.Server 0)
+      ~fault:(Faults.Timeline.Slow 2.0)
+      ~duration:(Des.Time.sec 3) ()
+  in
+  let tiled =
+    Cluster.Soak.repeat_timeline [ event ] ~period:(Des.Time.sec 10)
+      ~until:(Des.Time.sec 35)
+  in
+  (* Copies start at 2 s, 12 s, 22 s; the 32 s copy would revert at 35 s,
+     which is not strictly before the end, so it is clipped. *)
+  check_int "three copies" 3 (List.length tiled);
+  Alcotest.(check (list int))
+    "shifted starts"
+    [ Des.Time.sec 2; Des.Time.sec 12; Des.Time.sec 22 ]
+    (List.map (fun (e : Faults.Timeline.event) -> e.at) tiled)
+
+let soak_short_run_is_clean () =
+  (* A compressed end-to-end soak: one sim-minute of churn with two of
+     the pathologies attached. Asserts the full verdict — flat memory,
+     no stuck state after drain, healthy estimator, zero PCC
+     violations. *)
+  let config =
+    {
+      Cluster.Soak.default_config with
+      Cluster.Soak.duration = Des.Time.sec 60;
+      warmup = Des.Time.sec 15;
+      drain = Des.Time.sec 15;
+      windows = 3;
+      pathologies =
+        [
+          (Workload.Pathology.Slowloris { drip = Des.Time.ms 10 }, 4);
+          (Workload.Pathology.Rst_flood { rate = Des.Time.ms 20 }, 4);
+        ];
+    }
+  in
+  let r = Cluster.Soak.run ~config () in
+  check_bool "soak ok" true (Cluster.Soak.ok r);
+  check_int "no stuck flows" 0 r.Cluster.Soak.stuck_flows;
+  check_int "no stuck conns" 0 r.Cluster.Soak.stuck_conns;
+  check_int "pcc clean" 0 r.Cluster.Soak.pcc_violations;
+  check_bool "served traffic" true (r.Cluster.Soak.responses > 10_000)
+
 let () =
   Alcotest.run "cluster"
     [
@@ -442,6 +538,17 @@ let () =
             fig3_timeline_matches_direct_injection;
           Alcotest.test_case "churn reports detection and recovery" `Slow
             churn_reports_detection_and_recovery;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "flatness flags growth" `Quick soak_flatness_flags_growth;
+          Alcotest.test_case "flatness catches slow monotonic leak" `Quick
+            soak_flatness_catches_slow_monotonic_leak;
+          Alcotest.test_case "flatness accepts flat and bounded sawtooth" `Quick
+            soak_flatness_accepts_flat_and_bounded_sawtooth;
+          Alcotest.test_case "repeat timeline tiles and clips" `Quick
+            soak_repeat_timeline_tiles_and_clips;
+          Alcotest.test_case "short soak is clean" `Slow soak_short_run_is_clean;
         ] );
       ( "determinism",
         [

@@ -56,7 +56,10 @@ let oracle_semantics () =
         packet = Netsim.Packet.make ~src ~dst:vip ~seq:0 ~ack:0 ~flags ~payload:"";
       }
   in
-  publish ~at_ms:1 ~server:0 ~flags:Netsim.Packet.flag_ack;
+  (* Adoption is SYN-only: mid-flow packets carry no expectation of
+     their own, and a post-FIN teardown ACK must not re-track the flow
+     (that would leak one forever-idle entry per graceful close). *)
+  publish ~at_ms:1 ~server:0 ~flags:Netsim.Packet.flag_syn;
   publish ~at_ms:2 ~server:0 ~flags:Netsim.Packet.flag_ack;
   check_bool "same backend is consistent" true (Cluster.Oracle.ok oracle);
   check_int "one flow tracked" 1 (Cluster.Oracle.tracked oracle);
@@ -71,7 +74,7 @@ let oracle_semantics () =
   (* FIN ends the flow: the same 5-tuple may reincarnate anywhere. *)
   publish ~at_ms:4 ~server:0 ~flags:Netsim.Packet.flag_fin_ack;
   check_int "fin releases tracking" 0 (Cluster.Oracle.tracked oracle);
-  publish ~at_ms:5 ~server:1 ~flags:Netsim.Packet.flag_ack;
+  publish ~at_ms:5 ~server:1 ~flags:Netsim.Packet.flag_syn;
   check_int "reincarnation is legitimate" 1
     (Cluster.Oracle.violation_count oracle);
   (* Past the idle timeout the balancer may have expired the flow. *)

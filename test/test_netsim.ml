@@ -79,6 +79,29 @@ let flow_table_basics () =
   FT.remove t (key_of_port 1);
   check_int "double remove is a no-op" 1 (FT.tombstones t)
 
+(* Regression: updating an existing key at high load must not resize —
+   only a true insert may grow the table. The bug doubled capacity on
+   every update once load crossed 3/4, ballooning a full-but-stable
+   table under nothing but refreshes. *)
+let flow_table_update_never_resizes () =
+  let module FT = Netsim.Flow_table in
+  let t = FT.create ~initial:16 () in
+  for p = 1 to 12 do
+    FT.add t (key_of_port p) p
+  done;
+  (* 12/16 = 3/4 load: the next true insert grows, an update must not. *)
+  check_int "at load" 16 (FT.capacity t);
+  for _ = 1 to 100 do
+    for p = 1 to 12 do
+      FT.add t (key_of_port p) (p + 1000)
+    done
+  done;
+  check_int "updates leave capacity alone" 16 (FT.capacity t);
+  check_int "still 12 entries" 12 (FT.length t);
+  check_int "updated in place" 1001 (FT.find t (key_of_port 1));
+  FT.add t (key_of_port 13) 13;
+  check_int "a true insert grows" 32 (FT.capacity t)
+
 let flow_table_tombstone_reuse () =
   let module FT = Netsim.Flow_table in
   let t = FT.create ~initial:16 () in
@@ -399,6 +422,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick flow_table_basics;
           Alcotest.test_case "tombstone reuse" `Quick flow_table_tombstone_reuse;
+          Alcotest.test_case "update never resizes" `Quick
+            flow_table_update_never_resizes;
           Alcotest.test_case "resize and purge" `Quick
             flow_table_resize_and_purge;
         ] );

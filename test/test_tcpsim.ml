@@ -52,12 +52,12 @@ let rto_bounds () =
 (* --- Reassembly ---------------------------------------------------------- *)
 
 let reasm_in_order () =
-  let r = Tcpsim.Reassembly.create ~rcv_nxt:100 in
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:100 () in
   Alcotest.(check string) "delivers" "abc" (Tcpsim.Reassembly.insert r ~seq:100 "abc");
   check_int "advances" 103 (Tcpsim.Reassembly.rcv_nxt r)
 
 let reasm_out_of_order () =
-  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 () in
   Alcotest.(check string) "gap holds delivery" ""
     (Tcpsim.Reassembly.insert r ~seq:3 "def");
   check_int "pending" 3 (Tcpsim.Reassembly.pending r);
@@ -67,7 +67,7 @@ let reasm_out_of_order () =
   check_int "rcv_nxt" 6 (Tcpsim.Reassembly.rcv_nxt r)
 
 let reasm_duplicate () =
-  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 () in
   ignore (Tcpsim.Reassembly.insert r ~seq:0 "abc");
   Alcotest.(check string) "full duplicate ignored" ""
     (Tcpsim.Reassembly.insert r ~seq:0 "abc");
@@ -75,7 +75,7 @@ let reasm_duplicate () =
     (Tcpsim.Reassembly.insert r ~seq:1 "bcde")
 
 let reasm_overlapping_ooo () =
-  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+  let r = Tcpsim.Reassembly.create ~rcv_nxt:0 () in
   ignore (Tcpsim.Reassembly.insert r ~seq:5 "fg");
   ignore (Tcpsim.Reassembly.insert r ~seq:5 "fgh") (* longer wins *);
   Alcotest.(check string) "drains the longer one" "abcdefgh"
@@ -104,13 +104,74 @@ let reasm_qcheck_stream =
         arr.(i) <- arr.(j);
         arr.(j) <- tmp
       done;
-      let r = Tcpsim.Reassembly.create ~rcv_nxt:0 in
+      let r = Tcpsim.Reassembly.create ~rcv_nxt:0 () in
       let out = Buffer.create 64 in
       Array.iter
         (fun (seq, data) ->
           Buffer.add_string out (Tcpsim.Reassembly.insert r ~seq data))
         arr;
       Buffer.contents out = payload)
+
+let reasm_cap_drops () =
+  let r = Tcpsim.Reassembly.create ~cap:10 ~rcv_nxt:0 () in
+  Alcotest.(check string) "gap holds" ""
+    (Tcpsim.Reassembly.insert r ~seq:5 "abcdef");
+  check_int "buffered" 6 (Tcpsim.Reassembly.pending r);
+  (* Another 6 bytes would exceed the 10-byte cap: dropped, counted. *)
+  Alcotest.(check string) "over cap dropped" ""
+    (Tcpsim.Reassembly.insert r ~seq:20 "ghijkl");
+  check_int "pending unchanged" 6 (Tcpsim.Reassembly.pending r);
+  check_int "drop counted" 1 (Tcpsim.Reassembly.drops r);
+  check_int "cap visible" 10 (Tcpsim.Reassembly.cap r);
+  (* Filling the hole releases the prefix plus what stayed buffered —
+     never the dropped segment. *)
+  Alcotest.(check string) "fill releases buffered only" "ABCDEabcdef"
+    (Tcpsim.Reassembly.insert r ~seq:0 "ABCDE");
+  check_int "nothing pending" 0 (Tcpsim.Reassembly.pending r)
+
+(* The retransmission contract: dropping at the cap may cost rounds but
+   never bytes. Re-feeding the shuffled segments (the peer's
+   retransmission) must always converge on the full stream, with the
+   out-of-order buffer never exceeding the cap. *)
+let reasm_qcheck_capped =
+  QCheck.Test.make ~count:100
+    ~name:"capped reassembly converges under re-fed retransmissions"
+    QCheck.(pair (string_of_size Gen.(int_range 1 300)) (int_bound 1000))
+    (fun (payload, seed) ->
+      let rng = Des.Rng.create ~seed in
+      let cap = 8 in
+      let segments = ref [] in
+      let off = ref 0 in
+      while !off < String.length payload do
+        let len =
+          Stdlib.min (1 + Des.Rng.int rng 7) (String.length payload - !off)
+        in
+        segments := (!off, String.sub payload !off len) :: !segments;
+        off := !off + len
+      done;
+      let arr = Array.of_list !segments in
+      let shuffle () =
+        for i = Array.length arr - 1 downto 1 do
+          let j = Des.Rng.int rng (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done
+      in
+      let r = Tcpsim.Reassembly.create ~cap ~rcv_nxt:0 () in
+      let out = Buffer.create 64 in
+      let rounds = ref 0 in
+      let capped = ref true in
+      while Buffer.length out < String.length payload && !rounds < 1000 do
+        incr rounds;
+        shuffle ();
+        Array.iter
+          (fun (seq, data) ->
+            Buffer.add_string out (Tcpsim.Reassembly.insert r ~seq data);
+            if Tcpsim.Reassembly.pending r > cap then capped := false)
+          arr
+      done;
+      !capped && Buffer.contents out = payload)
 
 (* --- Connection harness --------------------------------------------------- *)
 
@@ -193,6 +254,29 @@ let large_transfer_segmented () =
   Des.Engine.run ~until:(Des.Time.sec 2) w.engine;
   check_bool "byte-identical" true (Buffer.contents received = payload);
   check_int "acked all app bytes" 50_000 (Tcpsim.Conn.bytes_sent conn)
+
+let send_queue_cap_sheds () =
+  let w = make_world () in
+  let received = Buffer.create 64 in
+  sink_server w received;
+  let config =
+    { Tcpsim.Conn.default_config with Tcpsim.Conn.send_queue_cap = 100 }
+  in
+  let conn =
+    Tcpsim.Endpoint.connect w.client_ep ~config ~local:client_addr
+      ~remote:server_addr ()
+  in
+  (* Still in Syn_sent: writes queue without transmitting. *)
+  Tcpsim.Conn.send conn (String.make 80 'a');
+  Tcpsim.Conn.send conn (String.make 30 'b') (* would exceed the cap *);
+  Tcpsim.Conn.send conn (String.make 20 'c') (* fits exactly *);
+  check_int "one write shed" 1 (Tcpsim.Conn.send_drops conn);
+  check_int "queue at cap" 100 (Tcpsim.Conn.send_queue_len conn);
+  Des.Engine.run ~until:(Des.Time.ms 100) w.engine;
+  (* Writes are shed whole; what survives arrives intact and in order. *)
+  Alcotest.(check string) "stream truncated, order kept"
+    (String.make 80 'a' ^ String.make 20 'c')
+    (Buffer.contents received)
 
 let window_limits_inflight () =
   let w = make_world ~delay:(Des.Time.ms 2) () in
@@ -437,14 +521,17 @@ let () =
           Alcotest.test_case "out of order" `Quick reasm_out_of_order;
           Alcotest.test_case "duplicate" `Quick reasm_duplicate;
           Alcotest.test_case "overlapping ooo" `Quick reasm_overlapping_ooo;
+          Alcotest.test_case "cap drops and recovers" `Quick reasm_cap_drops;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ reasm_qcheck_stream ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ reasm_qcheck_stream; reasm_qcheck_capped ] );
       ( "transfer",
         [
           Alcotest.test_case "handshake" `Quick handshake_completes;
           Alcotest.test_case "echo roundtrip" `Quick echo_roundtrip;
           Alcotest.test_case "large transfer" `Quick large_transfer_segmented;
           Alcotest.test_case "window limits inflight" `Quick window_limits_inflight;
+          Alcotest.test_case "send queue cap sheds" `Quick send_queue_cap_sheds;
           Alcotest.test_case "bidirectional" `Quick bidirectional_transfer;
         ] );
       ( "teardown",

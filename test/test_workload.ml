@@ -174,6 +174,132 @@ let memtier_latencies_sane () =
   check_bool "p50 below 1ms" true
     (Stats.Histogram.quantile hist 0.5 < Des.Time.ms 1)
 
+(* --- Pathology ----------------------------------------------------------- *)
+
+(* A pathology client attacking the scenario's VIP through the LB, with
+   ordinary memtier load sharing the cluster. *)
+let attack ?(until = Des.Time.sec 2) kind connections =
+  let s = Cluster.Scenario.build scenario_config in
+  let p =
+    Workload.Pathology.create (Cluster.Scenario.fabric s) ~host_ip:200
+      ~vip:(Cluster.Scenario.vip s)
+      ~config:
+        { Workload.Pathology.default_config with kind; connections }
+      ~rng:(Des.Rng.create ~seed:7) ()
+  in
+  (* The endpoint registers host 200; links can only be wired after. *)
+  Cluster.Scenario.wire_client_host s ~host_ip:200;
+  Workload.Pathology.start p;
+  Cluster.Scenario.run s ~until;
+  (s, p)
+
+let pathology_slowloris_trickles () =
+  let s, p = attack (Workload.Pathology.Slowloris { drip = Des.Time.ms 1 }) 2 in
+  check_bool "dripped bytes" true (Workload.Pathology.bytes_trickled p > 1_000);
+  check_bool "requests eventually complete" true
+    (Workload.Pathology.requests_sent p > 0);
+  check_bool "service stayed alive" true
+    (Workload.Latency_log.count (Cluster.Scenario.log s) > 1_000)
+
+let pathology_burst_is_open_loop () =
+  let _s, p =
+    attack
+      (Workload.Pathology.Pipeline_burst { burst = 16; gap = Des.Time.ms 10 })
+      2
+  in
+  (* ~2 conns x 16 req x 200 gaps, minus ramp: clearly open loop. *)
+  check_bool "thousands of requests" true
+    (Workload.Pathology.requests_sent p > 2_000)
+
+let pathology_storm_churns () =
+  let _s, p =
+    attack (Workload.Pathology.Reconnect_storm { hold = Des.Time.ms 5 }) 2
+  in
+  check_bool "hundreds of opens" true (Workload.Pathology.conns_opened p > 100);
+  (* Aborted connections must not pile up on the attacker either. *)
+  check_bool "client table bounded" true
+    (Tcpsim.Endpoint.active_connections (Workload.Pathology.endpoint p) <= 8)
+
+let pathology_gap_flood_hits_cap () =
+  let s, p =
+    attack
+      (Workload.Pathology.Gap_flood
+         { rate = Des.Time.us 500; segment = 256 })
+      1
+  in
+  check_bool "flooded" true (Workload.Pathology.gap_segments p > 1_000);
+  let servers = Cluster.Scenario.servers s in
+  let drops =
+    Array.fold_left
+      (fun acc srv ->
+        acc + Tcpsim.Endpoint.reasm_drops (Memcache.Server.endpoint srv))
+      0 servers
+  in
+  check_bool "reassembly cap engaged" true (drops > 0);
+  (* One flooding connection: the victim buffers at most one cap. *)
+  Array.iter
+    (fun srv ->
+      check_bool "pending under cap" true
+        (Tcpsim.Endpoint.reasm_pending (Memcache.Server.endpoint srv)
+        <= 262_144))
+    servers
+
+let pathology_rst_flood_is_harmless () =
+  let s, p = attack (Workload.Pathology.Rst_flood { rate = Des.Time.us 500 }) 1 in
+  check_bool "flooded" true (Workload.Pathology.rsts_sent p > 1_000);
+  (* The resets churn the balancer's admit path but wedge nothing. *)
+  Array.iter
+    (fun srv ->
+      check_bool "server table small" true
+        (Tcpsim.Endpoint.active_connections (Memcache.Server.endpoint srv) < 32))
+    (Cluster.Scenario.servers s);
+  check_bool "service stayed alive" true
+    (Workload.Latency_log.count (Cluster.Scenario.log s) > 1_000)
+
+(* Graceful degradation under any attack at any intensity: datapath
+   memory stays bounded on every host and the cluster keeps serving the
+   well-behaved clients. *)
+let pathology_qcheck_graceful =
+  QCheck.Test.make ~count:8
+    ~name:"any pathology leaves memory bounded and the service alive"
+    QCheck.(pair (int_bound 4) (int_bound 1000))
+    (fun (which, seed) ->
+      let rng = Des.Rng.create ~seed:(seed + 11) in
+      let param lo hi = lo + Des.Rng.int rng (hi - lo + 1) in
+      let kind =
+        match which with
+        | 0 ->
+            Workload.Pathology.Slowloris
+              { drip = Des.Time.us (param 200 5_000) }
+        | 1 ->
+            Workload.Pathology.Pipeline_burst
+              { burst = param 1 64; gap = Des.Time.us (param 500 20_000) }
+        | 2 ->
+            Workload.Pathology.Reconnect_storm
+              { hold = Des.Time.us (param 200 20_000) }
+        | 3 ->
+            Workload.Pathology.Gap_flood
+              { rate = Des.Time.us (param 200 5_000);
+                segment = param 16 1_024 }
+        | _ -> Workload.Pathology.Rst_flood { rate = Des.Time.us (param 200 5_000) }
+      in
+      let connections = param 1 4 in
+      let s, p = attack ~until:(Des.Time.sec 1) kind connections in
+      let bounded ep =
+        Tcpsim.Endpoint.reasm_pending ep <= connections * 262_144
+        && Tcpsim.Endpoint.send_backlog ep <= 2_000_000
+      in
+      let servers_ok =
+        Array.for_all
+          (fun srv -> bounded (Memcache.Server.endpoint srv))
+          (Cluster.Scenario.servers s)
+      in
+      let attacker_ok = bounded (Workload.Pathology.endpoint p) in
+      let alive = Workload.Latency_log.count (Cluster.Scenario.log s) > 0 in
+      Workload.Pathology.stop p;
+      Cluster.Scenario.run s ~until:(Des.Time.ms 1_500);
+      servers_ok && attacker_ok && alive)
+
 let () =
   Alcotest.run "workload"
     [
@@ -197,4 +323,17 @@ let () =
           Alcotest.test_case "50-50 mix" `Quick memtier_mix_roughly_half_gets;
           Alcotest.test_case "latencies sane" `Quick memtier_latencies_sane;
         ] );
+      ( "pathology",
+        [
+          Alcotest.test_case "slowloris trickles" `Quick
+            pathology_slowloris_trickles;
+          Alcotest.test_case "burst is open loop" `Quick
+            pathology_burst_is_open_loop;
+          Alcotest.test_case "storm churns" `Quick pathology_storm_churns;
+          Alcotest.test_case "gap flood hits cap" `Quick
+            pathology_gap_flood_hits_cap;
+          Alcotest.test_case "rst flood harmless" `Quick
+            pathology_rst_flood_is_harmless;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ pathology_qcheck_graceful ] );
     ]
