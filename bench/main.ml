@@ -451,166 +451,49 @@ let run_soak ~minutes ~check () =
 (* --- Flow-scale churn benchmark (bench flows) ------------------------- *)
 
 (* N concurrent flows doing request/response churn through the balancer
-   datapath alone (no TCP endpoints): a pacer event sends one packet per
-   flow round-robin, the balancer routes it over a fabric link, and the
-   server replies straight back to the client (DSR). Every 8th packet of
-   a flow carries FIN and the flow reincarnates under a fresh source
-   port, exercising slab slot recycling, tombstone deletion in the flow
-   table, and wheel-timer idle expiry at full scale. Metrics recorded:
-   events/s over the whole run, steady-state live words per flow
-   (measured under a forced full major at peak concurrency), and major
-   GC counters. *)
+   datapath alone (no TCP endpoints), now running on [Cluster.Sharded]:
+   the hosts are partitioned across --shards engine shards (one domain
+   each, synchronized windows; DESIGN.md §14), with shards=1 reproducing
+   the historical single-engine run exactly. A pacer event sends one
+   packet per flow round-robin, the balancer routes it over a fabric
+   link, and the server replies straight back to the client (DSR). Every
+   8th packet of a flow carries FIN and the flow reincarnates under a
+   fresh source port, exercising slab slot recycling, tombstone deletion
+   in the flow table, and wheel-timer idle expiry at full scale. Metrics
+   recorded: aggregate events/s over the whole run, steady-state live
+   words per flow (measured under a forced full major at peak
+   concurrency), major GC counters, and the parallel engine's window /
+   barrier-stall health. *)
 
-let flows_clients = 64
-let flows_servers = 8
-let flows_packets_per_incarnation = 8 (* the 8th carries FIN *)
-let flows_rounds = 12 (* sends per flow over the whole run *)
-let flows_batch = 64 (* sends per pacer event *)
+let flows_clients = Cluster.Sharded.clients
+let flows_rounds = Cluster.Sharded.rounds
 
-type flows_result = {
-  f_n : int;
-  f_events_per_sec : float;
-  f_wall_s : float;
-  f_events : int;
-  f_responses : int;
-  f_words_per_flow : float;
-  f_active_peak : int;
-  f_major_collections : int;
-  f_major_words : float;
-  f_full_major_s : float;
-}
+(* --shards 0 = one shard per core, capped at the client count (more
+   shards than clients would leave empty engines spinning in the
+   barrier for nothing). *)
+let resolve_shards shards =
+  if shards > 0 then shards
+  else Stdlib.min flows_clients (Domain.recommended_domain_count ())
 
-let flows_once ~n =
-  Gc.compact ();
-  let base_live = (Gc.stat ()).Gc.live_words in
-  let engine = Des.Engine.create () in
-  let fabric = Netsim.Fabric.create engine in
-  let vip = Netsim.Addr.v 1 80 in
-  let server_ips = Array.init flows_servers (fun i -> 10 + i) in
-  let client_ips = Array.init flows_clients (fun i -> 100 + i) in
-  (* Short idle horizon so reincarnated flows' dead predecessors are
-     reaped while the bench runs, keeping the table near N entries. *)
-  let config =
-    {
-      Inband.Config.default with
-      Inband.Config.flow_idle_timeout = Des.Time.ms 32;
-      sweep_interval = Des.Time.ms 16;
-    }
-  in
-  let balancer =
-    Inband.Balancer.create fabric ~vip ~server_ips ~config ()
-  in
-  let responses = ref 0 in
-  Array.iter
-    (fun ip ->
-      Netsim.Fabric.register fabric ~ip (fun _ -> incr responses))
-    client_ips;
-  Array.iter
-    (fun ip ->
-      Netsim.Fabric.register fabric ~ip (fun pkt ->
-          (* Respond to data; FINs are end-of-flow, nothing to say. *)
-          if not pkt.Netsim.Packet.flags.Netsim.Packet.fin then
-            Netsim.Fabric.send fabric ~from:ip
-              (Netsim.Packet.make ~src:vip ~dst:pkt.Netsim.Packet.src
-                 ~seq:pkt.Netsim.Packet.ack ~ack:pkt.Netsim.Packet.seq
-                 ~flags:Netsim.Packet.flag_ack ~payload:"")))
-    server_ips;
-  let link () = Netsim.Link.create engine ~delay:(Des.Time.us 5) ~rate_bps:0 () in
-  Array.iter
-    (fun cip ->
-      Netsim.Fabric.add_link fabric ~src:cip ~dst:vip.Netsim.Addr.ip (link ()))
-    client_ips;
-  Array.iter
-    (fun sip ->
-      Netsim.Fabric.add_link fabric ~src:vip.Netsim.Addr.ip ~dst:sip (link ());
-      Array.iter
-        (fun cip -> Netsim.Fabric.add_link fabric ~src:sip ~dst:cip (link ()))
-        client_ips)
-    server_ips;
-  (* Flow i lives on client [i land 63]; its source port encodes the
-     flow index and incarnation, so every incarnation is a fresh key. *)
-  let stride = (n + flows_clients - 1) / flows_clients in
-  let gen = Array.make n 0 in
-  let sent = Array.make n 0 in
-  let total_sends = flows_rounds * n in
-  let sends = ref 0 in
-  let cursor = ref 0 in
-  let rec pacer () =
-    let batch = Stdlib.min flows_batch (total_sends - !sends) in
-    for _ = 1 to batch do
-      let i = !cursor in
-      cursor := if i + 1 = n then 0 else i + 1;
-      let cip = client_ips.(i land (flows_clients - 1)) in
-      let port = (i lsr 6) + (gen.(i) * stride) in
-      let k = sent.(i) in
-      let fin = k = flows_packets_per_incarnation - 1 in
-      if fin then begin
-        sent.(i) <- 0;
-        gen.(i) <- gen.(i) + 1
-      end
-      else sent.(i) <- k + 1;
-      Netsim.Fabric.send fabric ~from:cip
-        (Netsim.Packet.make
-           ~src:(Netsim.Addr.v cip port)
-           ~dst:vip ~seq:k ~ack:0
-           ~flags:
-             (if fin then Netsim.Packet.flag_fin_ack
-              else Netsim.Packet.flag_ack)
-           ~payload:"");
-      incr sends
-    done;
-    if !sends < total_sends then
-      Des.Engine.post_after engine ~delay:(Des.Time.us 1) pacer
-  in
-  Des.Engine.post_after engine ~delay:(Des.Time.us 1) pacer;
-  let gc0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
-  (* Phase 1: drive all sends plus in-flight drain, then measure live
-     memory at peak concurrency under a forced full major. *)
-  let send_horizon =
-    Des.Time.us ((total_sends / flows_batch) + 2) + Des.Time.ms 1
-  in
-  Des.Engine.run ~until:send_horizon engine;
-  let active_peak = Inband.Balancer.active_flows balancer in
-  let fm0 = Unix.gettimeofday () in
-  Gc.full_major ();
-  let full_major_s = Unix.gettimeofday () -. fm0 in
-  let live_at_peak = (Gc.stat ()).Gc.live_words in
-  (* Phase 2: silence the traffic and let idle expiry reap the table —
-     wheel-scheduled sweeps must walk every flow out. *)
-  Des.Engine.run ~until:(send_horizon + Des.Time.ms 200) engine;
-  let wall_s = Unix.gettimeofday () -. t0 -. full_major_s in
-  let gc1 = Gc.quick_stat () in
-  let active_end = Inband.Balancer.active_flows balancer in
-  if active_end <> 0 then
-    failwith
-      (Fmt.str "bench flows: %d flows survived idle expiry" active_end);
-  let events = Des.Engine.events_fired engine in
-  {
-    f_n = n;
-    f_events_per_sec = float_of_int events /. wall_s;
-    f_wall_s = wall_s;
-    f_events = events;
-    f_responses = !responses;
-    f_words_per_flow = float_of_int (live_at_peak - base_live) /. float_of_int n;
-    f_active_peak = active_peak;
-    f_major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
-    f_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
-    f_full_major_s = full_major_s;
-  }
-
-let run_flows ~n ~check () =
+let run_flows ~n ~shards ~check () =
+  let shards = resolve_shards shards in
   print_endline
     (Cluster.Report.section
-       (Fmt.str "Flow-scale churn (%d concurrent flows, %d sends)" n
-          (flows_rounds * n)));
-  let r = flows_once ~n in
+       (Fmt.str "Flow-scale churn (%d concurrent flows, %d sends, %d shards)"
+          n (flows_rounds * n) shards));
+  let r = Cluster.Sharded.flows ~shards ~n () in
+  let stall =
+    Array.fold_left Stdlib.max 0.0 r.Cluster.Sharded.stats.Des.Shard.stall_seconds
+  in
   Fmt.pr
-    "%d events in %.2fs wall = %.0f events/s; %d responses@.\
+    "%d events in %.2fs wall = %.0f events/s aggregate; %d responses@.\
      peak %d tracked flows, %.1f live words/flow (full major: %.3fs)@.\
-     major GC: %d collections, %.0f words promoted@."
-    r.f_events r.f_wall_s r.f_events_per_sec r.f_responses r.f_active_peak
-    r.f_words_per_flow r.f_full_major_s r.f_major_collections r.f_major_words;
+     major GC: %d collections, %.0f words promoted@.\
+     %d windows, %d cross-shard posts, max barrier stall %.3fs@."
+    r.Cluster.Sharded.events r.wall_s r.events_per_sec r.responses
+    r.active_peak r.words_per_flow r.full_major_s r.major_collections
+    r.major_words r.stats.Des.Shard.windows r.stats.Des.Shard.remote_posts
+    stall;
   let path, discovered =
     bench_json_locate ~key:"flows_baseline_events_per_sec"
       ~fallback:"BENCH_pr4.json"
@@ -628,22 +511,28 @@ let run_flows ~n ~check () =
     | Some eps, Some words -> [ ("flows_baseline_events_per_sec", eps);
                                 ("flows_baseline_words_per_flow", words) ]
     | _ ->
-        [ ("flows_baseline_events_per_sec", r.f_events_per_sec);
-          ("flows_baseline_words_per_flow", r.f_words_per_flow) ]
+        [ ("flows_baseline_events_per_sec", r.events_per_sec);
+          ("flows_baseline_words_per_flow", r.words_per_flow) ]
   in
   bench_json_write path ~bench:"flows-churn"
     (baseline
     @ [
-        ("flows_n", float_of_int r.f_n);
-        ("flows_events_per_sec", r.f_events_per_sec);
-        ("flows_wall_s", r.f_wall_s);
-        ("flows_events", float_of_int r.f_events);
-        ("flows_responses", float_of_int r.f_responses);
-        ("flows_live_words_per_flow", r.f_words_per_flow);
-        ("flows_active_peak", float_of_int r.f_active_peak);
-        ("flows_major_collections", float_of_int r.f_major_collections);
-        ("flows_major_words", r.f_major_words);
-        ("flows_full_major_s", r.f_full_major_s);
+        ("flows_n", float_of_int r.n);
+        ("flows_shards", float_of_int shards);
+        ("flows_cores", float_of_int (Domain.recommended_domain_count ()));
+        ("flows_events_per_sec", r.events_per_sec);
+        ("flows_wall_s", r.wall_s);
+        ("flows_events", float_of_int r.events);
+        ("flows_responses", float_of_int r.responses);
+        ("flows_live_words_per_flow", r.words_per_flow);
+        ("flows_active_peak", float_of_int r.active_peak);
+        ("flows_major_collections", float_of_int r.major_collections);
+        ("flows_major_words", r.major_words);
+        ("flows_full_major_s", r.full_major_s);
+        ("flows_windows", float_of_int r.stats.Des.Shard.windows);
+        ( "flows_remote_posts",
+          float_of_int r.stats.Des.Shard.remote_posts );
+        ("flows_barrier_stall_s", stall);
       ]);
   Fmt.pr "wrote %s@." path;
   if check then begin
@@ -651,15 +540,59 @@ let run_flows ~n ~check () =
     let base_words = List.assoc "flows_baseline_words_per_flow" baseline in
     Fmt.pr "recorded baseline: %.0f events/s, %.1f words/flow@." base_eps
       base_words;
-    if r.f_events_per_sec < 0.5 *. base_eps then
+    (* With >= 2 shards, --check re-runs the scenario on one shard for
+       the byte-equality tripwire below; the sequential rate floor is
+       judged against that run — a sharded run on too few cores
+       time-slices and its aggregate rate says nothing about the
+       single-engine datapath the baseline measures. *)
+    let r1 =
+      if shards >= 2 then Some (Cluster.Sharded.flows ~shards:1 ~n ())
+      else None
+    in
+    let seq_eps =
+      match r1 with
+      | Some r1 -> r1.Cluster.Sharded.events_per_sec
+      | None -> r.events_per_sec
+    in
+    if seq_eps < 0.5 *. base_eps then
       tripwire_fail ~smoke:"flow-smoke" ~tripwire:"rate"
         "%.0f events/s is below half the recorded baseline (%.0f events/s)"
-        r.f_events_per_sec base_eps;
-    if r.f_words_per_flow > 1.5 *. base_words then
+        seq_eps base_eps;
+    if r.words_per_flow > 1.5 *. base_words then
       tripwire_fail ~smoke:"flow-smoke" ~tripwire:"words"
         "%.1f live words/flow exceeds the recorded budget (%.1f words/flow) \
          x1.5"
-        r.f_words_per_flow base_words
+        r.words_per_flow base_words;
+    match r1 with
+    | None -> ()
+    | Some r1 ->
+      (* Parallel-specific tripwires. Byte-equality: the K-invariant CSV
+         from a 1-shard run of the same scenario must match the sharded
+         run exactly — the determinism contract, checked end to end.
+         Scaling: with >= 2 real shards the aggregate rate must clear 2x
+         the recorded single-core baseline, the floor that catches a
+         serialization regression in the window protocol. Both are
+         skipped when only one shard resolved (nothing parallel ran). *)
+      if not (String.equal r1.Cluster.Sharded.csv r.Cluster.Sharded.csv) then
+        tripwire_fail ~smoke:"shard-smoke" ~tripwire:"determinism"
+          "shards=%d CSV differs from shards=1 CSV at n=%d" shards n;
+      Fmt.pr "determinism: shards=%d CSV byte-identical to shards=1@." shards;
+      (* The scaling floor only means something when every shard got a
+         core: oversubscribed (more shards than cores) the domains
+         time-slice and barrier stall dominates by construction. *)
+      if Domain.recommended_domain_count () >= shards then begin
+        if r.events_per_sec < 2.0 *. base_eps then
+          tripwire_fail ~smoke:"shard-smoke" ~tripwire:"parallel-rate"
+            "aggregate %.0f events/s with %d shards is below 2x the recorded \
+             single-core baseline (%.0f events/s)"
+            r.events_per_sec shards base_eps
+      end
+      else
+        Fmt.pr
+          "parallel-rate tripwire skipped: %d shards on %d cores \
+           (oversubscribed)@."
+          shards
+          (Domain.recommended_domain_count ())
   end
 
 (* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
@@ -852,6 +785,10 @@ let () =
   let soak_minutes, args =
     extract_int_opt ~flag:"--minutes" ~default:0 ~min:0 args
   in
+  (* --shards N: engine shards for the [flows] target; 0 = one per core. *)
+  let flows_shards, args =
+    extract_int_opt ~flag:"--shards" ~default:1 ~min:0 args
+  in
   match args with
   | [] | [ "all" ] -> run_all ~full ~jobs ()
   | names ->
@@ -862,7 +799,8 @@ let () =
               if name = "fig3" then run_fig3 ~full ~jobs ()
               else f ~jobs ~check ()
           | None ->
-              if name = "flows" then run_flows ~n:flows_n ~check ()
+              if name = "flows" then
+                run_flows ~n:flows_n ~shards:flows_shards ~check ()
               else if name = "soak" then
                 run_soak ~minutes:soak_minutes ~check ()
               else begin

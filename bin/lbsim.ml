@@ -606,7 +606,7 @@ let churn_cmd =
 (* --- soak: long-horizon churn + adversarial clients -------------------- *)
 
 let soak_cmd =
-  let run minutes warmup_s windows seed check =
+  let run_single minutes warmup_s windows seed check =
     let base = Cluster.Soak.default_config in
     let duration = Des.Time.sec (minutes * 60) in
     let config =
@@ -624,6 +624,54 @@ let soak_cmd =
       Fmt.epr "soak: flatness, stuck-state or PCC check failed@.";
       exit 1
     end
+  in
+  let run_coordinated minutes warmup_s windows seed check lbs policy =
+    let base = Cluster.Soak.default_coord_config in
+    let duration = Des.Time.sec (minutes * 60) in
+    let config =
+      {
+        base with
+        Cluster.Soak.coord_duration = duration;
+        coord_warmup = Stdlib.min (Des.Time.sec warmup_s) (duration / 4);
+        coord_windows = windows;
+        fleet =
+          {
+            base.Cluster.Soak.fleet with
+            Cluster.Multi_lb.n_lbs = lbs;
+            n_clients = 2 * lbs;
+            coord = Cluster.Multi_lb.coord_config_of policy;
+            seed;
+          };
+      }
+    in
+    let result = Cluster.Soak.run_coordinated ~config () in
+    Cluster.Soak.print_coordinated result;
+    if check && not (Cluster.Soak.coord_ok result) then begin
+      Fmt.epr "soak: coordinated flatness, stuck-state or PCC check failed@.";
+      exit 1
+    end
+  in
+  let run minutes warmup_s windows seed check lbs coord =
+    match (lbs, coord) with
+    | None, None -> run_single minutes warmup_s windows seed check
+    | lbs, coord ->
+        let policy =
+          match coord with
+          | None -> Cluster.Coordination.Gossip_average
+          | Some s -> begin
+              match Cluster.Coordination.policy_of_string s with
+              | Ok p -> p
+              | Error msg ->
+                  Fmt.epr "soak: bad --coord %S: %s@." s msg;
+                  exit 2
+            end
+        in
+        let lbs = Option.value lbs ~default:2 in
+        if lbs < 1 then begin
+          Fmt.epr "soak: --lbs must be at least 1@.";
+          exit 2
+        end;
+        run_coordinated minutes warmup_s windows seed check lbs policy
   in
   let minutes =
     Arg.(
@@ -654,6 +702,28 @@ let soak_cmd =
              estimator stayed finite, and the PCC oracle saw zero \
              violations (CI soak-smoke check).")
   in
+  let lbs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lbs" ] ~docv:"N"
+          ~doc:
+            "Soak a whole $(b,N)-LB fleet (coordinated variant) instead \
+             of the single-LB churn cluster. Each LB gets its own VIP, \
+             estimator and controller plus two clients; server-delay \
+             pulses force the fleet to re-converge throughout. Implies \
+             $(b,--coord) gossip unless given.")
+  in
+  let coord =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coord" ] ~docv:"POLICY"
+          ~doc:
+            "Control-plane policy for the fleet soak: $(b,none), \
+             $(b,gossip) or $(b,leader). Implies $(b,--lbs) 2 unless \
+             given.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
@@ -661,8 +731,69 @@ let soak_cmd =
           repeating faults and adversarial clients (slowloris, pipeline \
           bursts, reconnect storms, segment-gap floods, RST floods), \
           asserting that memory telemetry stays flat and nothing gets \
-          stuck.")
-    Term.(const run $ minutes $ warmup $ windows $ seed $ check)
+          stuck. With $(b,--lbs)/$(b,--coord), soak a coordinated \
+          multi-LB fleet instead.")
+    Term.(const run $ minutes $ warmup $ windows $ seed $ check $ lbs $ coord)
+
+(* --- flows: sharded flow-scale churn ---------------------------------- *)
+
+let flows_cmd =
+  let run n shards seed csv =
+    let shards =
+      if shards > 0 then shards
+      else Stdlib.min Cluster.Sharded.clients (Domain.recommended_domain_count ())
+    in
+    let r = Cluster.Sharded.flows ~shards ~seed ~n () in
+    let s = r.Cluster.Sharded.stats in
+    Fmt.pr "flows: n=%d shards=%d events=%d responses=%d active_peak=%d@." r.n
+      r.shards r.events r.responses r.active_peak;
+    Fmt.pr
+      "  wall=%.2fs  aggregate=%.0f events/s  words/flow=%.1f  \
+       full_major=%.2fs@."
+      r.wall_s r.events_per_sec r.words_per_flow r.full_major_s;
+    if r.shards > 1 then begin
+      let max_stall =
+        Array.fold_left Stdlib.max 0.0 s.Des.Shard.stall_seconds
+      in
+      Fmt.pr "  windows=%d  cross-shard posts=%d  max barrier stall=%.3fs@."
+        s.Des.Shard.windows s.Des.Shard.remote_posts max_stall
+    end;
+    match csv with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc r.Cluster.Sharded.csv);
+        Fmt.pr "wrote %s@." path
+  in
+  let n =
+    Arg.(
+      value & opt int 65_536
+      & info [ "n" ] ~docv:"N" ~doc:"Concurrent flows to run to completion.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Engine shards (domains). 0 means one per available core. \
+             The per-client CSV summary is byte-identical for any \
+             value.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ]
+          ~doc:
+            "Deterministically perturb the flow-to-client map and flow \
+             port space (0 = the historical workload).")
+  in
+  Cmd.v
+    (Cmd.info "flows"
+       ~doc:
+         "Run the flow-scale churn workload (N concurrent flows, FIN + \
+          reincarnation churn, idle-expiry drain) on K parallel engine \
+          shards synchronized in lookahead-bounded windows.")
+    Term.(const run $ n $ shards $ seed $ csv_arg)
 
 (* --- estimate: run the estimators over a packet-timestamp trace ------- *)
 
@@ -767,6 +898,7 @@ let main_cmd =
       run_cmd;
       churn_cmd;
       soak_cmd;
+      flows_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

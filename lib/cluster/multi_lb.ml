@@ -4,6 +4,7 @@ type config = {
   n_clients : int;
   policy : Inband.Policy.t;
   lb : Inband.Config.t;
+  server : Memcache.Server.config;
   memtier : Workload.Memtier.config;
   coord : Coordination.config;
   pcc : bool;
@@ -26,6 +27,7 @@ let default_config =
         control_interval = Des.Time.ms 5;
         recovery_rate = 0.02;
       };
+    server = Memcache.Server.default_config;
     memtier =
       { Workload.Memtier.default_config with Workload.Memtier.connections = 1 };
     coord = Coordination.default_config;
@@ -103,6 +105,7 @@ let build config =
     Array.init config.n_servers (fun i ->
         Memcache.Server.create fabric ~host_ip:(server_ip i)
           ~listen_addr:(Netsim.Addr.v 0 service_port)
+          ~config:config.server
           ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "server-%d" i))
           ())
   in
@@ -176,8 +179,27 @@ let build config =
   }
 
 let engine t = t.engine
+let fabric t = t.fabric
 let balancers t = t.balancers
+let servers t = t.servers
 let log t = t.log
+let vip_addr l = Netsim.Addr.v (vip_ip l) service_port
+
+(* Wire an extra client host built after {!build} (e.g. a pathology
+   client) into LB [lb]'s DSR topology: host→VIP request link plus one
+   server→host return link per server. The host must already be
+   registered on the fabric. *)
+let wire_client_host t ~host_ip ~lb =
+  if lb < 0 || lb >= Array.length t.balancers then
+    invalid_arg "Multi_lb.wire_client_host: lb out of range";
+  let plain delay = Netsim.Link.create t.engine ~delay () in
+  Netsim.Fabric.add_link t.fabric ~src:host_ip ~dst:(vip_ip lb)
+    (plain (Des.Time.us 30));
+  Array.iteri
+    (fun i _ ->
+      Netsim.Fabric.add_link t.fabric ~src:(server_ip i) ~dst:host_ip
+        (plain (Des.Time.us 55)))
+    t.servers
 let registries t = t.registries
 let coordination t = t.coordination
 let oracles t = t.oracles

@@ -17,6 +17,7 @@ type config = {
   n_clients : int;  (** Total; assigned round-robin to LBs. *)
   policy : Inband.Policy.t;
   lb : Inband.Config.t;
+  server : Memcache.Server.config;  (** Applied to every backend. *)
   memtier : Workload.Memtier.config;
   coord : Coordination.config;  (** Control plane; default uncoordinated. *)
   pcc : bool;  (** Attach a PCC {!Oracle} to every LB. *)
@@ -31,8 +32,21 @@ type t
 
 val build : config -> t
 val engine : t -> Des.Engine.t
+val fabric : t -> Netsim.Fabric.t
 val balancers : t -> Inband.Balancer.t array
+val servers : t -> Memcache.Server.t array
 val log : t -> Workload.Latency_log.t
+
+val vip_addr : int -> Netsim.Addr.t
+(** LB [l]'s VIP address (IP [1 + l], service port). *)
+
+val wire_client_host : t -> host_ip:int -> lb:int -> unit
+(** Wire an extra client host built after {!build} (e.g. a pathology
+    client) into LB [lb]'s DSR topology: host→VIP request link plus one
+    server→host return link per server. The host must already be
+    registered on the fabric.
+
+    @raise Invalid_argument if [lb] is out of range. *)
 
 val registries : t -> Telemetry.Registry.t array
 (** One telemetry registry per LB, in LB order. *)

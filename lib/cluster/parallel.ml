@@ -21,13 +21,20 @@ let map ?(jobs = 1) f items =
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
+    (* Raised once any item fails: workers stop taking new items, so a
+       sweep with a broken configuration aborts in one item's time
+       instead of grinding through the whole remaining queue. Items
+       already in flight run to completion — their slots stay valid and
+       the earliest-failure re-raise below is unaffected. *)
+    let abort = Atomic.make false in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
+      if i < n && not (Atomic.get abort) then begin
         (match f inputs.(i) with
         | v -> results.(i) <- Some v
         | exception e ->
-            errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+            Atomic.set abort true);
         worker ()
       end
     in

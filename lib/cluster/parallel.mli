@@ -14,9 +14,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] is [List.map f items] computed by up to [jobs]
     domains pulling items off a shared queue. Output order is input
     order. [jobs = 1] (the default) runs sequentially in the calling
-    domain; [jobs = 0] means {!available}. If any [f] raises, the
-    exception of the earliest failing item is re-raised after all
-    domains finish.
+    domain; [jobs = 0] means {!available}. If any [f] raises, the pool
+    aborts: no further items are started (in-flight items run to
+    completion), and the exception of the earliest failing item — by
+    input order, among those that ran — is re-raised after all domains
+    finish, matching what a sequential [List.map] would have raised.
 
     [f] must not assume it runs in the calling domain (no
     domain-local state), and items must not share mutable state.

@@ -77,6 +77,17 @@ let build config =
      metrics here, and the snapshotter samples them all periodically. *)
   let telemetry = Telemetry.Registry.create () in
   Telemetry.Registry.install_gc_metrics telemetry;
+  (* Engine health gauges: a stuck-timer leak grows the pending count
+     without bound; the wheel gauges catch cascade pathologies. Every
+     scenario consumer (soak monitor, --metrics-csv) watches the engine
+     through these. *)
+  let engine_gauge name f =
+    Telemetry.Registry.gauge_fn telemetry name (fun () ->
+        float_of_int (f engine))
+  in
+  engine_gauge "des.pending" Des.Engine.pending;
+  engine_gauge "des.queue_length" Des.Engine.queue_length;
+  engine_gauge "des.wheel_size" Des.Engine.wheel_size;
   (* The balancer registers the VIP host, so build it first. *)
   let balancer =
     Inband.Balancer.create fabric ~vip ~server_ips ~policy:config.policy

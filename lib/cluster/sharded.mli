@@ -1,0 +1,66 @@
+(** Sharded single-scenario runs: the flow-scale churn workload
+    partitioned across K engine shards (one domain each), synchronized
+    in lookahead-bounded windows by {!Des.Shard}.
+
+    Clients and servers are distributed round-robin over the shards;
+    each shard runs a full balancer replica with an identical Maglev
+    table, so a flow's backend is independent of the partitioning, and
+    cross-shard packet legs preserve exact arrival times. Simulation
+    outcomes are therefore invariant in K: the [csv] summary is
+    byte-identical for any [shards] value (asserted by the determinism
+    tests and the CI shard-smoke job), and [shards = 1] reproduces the
+    historical single-engine bench exactly. DESIGN.md §14 has the
+    determinism argument. *)
+
+val clients : int
+(** Client hosts in the workload (64); flow i lives on client
+    [i land 63]. *)
+
+val servers : int
+(** Backend servers (8), spread round-robin over the shards. *)
+
+val rounds : int
+(** Sends per flow over the whole run (12). *)
+
+type result = {
+  n : int;
+  shards : int;
+  events : int;  (** events fired, summed over shards (NOT K-invariant:
+                     each shard runs its own pacer and sweep timers) *)
+  responses : int;
+  active_peak : int;  (** tracked flows at the send horizon, summed *)
+  wall_s : float;
+  events_per_sec : float;  (** aggregate: [events] / [wall_s] *)
+  words_per_flow : float;
+  full_major_s : float;
+  major_collections : int;
+  major_words : float;
+  csv : string;  (** K-invariant per-client summary (see above) *)
+  stats : Des.Shard.stats;
+}
+
+val flows :
+  ?shards:int ->
+  ?seed:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  n:int ->
+  unit ->
+  result
+(** [flows ~shards ~n ()] runs [n] concurrent flows (12 sends each,
+    FIN + reincarnation every 8th packet) through [shards] balancer
+    replica shards to completion, including the idle-expiry drain.
+    Default [shards] is 1. [seed] (default 0, the historical workload)
+    deterministically perturbs the flow→client assignment and the flow
+    port space — a different simulation whose results are still
+    invariant in [shards]. When [telemetry] is given, per-shard engine
+    health gauges are installed into it via {!install_metrics}.
+
+    @raise Invalid_argument if [shards < 1], [n < 1] or [seed < 0].
+    @raise Failure if any flow survives the idle-expiry drain. *)
+
+val install_metrics : Des.Shard.t -> Telemetry.Registry.t -> unit
+(** Register per-shard DES health gauges — [shard.pending],
+    [shard.wheel_size], [shard.queue_length], [shard.events_fired],
+    [shard.stall_s] (indexed by shard) plus [shard.windows] and
+    [shard.remote_posts] — all reading the barrier-captured snapshot in
+    {!Des.Shard.stats}, so polling them never races a running window. *)

@@ -119,3 +119,65 @@ val ok : result -> bool
     violations. *)
 
 val print : ?config:config -> result -> unit
+
+(** {1 Coordinated multi-LB soak}
+
+    The same memory-flatness discipline applied to a whole {!Multi_lb}
+    fleet running a {!Coordination} control plane (gossip or leader).
+    Server-delay pulses force the fleet to re-converge round after
+    round; adversarial clients attack every VIP; the run must end with
+    empty flow/connection tables, zero PCC violations, and flat
+    fleet-wide gauges — including the control plane's own send/receive
+    backlog. [lbsim soak --lbs N --coord gossip|leader] wires this to
+    the command line. *)
+
+type coord_config = {
+  fleet : Multi_lb.config;
+  coord_duration : Des.Time.t;
+  coord_warmup : Des.Time.t;
+  coord_drain : Des.Time.t;
+  coord_windows : int;
+  coord_growth_tolerance : float;
+  coord_monotonic_tolerance : float;
+  coord_watched : (string * float option) list;
+  coord_pathologies : (Workload.Pathology.kind * int) list;
+  pulse_period : Des.Time.t;  (** Server-delay pulse pitch. *)
+  pulse_delay : Des.Time.t;  (** Injected delay while a pulse holds. *)
+  pulse_victim : int;  (** Server index the pulses degrade. *)
+}
+
+val default_coord_config : coord_config
+(** 10 simulated minutes, 2 LBs under gossip with PCC oracles, 3
+    servers, pulses every 40 s on server 1, three pathology clients. *)
+
+val default_coord_watched : (string * float option) list
+
+type coord_result = {
+  c_n_lbs : int;
+  c_policy : Coordination.policy;
+  c_sim_minutes : float;
+  c_verdicts : verdict list;
+  c_stuck_flows : int;  (** Fleet-total flow-table entries after drain. *)
+  c_stuck_conns : int;  (** Server-side connections after drain. *)
+  c_pulses : int;
+  c_msgs : int;  (** Control-plane snapshots sent fleet-wide. *)
+  c_suppressed : int;
+  c_imposed : int;
+  c_stale : int;
+  c_pcc_checked : int;
+  c_pcc_violations : int;
+  c_pathology_conns : int;
+  c_rsts_sent : int;
+  c_events_fired : int;
+  c_rows : Telemetry.Snapshot.row list;
+}
+
+val run_coordinated : ?config:coord_config -> unit -> coord_result
+
+val coord_flat : coord_result -> bool
+
+val coord_ok : coord_result -> bool
+(** {!coord_flat} plus zero stuck flows/conns and zero PCC
+    violations. *)
+
+val print_coordinated : coord_result -> unit

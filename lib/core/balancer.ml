@@ -12,6 +12,18 @@
    [last_seen]) only when a sweep visits it, so per-packet cost stays a
    single field write and each flow is re-examined at most once per
    idle-timeout's worth of sweeps. *)
+
+(* Slot lanes are Bigarrays for the same reason the ensemble slab is:
+   the per-flow integers live off the OCaml heap, invisible to the GC,
+   so a sharded run's per-shard balancers add no cross-domain marking
+   work however many flows they hold. *)
+type lane = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let lane_make n : lane =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let lane_empty : lane = lane_make 0
+
 type idle_buckets = {
   width : Des.Time.t; (* bucket granularity = sweep interval *)
   table : (int, Netsim.Flow_key.t list ref) Hashtbl.t;
@@ -45,8 +57,8 @@ type t = {
   ensemble : Ensemble.t;
   flows : Netsim.Flow_table.t; (* key -> slab slot *)
   (* Slot-indexed flow state, grown in step with the ensemble slab. *)
-  mutable fl_server : int array;
-  mutable fl_last_seen : int array;
+  mutable fl_server : lane;
+  mutable fl_last_seen : lane;
   mutable fl_live : Bytes.t; (* '\001' = counted in conn_gauge *)
   idle : idle_buckets;
   conn_gauge : int array;
@@ -85,7 +97,7 @@ let select t key =
 let release t slot =
   if Bytes.get t.fl_live slot = '\001' then begin
     Bytes.set t.fl_live slot '\000';
-    let server = t.fl_server.(slot) in
+    let server = Bigarray.Array1.get t.fl_server slot in
     t.conn_gauge.(server) <- t.conn_gauge.(server) - 1
   end
 
@@ -118,8 +130,9 @@ let sweep t =
           List.iter
             (fun key ->
               let slot = Netsim.Flow_table.find t.flows key in
-              if slot >= 0 then
-                if now - t.fl_last_seen.(slot) > t.config.Config.flow_idle_timeout
+              if slot >= 0 then begin
+                let last_seen = Bigarray.Array1.get t.fl_last_seen slot in
+                if now - last_seen > t.config.Config.flow_idle_timeout
                 then begin
                   release t slot;
                   Netsim.Flow_table.remove t.flows key;
@@ -127,21 +140,23 @@ let sweep t =
                 end
                 else
                   file_flow idle
-                    ~bucket:
-                      (Stdlib.max b (bucket_of idle t.fl_last_seen.(slot)))
-                    key)
+                    ~bucket:(Stdlib.max b (bucket_of idle last_seen))
+                    key
+              end)
             !keys
     done;
     idle.cursor <- Stdlib.max idle.cursor boundary
   end
 
 let ensure_slot_capacity t slot =
-  if slot >= Array.length t.fl_server then begin
-    let n = Stdlib.max 64 (Array.length t.fl_server) in
+  if slot >= Bigarray.Array1.dim t.fl_server then begin
+    let n = Stdlib.max 64 (Bigarray.Array1.dim t.fl_server) in
     let n = if slot >= 2 * n then slot + 1 else 2 * n in
-    let grow arr =
-      let narr = Array.make n 0 in
-      Array.blit arr 0 narr 0 (Array.length arr);
+    let grow (arr : lane) =
+      let narr = lane_make n in
+      let old = Bigarray.Array1.dim arr in
+      if old > 0 then Bigarray.Array1.blit arr (Bigarray.Array1.sub narr 0 old);
+      Bigarray.Array1.fill (Bigarray.Array1.sub narr old (n - old)) 0;
       narr
     in
     t.fl_server <- grow t.fl_server;
@@ -158,8 +173,8 @@ let flow_slot t key ~now =
     let server = select t key in
     let slot = Ensemble.create_flow t.ensemble ~now in
     ensure_slot_capacity t slot;
-    t.fl_server.(slot) <- server;
-    t.fl_last_seen.(slot) <- now;
+    Bigarray.Array1.set t.fl_server slot server;
+    Bigarray.Array1.set t.fl_last_seen slot now;
     Bytes.set t.fl_live slot '\001';
     Netsim.Flow_table.add t.flows key slot;
     file_flow t.idle ~bucket:(bucket_of t.idle now) key;
@@ -189,8 +204,8 @@ let on_packet t (pkt : Netsim.Packet.t) =
   let now = Des.Engine.now t.engine in
   let key = Netsim.Packet.flow pkt in
   let slot = flow_slot t key ~now in
-  let server = t.fl_server.(slot) in
-  t.fl_last_seen.(slot) <- now;
+  let server = Bigarray.Array1.unsafe_get t.fl_server slot in
+  Bigarray.Array1.unsafe_set t.fl_last_seen slot now;
   (match Ensemble.on_packet t.ensemble slot ~now with
   | Some sample -> record_sample t ~now ~key ~server sample
   | None -> ());
@@ -251,8 +266,8 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       own_stats;
       ensemble = Ensemble.create ~config;
       flows = Netsim.Flow_table.create ~initial:1024 ();
-      fl_server = [||];
-      fl_last_seen = [||];
+      fl_server = lane_empty;
+      fl_last_seen = lane_empty;
       fl_live = Bytes.empty;
       idle =
         {

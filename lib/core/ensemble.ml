@@ -1,13 +1,37 @@
 (* Per-flow estimator state lives in a struct-of-arrays slab rather than
-   per-flow records: a flow is an [int] slot into flat int arrays of
-   stride k (one lane per FIXEDTIMEOUT instance), and released slots are
-   recycled through a free stack. Creating or destroying a flow after
-   warm-up touches only preallocated arrays — no allocation, no GC
-   pressure proportional to the flow count, and the k lanes of one flow
-   share cache lines instead of being k boxed records scattered across
-   the heap. The FIXEDTIMEOUT update (Algorithm 1) is inlined on the
-   slab lanes; {!Fixed_timeout} remains the standalone single-instance
-   module. *)
+   per-flow records: a flow is an [int] slot into flat integer lanes of
+   stride k (one lane entry per FIXEDTIMEOUT instance), and released
+   slots are recycled through a free stack. Creating or destroying a
+   flow after warm-up touches only preallocated arrays — no allocation,
+   no GC pressure proportional to the flow count, and the k lanes of
+   one flow share cache lines instead of being k boxed records
+   scattered across the heap.
+
+   The lanes are Bigarrays, not OCaml arrays: their payload lives in
+   malloc'd memory outside the OCaml heap, so a million-flow slab adds
+   nothing to the GC's marking or compaction work, and a slab can be
+   read from any domain of a sharded run without creating cross-domain
+   major-heap traffic (shards own disjoint slots; see Des.Shard). The
+   FIXEDTIMEOUT update (Algorithm 1) is inlined on the slab lanes;
+   {!Fixed_timeout} remains the standalone single-instance module. *)
+
+type lane = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let lane_make n : lane =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let lane_empty : lane = lane_make 0
+
+(* Grow to [n] entries, preserving contents. Fresh entries are seeded by
+   [create_flow]; the tail is zeroed anyway so diagnostic reads of
+   never-used slots are deterministic. *)
+let lane_grow (arr : lane) n : lane =
+  let narr = lane_make n in
+  let old = Bigarray.Array1.dim arr in
+  if old > 0 then
+    Bigarray.Array1.blit arr (Bigarray.Array1.sub narr 0 old);
+  Bigarray.Array1.fill (Bigarray.Array1.sub narr old (n - old)) 0;
+  narr
 
 type scope_state = {
   counts : int array;
@@ -23,13 +47,13 @@ type t = {
   global : scope_state;
   per_flow : bool; (* Per_flow cliff scope *)
   (* Slab: stride-k lanes indexed [slot * k + i]. *)
-  mutable last_batch : int array;
-  mutable last_pkt : int array;
-  (* Per_flow scope lanes, [||] under Global. *)
-  mutable f_counts : int array; (* stride k *)
-  mutable f_epoch_index : int array;
-  mutable f_chosen : int array;
-  mutable f_epochs : int array;
+  mutable last_batch : lane;
+  mutable last_pkt : lane;
+  (* Per_flow scope lanes, empty under Global. *)
+  mutable f_counts : lane; (* stride k *)
+  mutable f_epoch_index : lane;
+  mutable f_chosen : lane;
+  mutable f_epochs : lane;
   mutable cap : int; (* slots allocated *)
   mutable next_slot : int; (* high-water mark *)
   mutable free : int array; (* recycled-slot stack *)
@@ -62,12 +86,12 @@ let create ~config =
     deltas = Array.copy config.Config.timeouts;
     global = make_scope config;
     per_flow;
-    last_batch = [||];
-    last_pkt = [||];
-    f_counts = [||];
-    f_epoch_index = [||];
-    f_chosen = [||];
-    f_epochs = [||];
+    last_batch = lane_empty;
+    last_pkt = lane_empty;
+    f_counts = lane_empty;
+    f_epoch_index = lane_empty;
+    f_chosen = lane_empty;
+    f_epochs = lane_empty;
     cap = 0;
     next_slot = 0;
     free = [||];
@@ -75,24 +99,27 @@ let create ~config =
     live = 0;
   }
 
-let grow_int_array arr n =
-  let narr = Array.make n 0 in
-  Array.blit arr 0 narr 0 (Array.length arr);
-  narr
-
 let ensure_capacity t =
   if t.next_slot >= t.cap then begin
     let ncap = if t.cap = 0 then 64 else t.cap * 2 in
-    t.last_batch <- grow_int_array t.last_batch (ncap * t.k);
-    t.last_pkt <- grow_int_array t.last_pkt (ncap * t.k);
+    t.last_batch <- lane_grow t.last_batch (ncap * t.k);
+    t.last_pkt <- lane_grow t.last_pkt (ncap * t.k);
     if t.per_flow then begin
-      t.f_counts <- grow_int_array t.f_counts (ncap * t.k);
-      t.f_epoch_index <- grow_int_array t.f_epoch_index ncap;
-      t.f_chosen <- grow_int_array t.f_chosen ncap;
-      t.f_epochs <- grow_int_array t.f_epochs ncap
+      t.f_counts <- lane_grow t.f_counts (ncap * t.k);
+      t.f_epoch_index <- lane_grow t.f_epoch_index ncap;
+      t.f_chosen <- lane_grow t.f_chosen ncap;
+      t.f_epochs <- lane_grow t.f_epochs ncap
     end;
     t.cap <- ncap
   end
+
+(* [Array.fill] for a lane segment; a tight loop rather than
+   [Array1.fill (Array1.sub ...)] because [sub] allocates a view record
+   and this runs on the zero-allocation flow-creation path. *)
+let lane_fill (arr : lane) off len v =
+  for i = off to off + len - 1 do
+    Bigarray.Array1.unsafe_set arr i v
+  done
 
 let create_flow t ~now =
   let slot =
@@ -110,13 +137,13 @@ let create_flow t ~now =
   (* Recycled slots must observe fresh state, never the previous
      occupant's: every lane is re-seeded here. *)
   let base = slot * t.k in
-  Array.fill t.last_batch base t.k now;
-  Array.fill t.last_pkt base t.k now;
+  lane_fill t.last_batch base t.k now;
+  lane_fill t.last_pkt base t.k now;
   if t.per_flow then begin
-    Array.fill t.f_counts base t.k 0;
-    t.f_epoch_index.(slot) <- 0;
-    t.f_chosen.(slot) <- t.config.Config.initial_timeout_index;
-    t.f_epochs.(slot) <- 0
+    lane_fill t.f_counts base t.k 0;
+    Bigarray.Array1.set t.f_epoch_index slot 0;
+    Bigarray.Array1.set t.f_chosen slot t.config.Config.initial_timeout_index;
+    Bigarray.Array1.set t.f_epochs slot 0
   end;
   t.live <- t.live + 1;
   slot
@@ -140,21 +167,23 @@ let slab_capacity t = t.cap
    exactly as in Algorithm 2 line 8. A candidate must hold at least
    [min_fraction] of the best count: under request-response traffic the
    trailing timeouts collect a handful of idle-gap samples followed by
-   zeros, and that noise cliff would otherwise dominate the ratio. *)
-let cliff_pick_slice ~min_fraction counts off k =
+   zeros, and that noise cliff would otherwise dominate the ratio.
+   [get] abstracts the backing store (int array for the Global scope,
+   slab lane for Per_flow); rollover is per-epoch, not per-packet, so
+   the indirection is off the hot path. *)
+let cliff_pick_get ~min_fraction ~get off k =
   let best_count = ref 0 in
   for i = off to off + k - 1 do
-    if counts.(i) > !best_count then best_count := counts.(i)
+    if get i > !best_count then best_count := get i
   done;
   let floor_count =
     int_of_float (ceil (min_fraction *. float_of_int !best_count))
   in
   let best = ref 0 and best_ratio = ref neg_infinity in
   for i = 0 to k - 2 do
-    if counts.(off + i) >= floor_count then begin
+    if get (off + i) >= floor_count then begin
       let ratio =
-        float_of_int (counts.(off + i) + 1)
-        /. float_of_int (counts.(off + i + 1) + 1)
+        float_of_int (get (off + i) + 1) /. float_of_int (get (off + i + 1) + 1)
       in
       if ratio > !best_ratio then begin
         best := i;
@@ -165,7 +194,9 @@ let cliff_pick_slice ~min_fraction counts off k =
   !best
 
 let cliff_pick ?(min_fraction = 0.0) counts =
-  cliff_pick_slice ~min_fraction counts 0 (Array.length counts)
+  cliff_pick_get ~min_fraction
+    ~get:(Array.get counts)
+    0 (Array.length counts)
 
 let rollover config scope ~epoch_now =
   (* An epoch that produced no samples carries no cliff information:
@@ -184,16 +215,18 @@ let rollover_slot t slot ~epoch_now =
   let base = slot * t.k in
   let any = ref false in
   for i = base to base + t.k - 1 do
-    if t.f_counts.(i) > 0 then any := true
+    if Bigarray.Array1.get t.f_counts i > 0 then any := true
   done;
   if !any then begin
-    t.f_chosen.(slot) <-
-      cliff_pick_slice ~min_fraction:t.config.Config.cliff_min_fraction
-        t.f_counts base t.k;
-    Array.fill t.f_counts base t.k 0
+    Bigarray.Array1.set t.f_chosen slot
+      (cliff_pick_get ~min_fraction:t.config.Config.cliff_min_fraction
+         ~get:(Bigarray.Array1.get t.f_counts)
+         base t.k);
+    lane_fill t.f_counts base t.k 0
   end;
-  t.f_epoch_index.(slot) <- epoch_now;
-  t.f_epochs.(slot) <- t.f_epochs.(slot) + 1
+  Bigarray.Array1.set t.f_epoch_index slot epoch_now;
+  Bigarray.Array1.set t.f_epochs slot
+    (Bigarray.Array1.get t.f_epochs slot + 1)
 
 let on_packet t slot ~now =
   (* Lines 7–11 first: if this packet opens a new epoch, close the old
@@ -206,9 +239,9 @@ let on_packet t slot ~now =
   let epoch_now = now / t.config.Config.epoch in
   let chosen =
     if t.per_flow then begin
-      if epoch_now > t.f_epoch_index.(slot) then
+      if epoch_now > Bigarray.Array1.get t.f_epoch_index slot then
         rollover_slot t slot ~epoch_now;
-      t.f_chosen.(slot)
+      Bigarray.Array1.get t.f_chosen slot
     end
     else begin
       if epoch_now > t.global.epoch_index then
@@ -225,21 +258,23 @@ let on_packet t slot ~now =
   let reported = ref (-1) in
   for i = 0 to t.k - 1 do
     let j = base + i in
-    if now - Array.unsafe_get t.last_pkt j > Array.unsafe_get t.deltas i
+    if now - Bigarray.Array1.unsafe_get t.last_pkt j > Array.unsafe_get t.deltas i
     then begin
       (* New batch: the gap from the previous batch head is a sample. *)
-      let sample = now - Array.unsafe_get t.last_batch j in
-      Array.unsafe_set t.last_batch j now;
-      if t.per_flow then t.f_counts.(j) <- t.f_counts.(j) + 1
+      let sample = now - Bigarray.Array1.unsafe_get t.last_batch j in
+      Bigarray.Array1.unsafe_set t.last_batch j now;
+      if t.per_flow then
+        Bigarray.Array1.unsafe_set t.f_counts j
+          (Bigarray.Array1.unsafe_get t.f_counts j + 1)
       else t.global.counts.(i) <- t.global.counts.(i) + 1;
       if i = chosen then reported := sample
     end;
-    Array.unsafe_set t.last_pkt j now
+    Bigarray.Array1.unsafe_set t.last_pkt j now
   done;
   if !reported >= 0 then Some !reported else None
 
 let chosen_index t slot =
-  if t.per_flow then t.f_chosen.(slot) else t.global.chosen
+  if t.per_flow then Bigarray.Array1.get t.f_chosen slot else t.global.chosen
 
 let global_chosen_index t = t.global.chosen
 let chosen_timeout t slot = t.config.Config.timeouts.(chosen_index t slot)

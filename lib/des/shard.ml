@@ -1,0 +1,286 @@
+(* Synchronized-window conservative parallel DES (see shard.mli and
+   DESIGN.md §14).
+
+   Synchronization protocol, per window:
+
+     main (shard 0)                      worker k (shards 1..K-1)
+     --------------                      ------------------------
+     publish horizon, generation+1  ──►  wake on generation change
+     run engine 0 to horizon             run engine k to horizon
+     wait until arrived = K-1       ◄──  arrived++, signal
+     drain inboxes into engines
+     capture per-shard stats
+
+   All shared mutable state (horizon, generation, arrived, inbox
+   contents, engine state across the handoff) is published under one
+   mutex, so every cross-domain read is properly synchronized: a worker
+   reads the new horizon only after main's release of the mutex that
+   wrote it, and main reads inboxes and engine counters only after the
+   producing worker's release. During a window no domain touches
+   another's engine or inboxes — shard callbacks run entirely
+   shard-locally, the design invariant that makes windows race-free.
+
+   Inbox draining is deterministic: entries are drained in (src, dst)
+   lexicographic order, and within one inbox in append order, which is
+   the producing shard's (deterministic) program order. Entries posted
+   with equal [at] into the same destination engine therefore receive
+   their tie-breaking sequence numbers in a thread-schedule-independent
+   order, making the merged event order — and thus the whole simulation
+   — a pure function of scenario + seed, for any K. *)
+
+type entry = { at : Time.t; run : unit -> unit }
+
+(* Single-producer append buffer; only the (src) shard's domain writes
+   during a window, only the coordinating domain reads at the barrier. *)
+type inbox = { mutable buf : entry array; mutable len : int }
+
+let inbox_create () = { buf = [||]; len = 0 }
+
+let inbox_push b e =
+  if b.len >= Array.length b.buf then begin
+    let n = Stdlib.max 64 (2 * Array.length b.buf) in
+    let nbuf = Array.make n e in
+    Array.blit b.buf 0 nbuf 0 b.len;
+    b.buf <- nbuf
+  end;
+  b.buf.(b.len) <- e;
+  b.len <- b.len + 1
+
+type t = {
+  shards : int;
+  lookahead : Time.t;
+  engines : Engine.t array;
+  inboxes : inbox array array; (* [src].(dst) *)
+  (* Barrier state, all under [m]. *)
+  m : Mutex.t;
+  cv_start : Condition.t; (* workers wait for a new generation *)
+  cv_done : Condition.t; (* main waits for all workers *)
+  mutable generation : int;
+  mutable horizon : Time.t;
+  mutable arrived : int;
+  mutable stopping : bool;
+  mutable error : (int * exn) option; (* lowest shard index wins *)
+  mutable team : unit Domain.t array; (* empty once joined *)
+  (* Stats; mutated only by the coordinating domain at barriers, except
+     stall_seconds.(k) which shard k's own domain accumulates while
+     parked (published by the same barrier mutex). *)
+  mutable windows : int;
+  mutable remote_posts : int;
+  s_pending : int array;
+  s_queue_length : int array;
+  s_wheel_size : int array;
+  s_events_fired : int array;
+  stall_seconds : float array;
+}
+
+type stats = {
+  shards : int;
+  windows : int;
+  remote_posts : int;
+  pending : int array;
+  queue_length : int array;
+  wheel_size : int array;
+  events_fired : int array;
+  stall_seconds : float array;
+}
+
+let shards (t : t) = t.shards
+let lookahead (t : t) = t.lookahead
+let engine (t : t) k = t.engines.(k)
+
+let post_remote (t : t) ~src ~dst ~at run =
+  inbox_push t.inboxes.(src).(dst) { at; run }
+
+(* Run one shard's engine over the current window, funnelling any
+   callback exception into [t.error] instead of letting it tear down the
+   domain (which would deadlock the barrier). *)
+let run_window (t : t) k ~until =
+  match Engine.run t.engines.(k) ~until with
+  | () -> ()
+  | exception e ->
+      Mutex.lock t.m;
+      (match t.error with
+      | Some (k0, _) when k0 <= k -> ()
+      | _ -> t.error <- Some (k, e));
+      Mutex.unlock t.m
+
+let worker (t : t) k =
+  let generation = ref 0 in
+  Mutex.lock t.m;
+  let rec loop () =
+    let wait_from = Unix.gettimeofday () in
+    while t.generation = !generation && not t.stopping do
+      Condition.wait t.cv_start t.m
+    done;
+    (* The initial park (before the first window) overlaps scenario
+       construction, not barrier waiting; don't count it as stall. *)
+    if !generation > 0 then
+      t.stall_seconds.(k) <-
+        t.stall_seconds.(k) +. Unix.gettimeofday () -. wait_from;
+    if t.stopping then Mutex.unlock t.m
+    else begin
+      generation := t.generation;
+      let until = t.horizon in
+      Mutex.unlock t.m;
+      run_window t k ~until;
+      Mutex.lock t.m;
+      t.arrived <- t.arrived + 1;
+      if t.arrived = t.shards - 1 then Condition.signal t.cv_done;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~shards ~lookahead =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if shards > 1 && lookahead <= 0 then
+    invalid_arg "Shard.create: lookahead must be positive when shards > 1";
+  let t =
+    {
+      shards;
+      lookahead;
+      engines = Array.init shards (fun _ -> Engine.create ());
+      inboxes =
+        Array.init shards (fun _ ->
+            Array.init shards (fun _ -> inbox_create ()));
+      m = Mutex.create ();
+      cv_start = Condition.create ();
+      cv_done = Condition.create ();
+      generation = 0;
+      horizon = 0;
+      arrived = 0;
+      stopping = false;
+      error = None;
+      team = [||];
+      windows = 0;
+      remote_posts = 0;
+      s_pending = Array.make shards 0;
+      s_queue_length = Array.make shards 0;
+      s_wheel_size = Array.make shards 0;
+      s_events_fired = Array.make shards 0;
+      stall_seconds = Array.make shards 0.0;
+    }
+  in
+  if shards > 1 then
+    t.team <- Array.init (shards - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+(* Drain every inbox into its destination engine, in deterministic
+   (src, dst, append) order. Runs on the coordinating domain while the
+   team is parked; [floor] is the barrier time every engine sits at, so
+   an entry with [at < floor] proves the lookahead bound was violated. *)
+let drain (t : t) ~floor =
+  for src = 0 to t.shards - 1 do
+    let row = t.inboxes.(src) in
+    for dst = 0 to t.shards - 1 do
+      let b = row.(dst) in
+      if b.len > 0 then begin
+        for i = 0 to b.len - 1 do
+          let e = b.buf.(i) in
+          if e.at < floor then
+            failwith
+              (Fmt.str
+                 "Des.Shard: lookahead violation: shard %d -> %d entry at t=%d \
+                  inside window ending at t=%d (lookahead %d)"
+                 src dst e.at floor t.lookahead);
+          Engine.post t.engines.(dst) ~at:e.at e.run
+        done;
+        t.remote_posts <- t.remote_posts + b.len;
+        (* Release closures; keep capacity. *)
+        Array.fill b.buf 0 b.len { at = 0; run = ignore };
+        b.len <- 0
+      end
+    done
+  done
+
+let inboxes_empty (t : t) =
+  let empty = ref true in
+  for src = 0 to t.shards - 1 do
+    for dst = 0 to t.shards - 1 do
+      if t.inboxes.(src).(dst).len > 0 then empty := false
+    done
+  done;
+  !empty
+
+let capture (t : t) =
+  for k = 0 to t.shards - 1 do
+    let e = t.engines.(k) in
+    t.s_pending.(k) <- Engine.pending e;
+    t.s_queue_length.(k) <- Engine.queue_length e;
+    t.s_wheel_size.(k) <- Engine.wheel_size e;
+    t.s_events_fired.(k) <- Engine.events_fired e
+  done
+
+let reraise (t : t) =
+  match t.error with
+  | Some (_, e) ->
+      t.error <- None;
+      raise e
+  | None -> ()
+
+let all_idle (t : t) =
+  let idle = ref true in
+  for k = 0 to t.shards - 1 do
+    if Engine.pending t.engines.(k) > 0 then idle := false
+  done;
+  !idle && inboxes_empty t
+
+let run (t : t) ~until =
+  if t.shards = 1 then begin
+    Engine.run t.engines.(0) ~until;
+    t.windows <- t.windows + 1;
+    capture t
+  end
+  else begin
+    let now = ref (Engine.now t.engines.(0)) in
+    while !now < until do
+      (* An idle fleet (no pending events anywhere, inboxes empty) can
+         cover the rest of the span in one window: with no events there
+         is nothing to generate a cross-shard arrival. *)
+      let horizon =
+        if all_idle t then until else Stdlib.min (!now + t.lookahead) until
+      in
+      Mutex.lock t.m;
+      t.horizon <- horizon;
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cv_start;
+      Mutex.unlock t.m;
+      run_window t 0 ~until:horizon;
+      Mutex.lock t.m;
+      let wait_from = Unix.gettimeofday () in
+      while t.arrived < t.shards - 1 do
+        Condition.wait t.cv_done t.m
+      done;
+      t.stall_seconds.(0) <-
+        t.stall_seconds.(0) +. Unix.gettimeofday () -. wait_from;
+      Mutex.unlock t.m;
+      reraise t;
+      drain t ~floor:horizon;
+      t.windows <- t.windows + 1;
+      now := horizon
+    done;
+    capture t
+  end
+
+let stats (t : t) : stats =
+  {
+    shards = t.shards;
+    windows = t.windows;
+    remote_posts = t.remote_posts;
+    pending = Array.copy t.s_pending;
+    queue_length = Array.copy t.s_queue_length;
+    wheel_size = Array.copy t.s_wheel_size;
+    events_fired = Array.copy t.s_events_fired;
+    stall_seconds = Array.copy t.stall_seconds;
+  }
+
+let shutdown (t : t) =
+  if Array.length t.team > 0 then begin
+    Mutex.lock t.m;
+    t.stopping <- true;
+    Condition.broadcast t.cv_start;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.team;
+    t.team <- [||]
+  end

@@ -1,0 +1,88 @@
+(** Conservative synchronized-window parallel DES.
+
+    A sharded simulation partitions its hosts across K shards, each
+    owning a private {!Engine} (wheel + heap), RNG streams, and slab
+    lanes. Shards run concurrently — shard 0 on the calling domain,
+    shards 1..K-1 on a persistent domain team — in lockstep windows of
+    width [lookahead], the minimum propagation delay of any cross-shard
+    link: an event executed during window [w, w+L) can only produce a
+    cross-shard effect at time ≥ w+L, so within a window every shard is
+    causally independent and no rollback or null-message machinery is
+    needed (DESIGN.md §14).
+
+    Cross-shard packets are posted into per-(src, dst) single-producer
+    inboxes via {!post_remote} and drained at the window barrier by the
+    coordinating domain, in deterministic (src, dst, append) order, into
+    the destination engines. Simulation results are therefore a pure
+    function of the scenario and seed — independent of K and of thread
+    scheduling — provided the scenario partitions its state so that each
+    host touches only its own shard (see [Cluster.Sharded]).
+
+    With [shards = 1] the runner degenerates to a bare [Engine.run] on
+    the calling domain: no domains, no barriers, byte-identical behavior
+    to the sequential engine. *)
+
+type t
+
+val create : shards:int -> lookahead:Time.t -> t
+(** [create ~shards ~lookahead] builds [shards] engines and, when
+    [shards > 1], spawns the worker domain team (parked until {!run}).
+    [lookahead] must be positive when [shards > 1]; it must lower-bound
+    the base propagation delay of every cross-shard link.
+
+    @raise Invalid_argument if [shards < 1], or [shards > 1] with a
+    non-positive [lookahead]. *)
+
+val shards : t -> int
+val lookahead : t -> Time.t
+
+val engine : t -> int -> Engine.t
+(** The engine owned by shard [k]. Scenario construction registers each
+    host's timers and callbacks on its owning shard's engine; during
+    {!run}, shard [k]'s callbacks execute on shard [k]'s domain and must
+    touch only shard-[k] state (plus {!post_remote}). *)
+
+val post_remote : t -> src:int -> dst:int -> at:Time.t -> (unit -> unit) -> unit
+(** Hand an effect across the shard boundary: [f] will execute on shard
+    [dst]'s engine at time [at]. Must be called from shard [src]'s
+    domain during its window (single-producer per (src, dst) pair); the
+    entry is buffered and scheduled at the next window barrier.
+    Typically wraps a remote fabric's [deliver] for a packet arriving at
+    [at] (see [Netsim.Link.connect_remote]). *)
+
+val run : t -> until:Time.t -> unit
+(** Advance every shard to exactly [until], in synchronized windows of
+    [lookahead]. May be called repeatedly (phases); between calls all
+    engines sit at the same simulation time and the domain team is
+    parked. When every engine is drained and the inboxes are empty, the
+    remaining span is covered in one window.
+
+    @raise Failure if a cross-shard entry violates the lookahead bound
+    (arrival inside the window that produced it — a mis-derived
+    lookahead or a mis-sharded scenario).
+
+    Exceptions raised by shard callbacks are re-raised here (lowest
+    shard index wins) after the window's barrier completes. *)
+
+(** Per-shard health, captured at window barriers (no cross-domain reads
+    of live engine state): see {!stats}. *)
+type stats = {
+  shards : int;
+  windows : int;  (** synchronized windows completed across all runs *)
+  remote_posts : int;  (** cross-shard entries drained *)
+  pending : int array;  (** live events per shard at last barrier *)
+  queue_length : int array;  (** heap size per shard at last barrier *)
+  wheel_size : int array;  (** wheel occupancy per shard at last barrier *)
+  events_fired : int array;  (** events executed per shard, cumulative *)
+  stall_seconds : float array;
+      (** wall-clock time each shard spent parked at window barriers *)
+}
+
+val stats : t -> stats
+(** Snapshot of the barrier-captured per-shard counters. Safe to call
+    from the coordinating domain between or after {!run} calls, and from
+    telemetry gauges polled at barrier-aligned times. *)
+
+val shutdown : t -> unit
+(** Join the worker domain team. Idempotent; {!run} must not be called
+    afterwards. A [t] with [shards = 1] has no team and this is a no-op. *)

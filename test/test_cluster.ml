@@ -385,6 +385,32 @@ let parallel_map_order_and_errors () =
   | exception Failure msg ->
       Alcotest.(check string) "earliest failing item wins" "4" msg
 
+let parallel_map_aborts_after_failure () =
+  (* Item 0 fails immediately; item 1 is in flight on the second domain
+     and runs to completion; items 2.. must never start — the pool
+     drains the queue after the first failure instead of grinding
+     through it. Item 1's sleep gives the failing worker far more time
+     than it needs to flip the abort flag. *)
+  let started = Atomic.make 0 in
+  (match
+     Cluster.Parallel.map ~jobs:2
+       (fun x ->
+         Atomic.incr started;
+         if x = 0 then failwith "first item"
+         else begin
+           Unix.sleepf 0.05;
+           x
+         end)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+   with
+  | _ -> Alcotest.fail "expected the item-0 failure"
+  | exception Failure msg ->
+      Alcotest.(check string) "item 0's exception" "first item" msg);
+  Alcotest.(check bool)
+    (Fmt.str "only in-flight items ran (%d started)" (Atomic.get started))
+    true
+    (Atomic.get started <= 2)
+
 let jobs_do_not_change_figures () =
   (* The parallel-runner contract: the rendered Fig. 3 CSV — every
      latency bucket of every policy — is byte-identical whether the
@@ -556,6 +582,8 @@ let () =
           Alcotest.test_case "seed matters" `Quick seed_changes_run;
           Alcotest.test_case "parallel map order and errors" `Quick
             parallel_map_order_and_errors;
+          Alcotest.test_case "parallel map aborts after failure" `Quick
+            parallel_map_aborts_after_failure;
           Alcotest.test_case "figures identical at any -j" `Slow
             jobs_do_not_change_figures;
         ] );

@@ -1,0 +1,184 @@
+(* Des.Shard: conservative synchronized-window parallel DES, and the
+   K-invariance of Cluster.Sharded built on top of it. *)
+
+let us = Des.Time.us
+let ms = Des.Time.ms
+
+(* --- shards = 1 degenerates to the plain engine ------------------------ *)
+
+let single_shard_matches_engine () =
+  let trace_of run =
+    let trace = ref [] in
+    let note tag engine () =
+      trace := (tag, Des.Engine.now engine) :: !trace
+    in
+    run note;
+    List.rev !trace
+  in
+  let plain =
+    trace_of (fun note ->
+        let e = Des.Engine.create () in
+        ignore (Des.Engine.schedule e ~at:(us 30) (note "b" e));
+        ignore (Des.Engine.schedule e ~at:(us 10) (note "a" e));
+        ignore (Des.Engine.schedule e ~at:(us 30) (note "c" e));
+        Des.Engine.run e ~until:(ms 1))
+  in
+  let sharded =
+    trace_of (fun note ->
+        let t = Des.Shard.create ~shards:1 ~lookahead:(us 5) in
+        let e = Des.Shard.engine t 0 in
+        ignore (Des.Engine.schedule e ~at:(us 30) (note "b" e));
+        ignore (Des.Engine.schedule e ~at:(us 10) (note "a" e));
+        ignore (Des.Engine.schedule e ~at:(us 30) (note "c" e));
+        Des.Shard.run t ~until:(ms 1);
+        Des.Shard.shutdown t)
+  in
+  Alcotest.(check (list (pair string int)))
+    "same trace" plain sharded
+
+(* --- cross-shard post at the window boundary --------------------------- *)
+
+(* Lookahead 100 us, windows [0,100), [100,200), ... An event at t=50 on
+   shard 0 posts a remote effect at exactly t=150 — the earliest legal
+   arrival lands in the *next* window, and must fire at exactly 150 on
+   shard 1, interleaved after shard 1's own earlier-scheduled event at
+   the same timestamp (barrier posting assigns later sequence numbers
+   than construction-time scheduling). *)
+let cross_shard_barrier_boundary () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
+  let trace = ref [] in
+  let note tag engine () =
+    trace := (tag, Des.Engine.now engine) :: !trace
+  in
+  ignore (Des.Engine.schedule e1 ~at:(us 150) (note "local@150" e1));
+  ignore (Des.Engine.schedule e1 ~at:(us 160) (note "local@160" e1));
+  ignore
+    (Des.Engine.schedule e0 ~at:(us 50) (fun () ->
+         Des.Shard.post_remote t ~src:0 ~dst:1 ~at:(us 150)
+           (note "remote@150" e1)));
+  Des.Shard.run t ~until:(ms 1);
+  Des.Shard.shutdown t;
+  Alcotest.(check (list (pair string int)))
+    "exact arrival time and same-timestamp order"
+    [ ("local@150", us 150); ("remote@150", us 150); ("local@160", us 160) ]
+    (List.rev !trace);
+  let stats = Des.Shard.stats t in
+  Alcotest.(check int) "one cross-shard post" 1 stats.Des.Shard.remote_posts
+
+(* A second [run] phase must pick up exactly where the first stopped:
+   a remote entry posted in phase 1 for a phase-2 timestamp survives
+   the inter-phase barrier. *)
+let cross_shard_across_phases () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
+  let fired = ref None in
+  ignore
+    (Des.Engine.schedule e0 ~at:(us 380) (fun () ->
+         Des.Shard.post_remote t ~src:0 ~dst:1 ~at:(us 700) (fun () ->
+             fired := Some (Des.Engine.now e1))));
+  Des.Shard.run t ~until:(us 400);
+  Alcotest.(check (option int)) "not yet" None !fired;
+  Des.Shard.run t ~until:(ms 1);
+  Des.Shard.shutdown t;
+  Alcotest.(check (option int)) "fired in phase 2" (Some (us 700)) !fired
+
+(* --- lookahead violations are loud ------------------------------------- *)
+
+let lookahead_violation_fails () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let e0 = Des.Shard.engine t 0 in
+  (* An arrival inside the window that produced it: t=50 posting for
+     t=60 < horizon 100. A silently-late delivery would corrupt the
+     destination's causal order, so the barrier must refuse. *)
+  ignore
+    (Des.Engine.schedule e0 ~at:(us 50) (fun () ->
+         Des.Shard.post_remote t ~src:0 ~dst:1 ~at:(us 60) ignore));
+  let raised =
+    match Des.Shard.run t ~until:(ms 1) with
+    | () -> false
+    | exception Failure _ -> true
+  in
+  Des.Shard.shutdown t;
+  Alcotest.(check bool) "barrier refuses late entry" true raised
+
+let create_validates () =
+  let invalid f =
+    match f () with
+    | (_ : Des.Shard.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "shards = 0" true
+    (invalid (fun () -> Des.Shard.create ~shards:0 ~lookahead:(us 1)));
+  Alcotest.(check bool) "no lookahead with 2 shards" true
+    (invalid (fun () -> Des.Shard.create ~shards:2 ~lookahead:0))
+
+(* --- worker exceptions surface at the barrier -------------------------- *)
+
+let shard_exception_reraised () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let e1 = Des.Shard.engine t 1 in
+  ignore
+    (Des.Engine.schedule e1 ~at:(us 10) (fun () -> failwith "shard 1 boom"));
+  let raised =
+    match Des.Shard.run t ~until:(ms 1) with
+    | () -> false
+    | exception Failure msg -> msg = "shard 1 boom"
+  in
+  Des.Shard.shutdown t;
+  Alcotest.(check bool) "callback exception re-raised" true raised
+
+(* --- Cluster.Sharded: results are a pure function of (n, seed) --------- *)
+
+(* The tentpole invariant: the per-client CSV summary — sends, responses,
+   active-flow census — is byte-identical whether the fleet ran on one
+   engine or four, across random (seed, size) workloads. The seed
+   rotates the flow→client map and shifts the flow port space, so each
+   case is a different simulation. Runs are small (hundreds of flows) so
+   the property stays fast; the CI shard-smoke job covers the large-n
+   case. *)
+let sharded_flows_k_invariant =
+  QCheck.Test.make ~count:4 ~name:"Sharded.flows CSV identical at K=1 and K=4"
+    QCheck.(pair (int_range 0 100_000) (int_range 65 700))
+    (fun (seed, n) ->
+      let csv shards =
+        (Cluster.Sharded.flows ~shards ~seed ~n ()).Cluster.Sharded.csv
+      in
+      let one = csv 1 and four = csv 4 in
+      if one <> four then
+        QCheck.Test.fail_reportf "CSV diverged at seed=%d n=%d:@.%s@.vs@.%s"
+          seed n one four;
+      true)
+
+let sharded_flows_two_equals_three () =
+  (* Shard counts that do not divide the client count exercise the
+     uneven-partition paths. *)
+  let csv shards =
+    (Cluster.Sharded.flows ~shards ~n:257 ()).Cluster.Sharded.csv
+  in
+  Alcotest.(check string) "K=2 vs K=3" (csv 2) (csv 3)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "windows",
+        [
+          Alcotest.test_case "K=1 matches plain engine" `Quick
+            single_shard_matches_engine;
+          Alcotest.test_case "barrier-boundary arrival" `Quick
+            cross_shard_barrier_boundary;
+          Alcotest.test_case "remote entry across run phases" `Quick
+            cross_shard_across_phases;
+          Alcotest.test_case "lookahead violation fails" `Quick
+            lookahead_violation_fails;
+          Alcotest.test_case "create validates" `Quick create_validates;
+          Alcotest.test_case "shard exception re-raised" `Quick
+            shard_exception_reraised;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "K=2 equals K=3 (uneven partition)" `Slow
+            sharded_flows_two_equals_three;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ sharded_flows_k_invariant ] );
+    ]
