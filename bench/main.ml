@@ -8,7 +8,8 @@
    ablation-delta ablation-alpha ablation-epoch ablation-timing
    ablation-policy ablation-far ablation-herd [--check]
    ablation-law [--check] ablation-dependency ablation-estimator
-   ablation-source micro e2e [--check] all
+   ablation-source micro e2e [--check] flows [-n N] [--shards K]
+   [--check] soak [--minutes N] [--check] fig3-shards history all
 
    [-j N] runs the independent simulations inside each target on N
    domains (Cluster.Parallel); N = 0 picks the runtime's recommended
@@ -475,6 +476,19 @@ let resolve_shards shards =
   if shards > 0 then shards
   else Stdlib.min flows_clients (Domain.recommended_domain_count ())
 
+(* Both [flows] and [fig3-shards] record into this PR's file; each
+   rewrite drops only its own fields (by prefix) and keeps the other
+   target's, so running the two in either order loses nothing. *)
+let bench_pr9 = "BENCH_pr9.json"
+
+let bench_pr9_merge ~prefix fields =
+  let kept =
+    List.filter
+      (fun (k, _) -> not (String.starts_with ~prefix k))
+      (bench_json_read bench_pr9)
+  in
+  bench_json_write bench_pr9 ~bench:"adaptive-shards" (kept @ fields)
+
 let run_flows ~n ~shards ~check () =
   let shards = resolve_shards shards in
   print_endline
@@ -489,11 +503,32 @@ let run_flows ~n ~shards ~check () =
     "%d events in %.2fs wall = %.0f events/s aggregate; %d responses@.\
      peak %d tracked flows, %.1f live words/flow (full major: %.3fs)@.\
      major GC: %d collections, %.0f words promoted@.\
-     %d windows, %d cross-shard posts, max barrier stall %.3fs@."
+     %d windows (%d adaptively skipped, %d in drain), %d cross-shard posts, \
+     inbox peak %d bytes, max barrier stall %.3fs@."
     r.Cluster.Sharded.events r.wall_s r.events_per_sec r.responses
     r.active_peak r.words_per_flow r.full_major_s r.major_collections
-    r.major_words r.stats.Des.Shard.windows r.stats.Des.Shard.remote_posts
-    stall;
+    r.major_words r.stats.Des.Shard.windows
+    r.stats.Des.Shard.skipped_windows r.drain_windows
+    r.stats.Des.Shard.remote_posts r.stats.Des.Shard.inbox_peak_bytes stall;
+  (* Adaptive vs fixed-width window accounting (shards >= 2 only: one
+     shard runs without barriers). The idle-expiry drain phase is where
+     event-horizon widening pays — fixed-width covers the 200 ms drain
+     in span/lookahead windows, adaptive in a handful of jumps — so
+     both totals and the drain-phase counts are recorded, and the CI
+     tripwire below compares the drain phase. The dense send phase
+     gains little by design: its events sit ~1 µs apart, so a widened
+     window is barely larger than a fixed one. *)
+  let fixed =
+    if shards >= 2 then begin
+      let f = Cluster.Sharded.flows ~shards ~adaptive:false ~n () in
+      Fmt.pr
+        "fixed-width windows: %d total, %d in drain (adaptive: %d / %d)@."
+        f.Cluster.Sharded.stats.Des.Shard.windows f.drain_windows
+        r.stats.Des.Shard.windows r.drain_windows;
+      Some f
+    end
+    else None
+  in
   let path, discovered =
     bench_json_locate ~key:"flows_baseline_events_per_sec"
       ~fallback:"BENCH_pr4.json"
@@ -514,7 +549,23 @@ let run_flows ~n ~shards ~check () =
         [ ("flows_baseline_events_per_sec", r.events_per_sec);
           ("flows_baseline_words_per_flow", r.words_per_flow) ]
   in
-  bench_json_write path ~bench:"flows-churn"
+  let window_fields =
+    match fixed with
+    | None -> []
+    | Some f ->
+        [
+          ( "flows_windows_adaptive",
+            float_of_int r.Cluster.Sharded.stats.Des.Shard.windows );
+          ( "flows_windows_fixed",
+            float_of_int f.Cluster.Sharded.stats.Des.Shard.windows );
+          ("flows_drain_windows_adaptive", float_of_int r.drain_windows);
+          ("flows_drain_windows_fixed", float_of_int f.drain_windows);
+        ]
+  in
+  (* Results land in this PR's file; the baseline fields carried forward
+     from the newest file that had them keep discovery working. *)
+  let out = bench_pr9 in
+  bench_pr9_merge ~prefix:"flows_"
     (baseline
     @ [
         ("flows_n", float_of_int r.n);
@@ -530,11 +581,17 @@ let run_flows ~n ~shards ~check () =
         ("flows_major_words", r.major_words);
         ("flows_full_major_s", r.full_major_s);
         ("flows_windows", float_of_int r.stats.Des.Shard.windows);
+        ( "flows_skipped_windows",
+          float_of_int r.stats.Des.Shard.skipped_windows );
+        ("flows_drain_windows", float_of_int r.drain_windows);
         ( "flows_remote_posts",
           float_of_int r.stats.Des.Shard.remote_posts );
+        ( "flows_inbox_peak_bytes",
+          float_of_int r.stats.Des.Shard.inbox_peak_bytes );
         ("flows_barrier_stall_s", stall);
-      ]);
-  Fmt.pr "wrote %s@." path;
+      ]
+    @ window_fields);
+  Fmt.pr "wrote %s (baseline from %s)@." out path;
   if check then begin
     let base_eps = List.assoc "flows_baseline_events_per_sec" baseline in
     let base_words = List.assoc "flows_baseline_words_per_flow" baseline in
@@ -577,6 +634,29 @@ let run_flows ~n ~shards ~check () =
         tripwire_fail ~smoke:"shard-smoke" ~tripwire:"determinism"
           "shards=%d CSV differs from shards=1 CSV at n=%d" shards n;
       Fmt.pr "determinism: shards=%d CSV byte-identical to shards=1@." shards;
+      (match fixed with
+      | None -> ()
+      | Some f ->
+          if not (String.equal f.Cluster.Sharded.csv r.Cluster.Sharded.csv)
+          then
+            tripwire_fail ~smoke:"shard-smoke" ~tripwire:"determinism"
+              "adaptive CSV differs from fixed-width CSV at shards=%d n=%d"
+              shards n;
+          Fmt.pr
+            "determinism: adaptive CSV byte-identical to fixed-width@.";
+          (* The event-horizon optimisation must collapse the idle-heavy
+             drain phase by at least 3x; the dense send phase is exempt
+             (its windows are event-bound either way). *)
+          if 3 * r.drain_windows > f.drain_windows then
+            tripwire_fail ~smoke:"shard-smoke" ~tripwire:"adaptive-windows"
+              "adaptive drain took %d windows, not >= 3x fewer than \
+               fixed-width's %d"
+              r.drain_windows f.drain_windows;
+          Fmt.pr
+            "adaptive drain: %d windows vs fixed-width %d (%.0fx fewer)@."
+            r.drain_windows f.drain_windows
+            (float_of_int f.drain_windows
+            /. float_of_int (Stdlib.max 1 r.drain_windows)));
       (* The scaling floor only means something when every shard got a
          core: oversubscribed (more shards than cores) the domains
          time-slice and barrier stall dominates by construction. *)
@@ -594,6 +674,176 @@ let run_flows ~n ~shards ~check () =
           shards
           (Domain.recommended_domain_count ())
   end
+
+(* --- Sharded Fig 3: K-invariance of the full experiment --------------- *)
+
+(* Every field the figure renders from, serialized exactly (hex floats):
+   two runs of the same seed must produce the same signature regardless
+   of how the scenario was sharded. [metrics] and [shard_stats] are
+   deliberately excluded — the snapshot row stream interleaves per-shard
+   registries and the barrier counters depend on K by definition. *)
+let fig3_signature (result : Cluster.Fig3.result) =
+  let buf = Buffer.create 4096 in
+  let f v = Buffer.add_string buf (Fmt.str "%h;" v) in
+  let i v = Buffer.add_string buf (Fmt.str "%d;" v) in
+  let opt = function None -> Buffer.add_string buf "-;" | Some v -> f v in
+  List.iter
+    (fun (r : Cluster.Fig3.run_result) ->
+      Buffer.add_string buf (Inband.Policy.to_string r.policy);
+      Buffer.add_char buf '|';
+      f r.p95_before_us;
+      f r.p95_after_us;
+      i r.responses;
+      f r.throughput_rps;
+      opt r.reaction_ms;
+      opt r.recovery_ms;
+      i r.actions;
+      (match r.weights_final with
+      | None -> Buffer.add_string buf "-;"
+      | Some w -> Array.iter f w);
+      f r.pool_disruption;
+      f r.victim_share_before;
+      f r.victim_share_after;
+      List.iter
+        (fun (row : Cluster.Fig3.series_row) ->
+          f row.t_s;
+          i row.count;
+          f row.p95_us;
+          f row.mean_us)
+        r.series;
+      Buffer.add_char buf '\n')
+    result.runs;
+  Buffer.contents buf
+
+(* A compressed Fig 3 (6 s, injection at 2 s) at K in {1, 2, 4} scenario
+   shards. The published result must be byte-identical across K — the
+   end-to-end form of the determinism contract, covering the sharded
+   scenario wiring, merged telemetry reads and adaptive widening all at
+   once — and the largest K's window accounting lands in BENCH_pr9.json.
+   Always a gate: a mismatch fails the run with or without --check. *)
+let fig3_shards_ks = [ 1; 2; 4 ]
+
+let run_fig3_shards ~jobs () =
+  print_endline
+    (Cluster.Report.section
+       "Sharded Fig 3: byte-equality across shard counts");
+  let duration = Des.Time.sec 6 and inject_at = Des.Time.sec 2 in
+  let runs =
+    List.map
+      (fun shards ->
+        let scenario =
+          { Cluster.Fig3.default_scenario with Cluster.Scenario.shards }
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Cluster.Fig3.run ~scenario ~jobs ~duration ~inject_at () in
+        (shards, r, Unix.gettimeofday () -. t0))
+      fig3_shards_ks
+  in
+  let sum field (result : Cluster.Fig3.result) =
+    List.fold_left (fun acc r -> acc + field r.Cluster.Fig3.shard_stats) 0
+      result.runs
+  in
+  let max_stall (result : Cluster.Fig3.result) =
+    List.fold_left
+      (fun acc r ->
+        Array.fold_left Stdlib.max acc
+          r.Cluster.Fig3.shard_stats.Des.Shard.stall_seconds)
+      0.0 result.runs
+  in
+  let headers =
+    [ "shards"; "wall s"; "windows"; "skipped"; "remote posts"; "stall s" ]
+  in
+  let rows =
+    List.map
+      (fun (k, r, wall) ->
+        [
+          string_of_int k;
+          Fmt.str "%.2f" wall;
+          string_of_int (sum (fun s -> s.Des.Shard.windows) r);
+          string_of_int (sum (fun s -> s.Des.Shard.skipped_windows) r);
+          string_of_int (sum (fun s -> s.Des.Shard.remote_posts) r);
+          Fmt.str "%.3f" (max_stall r);
+        ])
+      runs
+  in
+  print_endline (Cluster.Report.table ~headers rows);
+  let reference =
+    match runs with
+    | (_, r, _) :: _ -> fig3_signature r
+    | [] -> assert false
+  in
+  List.iter
+    (fun (k, r, _) ->
+      if not (String.equal (fig3_signature r) reference) then
+        tripwire_fail ~smoke:"shard-smoke" ~tripwire:"fig3-determinism"
+          "fig3 result at shards=%d differs from shards=1" k;
+      if k > 1 then
+        Fmt.pr "determinism: shards=%d result byte-identical to shards=1@." k)
+    runs;
+  (match List.rev runs with
+  | (k, r, _) :: _ ->
+      bench_pr9_merge ~prefix:"fig3_shards_"
+        [
+          ("fig3_shards_k", float_of_int k);
+          ( "fig3_shards_windows",
+            float_of_int (sum (fun s -> s.Des.Shard.windows) r) );
+          ( "fig3_shards_skipped_windows",
+            float_of_int (sum (fun s -> s.Des.Shard.skipped_windows) r) );
+          ( "fig3_shards_remote_posts",
+            float_of_int (sum (fun s -> s.Des.Shard.remote_posts) r) );
+          ("fig3_shards_stall_s", max_stall r);
+        ];
+      Fmt.pr "wrote %s (fig3_shards_* fields, k=%d)@." bench_pr9 k
+  | [] -> ())
+
+(* --- bench history: the cross-PR perf trajectory ----------------------- *)
+
+(* One row per BENCH_pr*.json, oldest first, each column read from the
+   first key of its list that the file carries; "-" where a file
+   predates (or never measured) a metric. *)
+let run_history () =
+  print_endline
+    (Cluster.Report.section "Benchmark history (BENCH_pr*.json, oldest first)");
+  match Cluster.Bench_store.files () with
+  | [] -> print_endline "no BENCH_pr*.json files found"
+  | files ->
+      let cell fields keys render =
+        match List.find_map (fun k -> List.assoc_opt k fields) keys with
+        | Some v -> render v
+        | None -> "-"
+      in
+      let headers =
+        [
+          "file";
+          "events/s";
+          "words/flow";
+          "windows";
+          "skipped";
+          "stall s";
+          "p95 us";
+          "converged ms";
+        ]
+      in
+      let rows =
+        (* files () is newest-first; the trajectory reads oldest-first. *)
+        List.rev_map
+          (fun file ->
+            let fields = bench_json_read file in
+            [
+              file;
+              cell fields
+                [ "flows_events_per_sec"; "after_events_per_sec" ]
+                (Fmt.str "%.0f");
+              cell fields [ "flows_live_words_per_flow" ] (Fmt.str "%.1f");
+              cell fields [ "flows_windows" ] (Fmt.str "%.0f");
+              cell fields [ "flows_skipped_windows" ] (Fmt.str "%.0f");
+              cell fields [ "flows_barrier_stall_s" ] (Fmt.str "%.3f");
+              cell fields [ "soak_p95_us" ] (Fmt.str "%.1f");
+              cell fields [ "law_baseline_converged_ms" ] (Fmt.str "%.0f");
+            ])
+          files
+      in
+      print_endline (Cluster.Report.table ~headers rows)
 
 (* --- Bechamel microbenchmarks: the per-packet datapath costs --------- *)
 
@@ -735,6 +985,8 @@ let targets =
     ("ablation-source", fun ~jobs ~check:_ () -> run_ablation_source ~jobs ());
     ("micro", fun ~jobs:_ ~check:_ () -> run_micro ());
     ("e2e", fun ~jobs:_ ~check () -> run_e2e ~check ());
+    ("fig3-shards", fun ~jobs ~check:_ () -> run_fig3_shards ~jobs ());
+    ("history", fun ~jobs:_ ~check:_ () -> run_history ());
   ]
 (* [flows] is dispatched separately: it is the only target taking -n. *)
 

@@ -133,7 +133,7 @@ let fig2_cmd =
 
 let fig3_cmd =
   let run duration inject_at inject_ms policies servers connections alpha law
-      seed csv metrics_csv metrics_interval jobs =
+      seed shards csv metrics_csv metrics_interval jobs =
     let scenario =
       {
         Cluster.Scenario.default_config with
@@ -142,6 +142,7 @@ let fig3_cmd =
         memtier =
           { Workload.Memtier.default_config with Workload.Memtier.connections };
         seed;
+        shards;
       }
     in
     let result =
@@ -187,13 +188,21 @@ let fig3_cmd =
     Arg.(value & opt float 0.10 & info [ "alpha" ] ~doc:"Controller shift fraction.")
   in
   let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Engine shards per simulation (results are invariant in \
+             this; tables are byte-identical at any value).")
+  in
   Cmd.v
     (Cmd.info "fig3"
        ~doc:"Tail latency under a server delay injection (Fig 3).")
     Term.(
       const run $ duration $ inject_at $ inject_ms $ policies $ servers
-      $ connections $ alpha $ law_arg $ seed $ csv_arg $ metrics_csv_arg
-      $ metrics_interval_arg $ jobs_arg)
+      $ connections $ alpha $ law_arg $ seed $ shards $ csv_arg
+      $ metrics_csv_arg $ metrics_interval_arg $ jobs_arg)
 
 (* --- sweeps ------------------------------------------------------------ *)
 
@@ -553,14 +562,14 @@ let run_cmd =
 (* --- churn: multi-fault timeline with per-fault latencies --------------- *)
 
 let churn_cmd =
-  let run duration seed faults assert_recovery csv metrics_csv =
+  let run duration seed shards faults assert_recovery csv metrics_csv =
     let timeline =
       match load_faults faults with
       | Some timeline -> timeline
       | None -> Cluster.Churn.default_timeline
     in
     let scenario =
-      { Cluster.Churn.default_scenario with Cluster.Scenario.seed }
+      { Cluster.Churn.default_scenario with Cluster.Scenario.seed; shards }
     in
     let result = Cluster.Churn.run ~scenario ~duration ~timeline () in
     Cluster.Churn.print result;
@@ -586,6 +595,14 @@ let churn_cmd =
       & info [ "duration" ] ~doc:"Run length, seconds.")
   in
   let seed = Arg.(value & opt int 0xfeed & info [ "seed" ] ~doc:"Random seed.") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Engine shards (results are invariant in this; tables are \
+             byte-identical at any value).")
+  in
   let assert_recovery =
     Arg.(
       value & flag
@@ -600,8 +617,8 @@ let churn_cmd =
          "Replay a multi-fault timeline against the latency-aware LB and \
           report per-fault detection/recovery latency.")
     Term.(
-      const run $ duration $ seed $ faults_arg $ assert_recovery $ csv_arg
-      $ metrics_csv_arg)
+      const run $ duration $ seed $ shards $ faults_arg $ assert_recovery
+      $ csv_arg $ metrics_csv_arg)
 
 (* --- soak: long-horizon churn + adversarial clients -------------------- *)
 

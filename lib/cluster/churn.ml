@@ -78,24 +78,17 @@ let run ?(scenario = default_scenario) ?(duration = Des.Time.sec 14)
     ?(timeline = default_timeline) ?(recovered_fraction = 0.5) () =
   let s = Scenario.build scenario in
   let injector = Scenario.install_faults s timeline in
-  let snapshots = Scenario.snapshots s in
   (* Out-of-cadence snapshots at each fault's start and clearance give
      the recovery scan instants to look at even with a coarse
      metrics_interval. *)
   List.iter
     (fun (e : Faults.Timeline.event) ->
-      let snap_at at =
-        ignore
-          (Des.Engine.schedule (Scenario.engine s) ~at (fun () ->
-               Telemetry.Snapshot.snap snapshots))
-      in
-      snap_at e.at;
-      Option.iter (fun d -> snap_at (e.at + d)) e.duration)
+      Scenario.schedule_snap s ~at:e.at;
+      Option.iter (fun d -> Scenario.schedule_snap s ~at:(e.at + d)) e.duration)
     timeline;
   Scenario.run s ~until:duration;
-  Telemetry.Snapshot.snap snapshots;
-  let registry = Scenario.telemetry s in
-  let metrics = Telemetry.Snapshot.rows snapshots in
+  Scenario.snap_all s;
+  let metrics = Scenario.snap_rows s in
   let controller = Inband.Balancer.controller (Scenario.balancer s) in
   let n = Inband.Balancer.n_servers (Scenario.balancer s) in
   let to_ms a b = (Des.Time.to_float_s b -. Des.Time.to_float_s a) *. 1e3 in
@@ -121,15 +114,16 @@ let run ?(scenario = default_scenario) ?(duration = Des.Time.sec 14)
       (Faults.Injector.intervals injector)
   in
   let p95_us =
-    match Telemetry.Registry.find_histogram registry "client.latency_get_ns" with
+    match Scenario.histogram s "client.latency_get_ns" with
     | Some h -> float_of_int (Stats.Histogram.quantile h 0.95) /. 1e3
     | None -> nan
   in
   let responses =
-    match Telemetry.Registry.value registry "client.responses" with
+    match Scenario.metric_sum s "client.responses" with
     | Some v -> int_of_float v
     | None -> 0
   in
+  Scenario.shutdown s;
   {
     duration;
     timeline;

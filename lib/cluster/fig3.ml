@@ -15,6 +15,7 @@ type run_result = {
   victim_share_before : float;
   victim_share_after : float;
   metrics : Telemetry.Snapshot.row list;
+  shard_stats : Des.Shard.stats;
 }
 
 type result = {
@@ -53,18 +54,15 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
            ]));
   (* An out-of-cadence snapshot at injection time captures the exact
      per-server flow assignment, splitting the victim's share into
-     before/after; a final one closes the run. *)
-  let snapshots = Scenario.snapshots s in
-  ignore
-    (Des.Engine.schedule (Scenario.engine s) ~at:inject_at (fun () ->
-         Telemetry.Snapshot.snap snapshots));
+     before/after; a final one closes the run. (Every shard snaps at the
+     same instants, so the merged row stream is K-agnostic.) *)
+  Scenario.schedule_snap s ~at:inject_at;
   Scenario.run s ~until:duration;
-  Telemetry.Snapshot.snap snapshots;
-  let registry = Scenario.telemetry s in
+  Scenario.snap_all s;
   let balancer = Scenario.balancer s in
-  let metrics = Telemetry.Snapshot.rows snapshots in
+  let metrics = Scenario.snap_rows s in
   let rows =
-    match Telemetry.Registry.series registry "client.latency.get" with
+    match Scenario.series s "client.latency.get" with
     | Some ts -> Stats.Timeseries.rows ts ~q:0.95
     | None -> []
   in
@@ -129,7 +127,7 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
   in
   let flows_end =
     Array.init n (fun i ->
-        match Telemetry.Registry.value registry ~index:i "lb.flows_to" with
+        match Scenario.metric_value s ~index:i "lb.flows_to" with
         | Some v -> int_of_float v
         | None -> 0)
   in
@@ -140,10 +138,12 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
     else float_of_int snap.(victim) /. float_of_int total
   in
   let responses =
-    match Telemetry.Registry.value registry "client.responses" with
+    match Scenario.metric_sum s "client.responses" with
     | Some v -> int_of_float v
     | None -> 0
   in
+  let shard_stats = Scenario.shard_stats s in
+  Scenario.shutdown s;
   {
     policy;
     series;
@@ -159,6 +159,7 @@ let run_one ~scenario ~policy ~duration ~inject_at ~inject_delay
     victim_share_before = share flows_before;
     victim_share_after = share flows_delta;
     metrics;
+    shard_stats;
   }
 
 (* The default profile adds one stabiliser over the paper's always-act

@@ -4,7 +4,18 @@
     the service VIP, and N memcached servers, wired with DSR routing:
     client→LB and LB→server links carry requests, per-(server, client)
     links carry responses directly back. Exposes the LB→server links so
-    experiments can inject the paper's 1 ms delay. *)
+    experiments can inject the paper's 1 ms delay.
+
+    With [shards > 1] the cluster is partitioned across K engine shards
+    run by {!Des.Shard}: the balancer, servers, controller and fault
+    injector stay together on shard 0, clients spread round-robin over
+    shards 1..K-1, and the lookahead bound is derived from the cut link
+    set (client→LB and server→client legs). Simulation outcomes are
+    invariant in [shards] — figure tables are byte-identical at any K —
+    because cross-shard packet legs preserve exact arrival times
+    (DESIGN.md §14–15). Telemetry is per-shard; use the merged readers
+    ({!metric_value}, {!metric_sum}, {!series}, {!histogram},
+    {!snap_rows}) instead of poking a single registry. *)
 
 type config = {
   n_servers : int;
@@ -40,50 +51,120 @@ type config = {
   metrics_interval : Des.Time.t;
       (** Telemetry snapshot period (default 500 ms). *)
   seed : int;
+  shards : int;
+      (** Engine shards (default 1, the historical single-engine run).
+          Results are invariant in this; only wall-clock and the
+          [shard.*] health metrics change. *)
 }
 
 val default_config : config
 (** Two servers (the paper's setup), one client host, static Maglev,
-    ~170 µs network RTT, ~50 µs service times. *)
+    ~170 µs network RTT, ~50 µs service times, one shard. *)
 
 type t
 
 val build : config -> t
-(** Construct the whole cluster on a fresh engine. Clients are not
-    started yet. *)
+(** Construct the whole cluster, partitioned over [config.shards]
+    engines. Clients are not started yet.
+
+    @raise Invalid_argument if [shards < 1]. *)
 
 val engine : t -> Des.Engine.t
+(** Shard 0's engine — the one owning the balancer, servers and fault
+    injector. Under sharding, schedule onto it only between runs. *)
+
 val fabric : t -> Netsim.Fabric.t
+(** Shard 0's fabric (VIP and server endpoints). *)
+
 val balancer : t -> Inband.Balancer.t
 val servers : t -> Memcache.Server.t array
 val clients : t -> Workload.Memtier.t array
+
 val log : t -> Workload.Latency_log.t
+(** The first client-hosting shard's latency log. At [shards = 1] this
+    is the single cluster-wide log; under sharding each client-hosting
+    shard has its own and cross-shard readers should prefer {!series} /
+    {!histogram}.
+
+    @raise Invalid_argument if no shard hosts a client. *)
+
 val vip : t -> Netsim.Addr.t
 val config : t -> config
+
+val shards : t -> int
+(** The shard count the cluster was built with. *)
+
+val shard_stats : t -> Des.Shard.stats
+(** Barrier-captured runner health: windows, skipped (adaptively
+    subsumed) windows, remote posts, inbox high-water, per-shard stalls.
+    Meaningful after {!run}; at [shards = 1] windows counts run phases. *)
+
+val shutdown : t -> unit
+(** Join the worker domain team ({!Des.Shard.shutdown}). Call when done
+    with a sharded scenario; no-op at [shards = 1]. No {!run} after. *)
 
 val lb_server_link : t -> int -> Netsim.Link.t
 (** The LB→server link of one server (for delay injection). *)
 
 val client_lb_link : t -> int -> Netsim.Link.t
-(** The client→LB link of one client. *)
+(** The client→LB link of one client. Under sharding it is owned by the
+    client's shard — don't mutate it from shard 0. *)
 
 val telemetry : t -> Telemetry.Registry.t
-(** The cluster-wide metric registry. Every component registers here:
-    the balancer ([lb.*], [ctl.*]), servers ([server.*], indexed),
-    clients ([client.*], indexed), the latency log ([client.latency.*])
-    and the forward-path links ([link.client_lb.*], [link.lb_server.*],
-    indexed). *)
+(** Shard 0's metric registry: the balancer ([lb.*], [ctl.*]), servers
+    ([server.*], indexed), the forward LB→server links
+    ([link.lb_server.*]) and, under sharding, the runner's [shard.*]
+    gauges. Client-side metrics ([client.*], [link.client_lb.*]) live in
+    the owning shard's registry — read them through {!metric_value},
+    {!metric_sum}, {!series} or {!histogram}. *)
 
 val snapshots : t -> Telemetry.Snapshot.t
-(** The periodic snapshotter sampling {!telemetry} every
-    [metrics_interval]; started at build time. *)
+(** Shard 0's periodic snapshotter (every shard runs one at the same
+    cadence on its own engine); started at build time. Prefer
+    {!snap_rows} / {!snap_all} / {!schedule_snap} for K-agnostic use. *)
+
+val metric_value : t -> ?index:int -> string -> float option
+(** First shard's reading of a scalar metric, scanning registries in
+    shard order — for metrics registered on exactly one shard
+    (everything on shard 0; any client metric when one shard hosts all
+    clients). *)
+
+val metric_sum : t -> ?index:int -> string -> float option
+(** Sum of a scalar metric over every registry that has it ([None] if
+    none do). Exact for integer counters; equals {!metric_value} when
+    the metric lives on one shard. *)
+
+val series : t -> ?index:int -> string -> Stats.Timeseries.t option
+(** Merged view of an attached time series (e.g.
+    ["client.latency.get"]). A single-shard hit is returned as-is —
+    bit-identical to the K=1 read; multiple hits are folded into a
+    fresh series with {!Stats.Timeseries.merge_into}. *)
+
+val histogram : t -> ?index:int -> string -> Stats.Histogram.t option
+(** Merged view of a registered histogram (e.g.
+    ["client.latency_get_ns"]); single-shard hits returned as-is. *)
+
+val snap_rows : t -> Telemetry.Snapshot.row list
+(** All shards' snapshot rows, stably sorted by snapshot time: rows of
+    any one metric keep their chronological order, and at [shards = 1]
+    the list is exactly the single snapshotter's. *)
+
+val snap_all : t -> unit
+(** Take an immediate out-of-cadence snapshot on every shard (e.g. the
+    final sample after {!run} returns; the engines are parked, so the
+    reads are race-free). *)
+
+val schedule_snap : t -> at:Des.Time.t -> unit
+(** Schedule an out-of-cadence snapshot at simulation time [at] on
+    every shard — each shard's snap runs on its own engine. *)
 
 val wire_client_host : t -> host_ip:int -> unit
 (** Wire an extra client host (built after {!build}, e.g. a
     {!Workload.Pathology} client) into the DSR topology: a host→VIP
     request link and a server→host return link per server, all at the
-    default delays. The host must already be registered on the fabric —
-    create its TCP endpoint first.
+    default delays. The host must already be registered on shard 0's
+    fabric — create its TCP endpoint there first; such hosts always run
+    on shard 0, so this works at any [shards].
 
     @raise Invalid_argument if the host is unregistered or links
     already exist. *)
@@ -97,16 +178,20 @@ val fault_env : t -> Faults.Injector.env
 (** The cluster's fault-target namespace: link ["lb->sN"] is the
     LB→server request link, ["cN->lb"] the client→LB one; servers and
     backends are indexed as built. The controller resolves only under
-    the latency-aware policy. *)
+    the latency-aware policy. Under sharding ["cN->lb"] does not
+    resolve: those links belong to other shards' domains and the
+    injector runs on shard 0. *)
 
 val install_faults : t -> Faults.Timeline.t -> Faults.Injector.t
 (** {!Faults.Injector.install} against {!fault_env}, publishing
-    [fault.*] metrics into the cluster registry. Call before {!run}. *)
+    [fault.*] metrics into shard 0's registry. Call before {!run}. *)
 
 val attach_pcc : t -> Oracle.t
 (** Attach a per-connection-consistency {!Oracle} to the balancer
-    (publishing [pcc.*] gauges into the cluster registry). Call before
+    (publishing [pcc.*] gauges into shard 0's registry). Call before
     {!run}; inspect after — the [--assert-pcc] scenario flag. *)
 
 val run : t -> until:Des.Time.t -> unit
-(** Start all clients, run the engine to [until], then stop clients. *)
+(** Start all clients, advance every shard to [until] (synchronized
+    windows under sharding, a plain engine run at [shards = 1]), then
+    stop clients. May be called repeatedly. *)

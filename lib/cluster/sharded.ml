@@ -49,6 +49,7 @@ type result = {
   major_collections : int;
   major_words : float;
   csv : string; (* K-invariant summary; byte-identical for any shards *)
+  drain_windows : int; (* windows spent in the idle-expiry drain phase *)
   stats : Des.Shard.stats;
 }
 
@@ -71,20 +72,24 @@ let install_metrics shard registry =
   done;
   Telemetry.Registry.gauge_fn registry "shard.windows" (fun () ->
       float_of_int (stat (fun s -> s.Des.Shard.windows)));
+  Telemetry.Registry.gauge_fn registry "shard.skipped_windows" (fun () ->
+      float_of_int (stat (fun s -> s.Des.Shard.skipped_windows)));
   Telemetry.Registry.gauge_fn registry "shard.remote_posts" (fun () ->
-      float_of_int (stat (fun s -> s.Des.Shard.remote_posts)))
+      float_of_int (stat (fun s -> s.Des.Shard.remote_posts)));
+  Telemetry.Registry.gauge_fn registry "shard.inbox_peak_bytes" (fun () ->
+      float_of_int (stat (fun s -> s.Des.Shard.inbox_peak_bytes)))
 
 (* One balancer replica + its shard's clients and servers, plus every
    link whose *source* host lives on this shard (a link is owned by the
    sending engine; its receiving end may be remote). *)
-let flows ?(shards = 1) ?(seed = 0) ?telemetry ~n () =
+let flows ?(shards = 1) ?(seed = 0) ?(adaptive = true) ?telemetry ~n () =
   if shards < 1 then invalid_arg "Sharded.flows: shards must be >= 1";
   if n < 1 then invalid_arg "Sharded.flows: n must be >= 1";
   if seed < 0 then invalid_arg "Sharded.flows: seed must be >= 0";
   Gc.compact ();
   let base_live = (Gc.stat ()).Gc.live_words in
   let lookahead = Des.Time.us 5 in
-  let shard = Des.Shard.create ~shards ~lookahead in
+  let shard = Des.Shard.create ~adaptive ~shards ~lookahead () in
   let vip = Netsim.Addr.v 1 80 in
   let server_ips = Array.init servers (fun i -> 10 + i) in
   let client_ips = Array.init clients (fun i -> 100 + i) in
@@ -93,6 +98,13 @@ let flows ?(shards = 1) ?(seed = 0) ?telemetry ~n () =
   let fabrics =
     Array.init shards (fun k -> Netsim.Fabric.create (Des.Shard.engine shard k))
   in
+  (* Tagged cross-shard delivery: the packet rides the flat inbox as
+     (tag = destination ip, payload = packet) — no closure per post. *)
+  Array.iteri
+    (fun k fab ->
+      Des.Shard.set_sink shard ~dst:k (fun ip payload ->
+          Netsim.Fabric.deliver fab ~ip (Obj.obj payload : Netsim.Packet.t)))
+    fabrics;
   let config =
     {
       Inband.Config.default with
@@ -131,11 +143,10 @@ let flows ?(shards = 1) ?(seed = 0) ?telemetry ~n () =
     if src_shard = dst_shard then
       Netsim.Fabric.add_link fab ~src ~dst (link src_shard)
     else
-      let dst_fab = fabrics.(dst_shard) in
       Netsim.Fabric.add_remote_link fab ~src ~dst
         ~remote:(fun ~at pkt ->
-          Des.Shard.post_remote shard ~src:src_shard ~dst:dst_shard ~at
-            (fun () -> Netsim.Fabric.deliver dst_fab ~ip:dst pkt))
+          Des.Shard.post_remote_tagged shard ~src:src_shard ~dst:dst_shard
+            ~at ~tag:dst (Obj.repr pkt))
         (link src_shard)
   in
   (* client→VIP: always shard-local (each shard fronts its clients with
@@ -218,6 +229,7 @@ let flows ?(shards = 1) ?(seed = 0) ?telemetry ~n () =
     Des.Time.us ((total_sends / batch) + 2) + Des.Time.ms 1
   in
   Des.Shard.run shard ~until:send_horizon;
+  let windows_at_horizon = (Des.Shard.stats shard).Des.Shard.windows in
   let active_peak =
     Array.fold_left
       (fun acc b -> acc + Inband.Balancer.active_flows b)
@@ -274,5 +286,6 @@ let flows ?(shards = 1) ?(seed = 0) ?telemetry ~n () =
     major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
     major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
     csv;
+    drain_windows = stats.Des.Shard.windows - windows_at_horizon;
     stats;
   }

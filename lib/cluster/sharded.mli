@@ -36,12 +36,16 @@ type result = {
   major_collections : int;
   major_words : float;
   csv : string;  (** K-invariant per-client summary (see above) *)
+  drain_windows : int;
+      (** synchronized windows spent in the idle-expiry drain phase —
+          the phase adaptive widening collapses (NOT K-invariant) *)
   stats : Des.Shard.stats;
 }
 
 val flows :
   ?shards:int ->
   ?seed:int ->
+  ?adaptive:bool ->
   ?telemetry:Telemetry.Registry.t ->
   n:int ->
   unit ->
@@ -52,8 +56,11 @@ val flows :
     Default [shards] is 1. [seed] (default 0, the historical workload)
     deterministically perturbs the flow→client assignment and the flow
     port space — a different simulation whose results are still
-    invariant in [shards]. When [telemetry] is given, per-shard engine
-    health gauges are installed into it via {!install_metrics}.
+    invariant in [shards]. [adaptive] (default [true]) selects
+    event-horizon window widening; the [csv] is byte-identical either
+    way, only window counts and wall time differ. When [telemetry] is
+    given, per-shard engine health gauges are installed into it via
+    {!install_metrics}.
 
     @raise Invalid_argument if [shards < 1], [n < 1] or [seed < 0].
     @raise Failure if any flow survives the idle-expiry drain. *)
@@ -61,6 +68,8 @@ val flows :
 val install_metrics : Des.Shard.t -> Telemetry.Registry.t -> unit
 (** Register per-shard DES health gauges — [shard.pending],
     [shard.wheel_size], [shard.queue_length], [shard.events_fired],
-    [shard.stall_s] (indexed by shard) plus [shard.windows] and
-    [shard.remote_posts] — all reading the barrier-captured snapshot in
-    {!Des.Shard.stats}, so polling them never races a running window. *)
+    [shard.stall_s] (indexed by shard) plus [shard.windows],
+    [shard.skipped_windows], [shard.remote_posts] and
+    [shard.inbox_peak_bytes] — all reading the barrier-captured snapshot
+    in {!Des.Shard.stats}, so polling them never races a running
+    window. *)

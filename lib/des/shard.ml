@@ -1,5 +1,5 @@
 (* Synchronized-window conservative parallel DES (see shard.mli and
-   DESIGN.md §14).
+   DESIGN.md §14–15).
 
    Synchronization protocol, per window:
 
@@ -9,6 +9,8 @@
      run engine 0 to horizon             run engine k to horizon
      wait until arrived = K-1       ◄──  arrived++, signal
      drain inboxes into engines
+     widen next horizon from the
+       fleet's next-event minimum
      capture per-shard stats
 
    All shared mutable state (horizon, generation, arrived, inbox
@@ -20,35 +22,59 @@
    another's engine or inboxes — shard callbacks run entirely
    shard-locally, the design invariant that makes windows race-free.
 
-   Inbox draining is deterministic: entries are drained in (src, dst)
-   lexicographic order, and within one inbox in append order, which is
-   the producing shard's (deterministic) program order. Entries posted
-   with equal [at] into the same destination engine therefore receive
-   their tie-breaking sequence numbers in a thread-schedule-independent
-   order, making the merged event order — and thus the whole simulation
-   — a pure function of scenario + seed, for any K. *)
+   Adaptive horizon (DESIGN.md §15): at the barrier every engine sits at
+   the same time [w] with its inboxes drained, so the fleet-wide minimum
+   next-event time [m] (heap head + wheel bound, per engine) is a sound
+   lower bound on when *anything* can happen anywhere. No event fires
+   before [m], hence no cross-shard effect can land before [m + L], and
+   the next window may run to [max (w + L) (m + L)] without any shard
+   observing an arrival inside its window. Idle-heavy phases collapse to
+   one window per actual event cluster instead of one per lookahead
+   quantum; the determinism argument is unchanged because widening only
+   moves the barrier times, never the (src, dst, append) drain order.
 
-type entry = { at : Time.t; run : unit -> unit }
+   Inboxes are flat single-producer lanes (time / tag / payload arrays)
+   instead of per-entry records: [post_remote_tagged] is three array
+   stores and a length bump — zero allocation once the lanes are warm —
+   and the drain walks contiguous memory. The dominant cross-shard
+   effect (deliver a packet to an ip on the destination fabric) is
+   encoded as (tag = ip, payload = packet) and re-posted closure-free
+   via [Engine.post_tagged]; anything else rides the closure lane
+   (tag = -1, payload = the closure). *)
 
-(* Single-producer append buffer; only the (src) shard's domain writes
-   during a window, only the coordinating domain reads at the barrier. *)
-type inbox = { mutable buf : entry array; mutable len : int }
+type inbox = {
+  (* Lanes; only the (src) shard's domain writes during a window, only
+     the coordinating domain reads at the barrier. All three share
+     [len]/capacity and grow together. *)
+  mutable at : Time.t array;
+  mutable tag : int array; (* >= 0: tagged effect; -1: closure lane *)
+  mutable arg : Obj.t array;
+  mutable len : int;
+}
 
-let inbox_create () = { buf = [||]; len = 0 }
+let null_arg = Obj.repr 0
+let words_per_entry = 3
 
-let inbox_push b e =
-  if b.len >= Array.length b.buf then begin
-    let n = Stdlib.max 64 (2 * Array.length b.buf) in
-    let nbuf = Array.make n e in
-    Array.blit b.buf 0 nbuf 0 b.len;
-    b.buf <- nbuf
-  end;
-  b.buf.(b.len) <- e;
-  b.len <- b.len + 1
+let inbox_create () = { at = [||]; tag = [||]; arg = [||]; len = 0 }
+let inbox_capacity b = Array.length b.at
+
+let inbox_realloc b n =
+  let at = Array.make n 0
+  and tag = Array.make n (-1)
+  and arg = Array.make n null_arg in
+  Array.blit b.at 0 at 0 b.len;
+  Array.blit b.tag 0 tag 0 b.len;
+  Array.blit b.arg 0 arg 0 b.len;
+  b.at <- at;
+  b.tag <- tag;
+  b.arg <- arg
+
+let inbox_grow b = inbox_realloc b (Stdlib.max 64 (2 * inbox_capacity b))
 
 type t = {
   shards : int;
-  lookahead : Time.t;
+  mutable lookahead : Time.t;
+  adaptive : bool;
   engines : Engine.t array;
   inboxes : inbox array array; (* [src].(dst) *)
   (* Barrier state, all under [m]. *)
@@ -65,7 +91,9 @@ type t = {
      stall_seconds.(k) which shard k's own domain accumulates while
      parked (published by the same barrier mutex). *)
   mutable windows : int;
+  mutable skipped_windows : int;
   mutable remote_posts : int;
+  mutable inbox_peak_bytes : int;
   s_pending : int array;
   s_queue_length : int array;
   s_wheel_size : int array;
@@ -76,7 +104,9 @@ type t = {
 type stats = {
   shards : int;
   windows : int;
+  skipped_windows : int;
   remote_posts : int;
+  inbox_peak_bytes : int;
   pending : int array;
   queue_length : int array;
   wheel_size : int array;
@@ -86,10 +116,34 @@ type stats = {
 
 let shards (t : t) = t.shards
 let lookahead (t : t) = t.lookahead
+let adaptive (t : t) = t.adaptive
 let engine (t : t) k = t.engines.(k)
 
+let set_lookahead (t : t) lookahead =
+  if t.shards > 1 && lookahead <= 0 then
+    invalid_arg "Shard.set_lookahead: lookahead must be positive";
+  t.lookahead <- lookahead
+
 let post_remote (t : t) ~src ~dst ~at run =
-  inbox_push t.inboxes.(src).(dst) { at; run }
+  let b = t.inboxes.(src).(dst) in
+  if b.len >= inbox_capacity b then inbox_grow b;
+  let i = b.len in
+  b.at.(i) <- at;
+  b.tag.(i) <- -1;
+  b.arg.(i) <- Obj.repr run;
+  b.len <- i + 1
+
+let post_remote_tagged (t : t) ~src ~dst ~at ~tag arg =
+  if tag < 0 then invalid_arg "Shard.post_remote_tagged: tag must be >= 0";
+  let b = t.inboxes.(src).(dst) in
+  if b.len >= inbox_capacity b then inbox_grow b;
+  let i = b.len in
+  b.at.(i) <- at;
+  b.tag.(i) <- tag;
+  b.arg.(i) <- arg;
+  b.len <- i + 1
+
+let set_sink (t : t) ~dst f = Engine.set_tagged_sink t.engines.(dst) f
 
 (* Run one shard's engine over the current window, funnelling any
    callback exception into [t.error] instead of letting it tear down the
@@ -131,7 +185,7 @@ let worker (t : t) k =
   in
   loop ()
 
-let create ~shards ~lookahead =
+let create ?(adaptive = true) ~shards ~lookahead () =
   if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
   if shards > 1 && lookahead <= 0 then
     invalid_arg "Shard.create: lookahead must be positive when shards > 1";
@@ -139,6 +193,7 @@ let create ~shards ~lookahead =
     {
       shards;
       lookahead;
+      adaptive;
       engines = Array.init shards (fun _ -> Engine.create ());
       inboxes =
         Array.init shards (fun _ ->
@@ -153,7 +208,9 @@ let create ~shards ~lookahead =
       error = None;
       team = [||];
       windows = 0;
+      skipped_windows = 0;
       remote_posts = 0;
+      inbox_peak_bytes = 0;
       s_pending = Array.make shards 0;
       s_queue_length = Array.make shards 0;
       s_wheel_size = Array.make shards 0;
@@ -162,36 +219,57 @@ let create ~shards ~lookahead =
     }
   in
   if shards > 1 then
-    t.team <- Array.init (shards - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+    t.team <-
+      Array.init (shards - 1) (fun i ->
+          Domain.spawn (fun () -> worker t (i + 1)));
   t
 
 (* Drain every inbox into its destination engine, in deterministic
    (src, dst, append) order. Runs on the coordinating domain while the
    team is parked; [floor] is the barrier time every engine sits at, so
-   an entry with [at < floor] proves the lookahead bound was violated. *)
+   an entry with [at < floor] proves the lookahead bound was violated
+   (an arrival at exactly [floor] is legal: it fires in the next window,
+   sequenced after the window's own events — the barrier-boundary
+   semantics the tests pin). A buffer whose occupancy fell far below a
+   one-off burst's high-water mark is shrunk here so the burst does not
+   pin its peak memory for the rest of the run; the high-water mark
+   itself is kept in [inbox_peak_bytes]. *)
 let drain (t : t) ~floor =
+  let total_bytes = ref 0 in
   for src = 0 to t.shards - 1 do
     let row = t.inboxes.(src) in
     for dst = 0 to t.shards - 1 do
       let b = row.(dst) in
       if b.len > 0 then begin
+        let e = t.engines.(dst) in
         for i = 0 to b.len - 1 do
-          let e = b.buf.(i) in
-          if e.at < floor then
+          let at = b.at.(i) in
+          if at < floor then
             failwith
               (Fmt.str
-                 "Des.Shard: lookahead violation: shard %d -> %d entry at t=%d \
-                  inside window ending at t=%d (lookahead %d)"
-                 src dst e.at floor t.lookahead);
-          Engine.post t.engines.(dst) ~at:e.at e.run
+                 "Des.Shard: lookahead violation: shard %d -> %d entry at \
+                  t=%d inside window ending at t=%d (lookahead %d)"
+                 src dst at floor t.lookahead);
+          let tag = b.tag.(i) in
+          if tag >= 0 then Engine.post_tagged e ~at ~tag b.arg.(i)
+          else Engine.post e ~at (Obj.obj b.arg.(i) : unit -> unit)
         done;
-        t.remote_posts <- t.remote_posts + b.len;
-        (* Release closures; keep capacity. *)
-        Array.fill b.buf 0 b.len { at = 0; run = ignore };
-        b.len <- 0
+        t.remote_posts <- t.remote_posts + b.len
+      end;
+      let cap = inbox_capacity b in
+      if cap > 0 then begin
+        (* Release payload pointers; keep (or shrink) capacity. *)
+        Array.fill b.arg 0 b.len null_arg;
+        total_bytes := !total_bytes + (cap * words_per_entry * 8);
+        if cap >= 128 && b.len * 8 < cap then begin
+          b.len <- 0;
+          inbox_realloc b (cap / 2)
+        end
+        else b.len <- 0
       end
     done
-  done
+  done;
+  if !total_bytes > t.inbox_peak_bytes then t.inbox_peak_bytes <- !total_bytes
 
 let inboxes_empty (t : t) =
   let empty = ref true in
@@ -218,12 +296,17 @@ let reraise (t : t) =
       raise e
   | None -> ()
 
-let all_idle (t : t) =
-  let idle = ref true in
+(* Fleet-wide lower bound on the next event time; [max_int] when every
+   engine is idle. Sound only when inboxes are empty (a pending remote
+   entry is an event no engine knows about yet). *)
+let next_event_floor (t : t) =
+  let m = ref max_int in
   for k = 0 to t.shards - 1 do
-    if Engine.pending t.engines.(k) > 0 then idle := false
+    match Engine.next_event_time t.engines.(k) with
+    | Some at -> if at < !m then m := at
+    | None -> ()
   done;
-  !idle && inboxes_empty t
+  !m
 
 let run (t : t) ~until =
   if t.shards = 1 then begin
@@ -234,11 +317,22 @@ let run (t : t) ~until =
   else begin
     let now = ref (Engine.now t.engines.(0)) in
     while !now < until do
-      (* An idle fleet (no pending events anywhere, inboxes empty) can
-         cover the rest of the span in one window: with no events there
-         is nothing to generate a cross-shard arrival. *)
+      (* Horizon choice. Entries can sit in inboxes at the top of a run
+         phase (posted from outside any window); then fall back to the
+         fixed-width window — after its drain the adaptive path takes
+         over. With empty inboxes the fleet minimum [m] is sound:
+         m = max_int means a fully idle fleet (cover the rest of the
+         span in one window), otherwise nothing anywhere fires before
+         [m], so no cross-shard arrival can land before [m + L]. *)
       let horizon =
-        if all_idle t then until else Stdlib.min (!now + t.lookahead) until
+        if not (inboxes_empty t) then Stdlib.min (!now + t.lookahead) until
+        else begin
+          let m = next_event_floor t in
+          if m = max_int then until
+          else if t.adaptive then
+            Stdlib.min until (Stdlib.max (!now + t.lookahead) (m + t.lookahead))
+          else Stdlib.min (!now + t.lookahead) until
+        end
       in
       Mutex.lock t.m;
       t.horizon <- horizon;
@@ -258,6 +352,11 @@ let run (t : t) ~until =
       reraise t;
       drain t ~floor:horizon;
       t.windows <- t.windows + 1;
+      (* Fixed-width windows this one subsumed (perf accounting only). *)
+      let span = horizon - !now in
+      if span > t.lookahead then
+        t.skipped_windows <-
+          t.skipped_windows + (((span + t.lookahead - 1) / t.lookahead) - 1);
       now := horizon
     done;
     capture t
@@ -267,7 +366,9 @@ let stats (t : t) : stats =
   {
     shards = t.shards;
     windows = t.windows;
+    skipped_windows = t.skipped_windows;
     remote_posts = t.remote_posts;
+    inbox_peak_bytes = t.inbox_peak_bytes;
     pending = Array.copy t.s_pending;
     queue_length = Array.copy t.s_queue_length;
     wheel_size = Array.copy t.s_wheel_size;

@@ -3,20 +3,30 @@
     A sharded simulation partitions its hosts across K shards, each
     owning a private {!Engine} (wheel + heap), RNG streams, and slab
     lanes. Shards run concurrently — shard 0 on the calling domain,
-    shards 1..K-1 on a persistent domain team — in lockstep windows of
-    width [lookahead], the minimum propagation delay of any cross-shard
-    link: an event executed during window [w, w+L) can only produce a
-    cross-shard effect at time ≥ w+L, so within a window every shard is
-    causally independent and no rollback or null-message machinery is
-    needed (DESIGN.md §14).
+    shards 1..K-1 on a persistent domain team — in lockstep windows
+    bounded by [lookahead], the minimum propagation delay of any
+    cross-shard link: an event executed during window [w, w+L) can only
+    produce a cross-shard effect at time ≥ w+L, so within a window every
+    shard is causally independent and no rollback or null-message
+    machinery is needed (DESIGN.md §14).
+
+    By default the barrier is {e adaptive} (DESIGN.md §15): with all
+    engines parked at the barrier time [w] and the inboxes drained, the
+    fleet-wide minimum next-event time [m] bounds when anything can
+    happen anywhere, so the next window may run to
+    [max (w + L) (m + L)] — still conservative, same determinism
+    argument, and idle-heavy phases (drains, soak lulls, pacer gaps)
+    collapse from thousands of empty fixed-width windows into one.
 
     Cross-shard packets are posted into per-(src, dst) single-producer
-    inboxes via {!post_remote} and drained at the window barrier by the
-    coordinating domain, in deterministic (src, dst, append) order, into
-    the destination engines. Simulation results are therefore a pure
-    function of the scenario and seed — independent of K and of thread
-    scheduling — provided the scenario partitions its state so that each
-    host touches only its own shard (see [Cluster.Sharded]).
+    flat inboxes via {!post_remote_tagged} (zero-allocation once the
+    lanes are warm; {!post_remote} is the closure fallback) and drained
+    at the window barrier by the coordinating domain, in deterministic
+    (src, dst, append) order, into the destination engines. Simulation
+    results are therefore a pure function of the scenario and seed —
+    independent of K, of thread scheduling, and of the adaptivity flag —
+    provided the scenario partitions its state so that each host touches
+    only its own shard (see [Cluster.Sharded]).
 
     With [shards = 1] the runner degenerates to a bare [Engine.run] on
     the calling domain: no domains, no barriers, byte-identical behavior
@@ -24,11 +34,14 @@
 
 type t
 
-val create : shards:int -> lookahead:Time.t -> t
-(** [create ~shards ~lookahead] builds [shards] engines and, when
+val create : ?adaptive:bool -> shards:int -> lookahead:Time.t -> unit -> t
+(** [create ~shards ~lookahead ()] builds [shards] engines and, when
     [shards > 1], spawns the worker domain team (parked until {!run}).
     [lookahead] must be positive when [shards > 1]; it must lower-bound
-    the base propagation delay of every cross-shard link.
+    the base propagation delay of every cross-shard link. [adaptive]
+    (default [true]) enables event-horizon window widening; disabling it
+    restores fixed-width windows — results are identical either way,
+    only the window count and barrier overhead differ.
 
     @raise Invalid_argument if [shards < 1], or [shards > 1] with a
     non-positive [lookahead]. *)
@@ -36,30 +49,63 @@ val create : shards:int -> lookahead:Time.t -> t
 val shards : t -> int
 val lookahead : t -> Time.t
 
+val adaptive : t -> bool
+(** Whether event-horizon widening is enabled. *)
+
+val set_lookahead : t -> Time.t -> unit
+(** Replace the lookahead bound. Scenarios that derive the bound from
+    their cross-shard link set call this after wiring (links need the
+    engines, which need [create], which needs {e a} lookahead): create
+    with a placeholder, wire, then tighten. Only call between {!run}
+    phases (or before the first), and only with a value that still
+    lower-bounds every cross-shard link's base delay.
+
+    @raise Invalid_argument if non-positive while [shards > 1]. *)
+
 val engine : t -> int -> Engine.t
 (** The engine owned by shard [k]. Scenario construction registers each
     host's timers and callbacks on its owning shard's engine; during
     {!run}, shard [k]'s callbacks execute on shard [k]'s domain and must
-    touch only shard-[k] state (plus {!post_remote}). *)
+    touch only shard-[k] state (plus the [post_remote] family). *)
 
 val post_remote : t -> src:int -> dst:int -> at:Time.t -> (unit -> unit) -> unit
 (** Hand an effect across the shard boundary: [f] will execute on shard
     [dst]'s engine at time [at]. Must be called from shard [src]'s
     domain during its window (single-producer per (src, dst) pair); the
-    entry is buffered and scheduled at the next window barrier.
-    Typically wraps a remote fabric's [deliver] for a packet arriving at
-    [at] (see [Netsim.Link.connect_remote]). *)
+    entry is buffered in the closure lane of the flat inbox and
+    scheduled at the next window barrier. Prefer
+    {!post_remote_tagged} for the packet-delivery fast path — this
+    variant costs the caller's closure allocation. *)
+
+val set_sink : t -> dst:int -> (int -> Obj.t -> unit) -> unit
+(** Install shard [dst]'s tagged-delivery handler (typically
+    [fun ip pkt -> Fabric.deliver fab ~ip (Obj.obj pkt)] on [dst]'s
+    fabric). One handler per destination shard; required before any
+    {!post_remote_tagged} entry addressed to it fires. *)
+
+val post_remote_tagged :
+  t -> src:int -> dst:int -> at:Time.t -> tag:int -> Obj.t -> unit
+(** Closure-free {!post_remote} for the dominant cross-shard effect:
+    at [at], shard [dst]'s {!set_sink} handler is applied to
+    [(tag, arg)] — e.g. (destination ip, packet). Three array stores
+    into preallocated lanes; allocates nothing once the inbox has grown
+    to the flow's burst size (Gc-proved by the tests), and the barrier
+    re-posts it via [Engine.post_tagged], which is closure-free too.
+
+    @raise Invalid_argument if [tag < 0]. *)
 
 val run : t -> until:Time.t -> unit
-(** Advance every shard to exactly [until], in synchronized windows of
-    [lookahead]. May be called repeatedly (phases); between calls all
-    engines sit at the same simulation time and the domain team is
-    parked. When every engine is drained and the inboxes are empty, the
-    remaining span is covered in one window.
+(** Advance every shard to exactly [until], in synchronized windows. May
+    be called repeatedly (phases); between calls all engines sit at the
+    same simulation time and the domain team is parked. When every
+    engine is drained and the inboxes are empty, the remaining span is
+    covered in one window; with [adaptive] (the default), windows also
+    jump over event gaps to [min_next_event + lookahead].
 
     @raise Failure if a cross-shard entry violates the lookahead bound
     (arrival inside the window that produced it — a mis-derived
-    lookahead or a mis-sharded scenario).
+    lookahead or a mis-sharded scenario). An arrival at exactly the
+    window horizon is legal and fires in the next window.
 
     Exceptions raised by shard callbacks are re-raised here (lowest
     shard index wins) after the window's barrier completes. *)
@@ -69,7 +115,14 @@ val run : t -> until:Time.t -> unit
 type stats = {
   shards : int;
   windows : int;  (** synchronized windows completed across all runs *)
+  skipped_windows : int;
+      (** fixed-width windows subsumed by adaptive widening — the
+          barrier crossings the event-horizon optimisation avoided *)
   remote_posts : int;  (** cross-shard entries drained *)
+  inbox_peak_bytes : int;
+      (** high-water mark of total flat-inbox capacity (bytes), observed
+          at barriers; buffers shrink back once occupancy falls far
+          below capacity *)
   pending : int array;  (** live events per shard at last barrier *)
   queue_length : int array;  (** heap size per shard at last barrier *)
   wheel_size : int array;  (** wheel occupancy per shard at last barrier *)

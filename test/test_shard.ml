@@ -25,7 +25,7 @@ let single_shard_matches_engine () =
   in
   let sharded =
     trace_of (fun note ->
-        let t = Des.Shard.create ~shards:1 ~lookahead:(us 5) in
+        let t = Des.Shard.create ~shards:1 ~lookahead:(us 5) () in
         let e = Des.Shard.engine t 0 in
         ignore (Des.Engine.schedule e ~at:(us 30) (note "b" e));
         ignore (Des.Engine.schedule e ~at:(us 10) (note "a" e));
@@ -45,7 +45,7 @@ let single_shard_matches_engine () =
    the same timestamp (barrier posting assigns later sequence numbers
    than construction-time scheduling). *)
 let cross_shard_barrier_boundary () =
-  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
   let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
   let trace = ref [] in
   let note tag engine () =
@@ -70,7 +70,7 @@ let cross_shard_barrier_boundary () =
    a remote entry posted in phase 1 for a phase-2 timestamp survives
    the inter-phase barrier. *)
 let cross_shard_across_phases () =
-  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
   let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
   let fired = ref None in
   ignore
@@ -83,10 +83,98 @@ let cross_shard_across_phases () =
   Des.Shard.shutdown t;
   Alcotest.(check (option int)) "fired in phase 2" (Some (us 700)) !fired
 
+(* --- adaptive event-horizon widening ----------------------------------- *)
+
+(* A multi-second event gap must be crossed in O(1) windows: with every
+   inbox empty the fleet's next-event minimum bounds when anything can
+   happen anywhere, so the window jumps straight to [m + L] instead of
+   grinding through span/L fixed-width barriers. 6 s at L = 100 us is
+   60k fixed windows; adaptive needs a handful. *)
+let adaptive_idle_gap () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
+  let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
+  let fired = ref 0 in
+  ignore (Des.Engine.schedule e0 ~at:(us 10) (fun () -> incr fired));
+  ignore (Des.Engine.schedule e1 ~at:(Des.Time.sec 5) (fun () -> incr fired));
+  Des.Shard.run t ~until:(Des.Time.sec 6);
+  Des.Shard.shutdown t;
+  let stats = Des.Shard.stats t in
+  Alcotest.(check int) "both events fired" 2 !fired;
+  if stats.Des.Shard.windows > 8 then
+    Alcotest.failf "5 s idle gap took %d windows, expected O(1)"
+      stats.Des.Shard.windows;
+  if stats.Des.Shard.skipped_windows < 10_000 then
+    Alcotest.failf "only %d fixed-width windows skipped, expected tens of \
+                    thousands"
+      stats.Des.Shard.skipped_windows
+
+(* Regression: with the horizon widened to [min_next_event + L], a
+   remote post for exactly that instant sits on the window boundary —
+   the earliest legal arrival — and must be accepted and fired in the
+   next window, not rejected as a lookahead violation. *)
+let widened_horizon_boundary_post () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
+  let e0 = Des.Shard.engine t 0 and e1 = Des.Shard.engine t 1 in
+  let fired = ref None in
+  let gap_event = ms 10 in
+  ignore
+    (Des.Engine.schedule e0 ~at:gap_event (fun () ->
+         (* The widened window is [.., gap_event + L): gap_event was the
+            fleet minimum at the preceding barrier. *)
+         Des.Shard.post_remote t ~src:0 ~dst:1
+           ~at:(gap_event + us 100)
+           (fun () -> fired := Some (Des.Engine.now e1))));
+  Des.Shard.run t ~until:(ms 20);
+  Des.Shard.shutdown t;
+  Alcotest.(check (option int))
+    "post at exactly min_next_event + L fires there"
+    (Some (gap_event + us 100))
+    !fired
+
+(* --- the tagged fast path allocates nothing once warm ------------------ *)
+
+let post_remote_tagged_zero_alloc () =
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
+  let e0 = Des.Shard.engine t 0 in
+  let delivered = ref 0 in
+  Des.Shard.set_sink t ~dst:1 (fun _tag _arg -> incr delivered);
+  let payload = Obj.repr 0 in
+  let burst = 10_000 in
+  let post at =
+    for _ = 1 to burst do
+      Des.Shard.post_remote_tagged t ~src:0 ~dst:1 ~at ~tag:7 payload
+    done
+  in
+  (* Warm-up grows the (0, 1) lanes to the burst size; the barrier drain
+     keeps that capacity (occupancy matched it, so no shrink). *)
+  ignore (Des.Engine.schedule e0 ~at:(us 10) (fun () -> post (us 200)));
+  Des.Shard.run t ~until:(us 500);
+  Alcotest.(check int) "warm-up delivered" burst !delivered;
+  (* Same burst again on warm lanes, with the minor-allocation counter
+     read around it (on shard 0's own domain, where the posts run). *)
+  let delta = ref infinity in
+  ignore
+    (Des.Engine.schedule e0 ~at:(us 600) (fun () ->
+         let w0 = Gc.minor_words () in
+         post (us 800);
+         delta := Gc.minor_words () -. w0));
+  Des.Shard.run t ~until:(ms 1);
+  Des.Shard.shutdown t;
+  Alcotest.(check int) "all delivered" (2 * burst) !delivered;
+  if !delta > 64.0 then
+    Alcotest.failf "post_remote_tagged allocated %.0f minor words over %d \
+                    warm posts"
+      !delta burst;
+  let stats = Des.Shard.stats t in
+  (* The satellite gauge: the burst's lane high-water mark is recorded. *)
+  if stats.Des.Shard.inbox_peak_bytes < burst * 3 * 8 then
+    Alcotest.failf "inbox_peak_bytes %d below the burst footprint"
+      stats.Des.Shard.inbox_peak_bytes
+
 (* --- lookahead violations are loud ------------------------------------- *)
 
 let lookahead_violation_fails () =
-  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
   let e0 = Des.Shard.engine t 0 in
   (* An arrival inside the window that produced it: t=50 posting for
      t=60 < horizon 100. A silently-late delivery would corrupt the
@@ -109,14 +197,14 @@ let create_validates () =
     | exception Invalid_argument _ -> true
   in
   Alcotest.(check bool) "shards = 0" true
-    (invalid (fun () -> Des.Shard.create ~shards:0 ~lookahead:(us 1)));
+    (invalid (fun () -> Des.Shard.create ~shards:0 ~lookahead:(us 1) ()));
   Alcotest.(check bool) "no lookahead with 2 shards" true
-    (invalid (fun () -> Des.Shard.create ~shards:2 ~lookahead:0))
+    (invalid (fun () -> Des.Shard.create ~shards:2 ~lookahead:0 ()))
 
 (* --- worker exceptions surface at the barrier -------------------------- *)
 
 let shard_exception_reraised () =
-  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) in
+  let t = Des.Shard.create ~shards:2 ~lookahead:(us 100) () in
   let e1 = Des.Shard.engine t 1 in
   ignore
     (Des.Engine.schedule e1 ~at:(us 10) (fun () -> failwith "shard 1 boom"));
@@ -150,6 +238,25 @@ let sharded_flows_k_invariant =
           seed n one four;
       true)
 
+(* Adaptive widening must be invisible in the results: same (seed, n, K)
+   with adaptivity on and off produces the same CSV byte-for-byte; only
+   the window count differs. *)
+let sharded_flows_adaptivity_invariant =
+  QCheck.Test.make ~count:3
+    ~name:"Sharded.flows CSV identical with adaptivity on and off"
+    QCheck.(
+      triple (int_range 0 100_000) (int_range 65 500) (int_range 2 4))
+    (fun (seed, n, shards) ->
+      let csv adaptive =
+        (Cluster.Sharded.flows ~shards ~adaptive ~seed ~n ())
+          .Cluster.Sharded.csv
+      in
+      if csv true <> csv false then
+        QCheck.Test.fail_reportf
+          "CSV diverged between adaptive and fixed at seed=%d n=%d K=%d" seed
+          n shards;
+      true)
+
 let sharded_flows_two_equals_three () =
   (* Shard counts that do not divide the client count exercise the
      uneven-partition paths. *)
@@ -157,6 +264,32 @@ let sharded_flows_two_equals_three () =
     (Cluster.Sharded.flows ~shards ~n:257 ()).Cluster.Sharded.csv
   in
   Alcotest.(check string) "K=2 vs K=3" (csv 2) (csv 3)
+
+(* The sharded scenario end to end: a compressed Fig 3 must produce the
+   same published numbers at K=1 and K=2 (the bench [fig3-shards] target
+   and CI check {1, 2, 4} at full length and the golden tables). *)
+let fig3_sharded_equal () =
+  let run shards =
+    let scenario =
+      { Cluster.Fig3.default_scenario with Cluster.Scenario.shards }
+    in
+    let r =
+      Cluster.Fig3.run ~scenario ~duration:(Des.Time.sec 3)
+        ~inject_at:(Des.Time.sec 1) ()
+    in
+    List.map
+      (fun (rr : Cluster.Fig3.run_result) ->
+        ( rr.responses,
+          rr.actions,
+          rr.weights_final,
+          List.map
+            (fun (s : Cluster.Fig3.series_row) ->
+              (s.t_s, s.count, s.p95_us, s.mean_us))
+            rr.series ))
+      r.runs
+  in
+  if run 1 <> run 2 then
+    Alcotest.fail "fig3 results diverged between shards=1 and shards=2"
 
 let () =
   Alcotest.run "shard"
@@ -169,6 +302,12 @@ let () =
             cross_shard_barrier_boundary;
           Alcotest.test_case "remote entry across run phases" `Quick
             cross_shard_across_phases;
+          Alcotest.test_case "idle gap crossed in O(1) windows" `Quick
+            adaptive_idle_gap;
+          Alcotest.test_case "post at widened horizon is legal" `Quick
+            widened_horizon_boundary_post;
+          Alcotest.test_case "tagged post allocates nothing warm" `Quick
+            post_remote_tagged_zero_alloc;
           Alcotest.test_case "lookahead violation fails" `Quick
             lookahead_violation_fails;
           Alcotest.test_case "create validates" `Quick create_validates;
@@ -179,6 +318,10 @@ let () =
         [
           Alcotest.test_case "K=2 equals K=3 (uneven partition)" `Slow
             sharded_flows_two_equals_three;
+          Alcotest.test_case "fig3 equal at K=1 and K=2" `Slow
+            fig3_sharded_equal;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ sharded_flows_k_invariant ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ sharded_flows_k_invariant; sharded_flows_adaptivity_invariant ]
+      );
     ]
