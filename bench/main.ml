@@ -9,7 +9,8 @@
    ablation-policy ablation-far ablation-herd [--check]
    ablation-law [--check] ablation-dependency ablation-estimator
    ablation-source micro e2e [--check] flows [-n N] [--shards K]
-   [--check] soak [--minutes N] [--check] fig3-shards history all
+   [--check] soak [--minutes N] [--check] frontier [--check]
+   fig3-shards history all
 
    [-j N] runs the independent simulations inside each target on N
    domains (Cluster.Parallel); N = 0 picks the runtime's recommended
@@ -360,6 +361,104 @@ let run_e2e ~check () =
           m.events_per_sec b
   | Some _ | None -> ())
 
+
+(* --- Remap frontier (bench frontier) ----------------------------------- *)
+
+(* The PCC / recovery-latency frontier (Cluster.Frontier): one cell per
+   (remap policy x slow-backend fault intensity), recorded in
+   BENCH_pr10.json. Under [--check] it is the frontier-smoke CI gate,
+   with intrinsic tripwires — no recorded baseline needed, the shape of
+   the frontier itself is the contract: preserve must count exactly
+   zero violations at every intensity; down the heavy-fault column the
+   violation rate must strictly increase preserve -> ttl -> immediate
+   while the p95 recovery time strictly decreases; and immediate must
+   beat preserve's during-fault p95. *)
+let run_frontier ~jobs ~check () =
+  let result = Cluster.Frontier.run ~jobs () in
+  Cluster.Frontier.print result;
+  let tag (remap : Inband.Remap.t) =
+    String.map
+      (fun c -> if c = ':' then '_' else c)
+      (Inband.Remap.to_string remap)
+  in
+  let opt_val = function None -> -1.0 | Some ms -> ms in
+  let fields =
+    List.concat_map
+      (fun (c : Cluster.Frontier.cell) ->
+        let prefix = Fmt.str "frontier_%s_%s" (tag c.remap) c.intensity in
+        [
+          (prefix ^ "_violations", float_of_int c.violations);
+          (* Rates are ~1e-5; the store keeps 3 decimals, so record ppm. *)
+          (prefix ^ "_rate_ppm", 1e6 *. c.violation_rate);
+          (prefix ^ "_in_fault", float_of_int c.in_fault);
+          (prefix ^ "_remapped", float_of_int c.remapped);
+          (prefix ^ "_post_p95_us", c.post_p95_us);
+          (prefix ^ "_post_p99_us", c.post_p99_us);
+          (prefix ^ "_recovery_ms", opt_val c.recovery_ms);
+        ])
+      result.Cluster.Frontier.cells
+  in
+  bench_json_write "BENCH_pr10.json" ~bench:"frontier" fields;
+  Fmt.pr "wrote BENCH_pr10.json@.";
+  if check then begin
+    let cell pred intensity =
+      List.find_opt
+        (fun (c : Cluster.Frontier.cell) ->
+          pred c.Cluster.Frontier.remap && c.Cluster.Frontier.intensity = intensity)
+        result.Cluster.Frontier.cells
+    in
+    let require pred intensity what =
+      match cell pred intensity with
+      | Some c -> c
+      | None ->
+          tripwire_fail ~smoke:"frontier-smoke" ~tripwire:"grid"
+            "no %s cell at the %s intensity" what intensity
+    in
+    let is_preserve = function Inband.Remap.Preserve -> true | _ -> false in
+    let is_ttl = function Inband.Remap.Ttl _ -> true | _ -> false in
+    let is_immediate = function Inband.Remap.Immediate -> true | _ -> false in
+    (* Preserve is the paper's contract: zero violations, everywhere. *)
+    List.iter
+      (fun (c : Cluster.Frontier.cell) ->
+        if is_preserve c.remap && c.violations > 0 then
+          tripwire_fail ~smoke:"frontier-smoke" ~tripwire:"preserve-pcc"
+            "preserve counted %d violations at the %s intensity" c.violations
+            c.intensity)
+      result.Cluster.Frontier.cells;
+    let pre = require is_preserve "heavy" "preserve" in
+    let ttl = require is_ttl "heavy" "ttl" in
+    let imm = require is_immediate "heavy" "immediate" in
+    (* The frontier must slope the right way: each step of remap
+       aggression buys recovery time and costs stickiness. *)
+    if
+      not
+        (pre.violation_rate < ttl.violation_rate
+        && ttl.violation_rate < imm.violation_rate)
+    then
+      tripwire_fail ~smoke:"frontier-smoke" ~tripwire:"rate-monotone"
+        "heavy-column violation rates are not strictly increasing: preserve \
+         %.6f, ttl %.6f, immediate %.6f"
+        pre.violation_rate ttl.violation_rate imm.violation_rate;
+    let rec_ms (c : Cluster.Frontier.cell) =
+      match c.recovery_ms with Some ms -> ms | None -> infinity
+    in
+    if not (rec_ms pre > rec_ms ttl && rec_ms ttl > rec_ms imm) then
+      tripwire_fail ~smoke:"frontier-smoke" ~tripwire:"recovery-monotone"
+        "heavy-column recovery times are not strictly decreasing: preserve \
+         %.0fms, ttl %.0fms, immediate %.0fms"
+        (rec_ms pre) (rec_ms ttl) (rec_ms imm);
+    if imm.post_p95_us >= pre.post_p95_us then
+      tripwire_fail ~smoke:"frontier-smoke" ~tripwire:"recovery-p95"
+        "immediate's during-fault p95 (%.0fus) does not beat preserve's \
+         (%.0fus) under the heavy fault"
+        imm.post_p95_us pre.post_p95_us;
+    Fmt.pr
+      "frontier-smoke: ok (preserve clean; heavy column monotone: rates \
+       %.6f < %.6f < %.6f, recovery %.0fms > %.0fms > %.0fms; immediate \
+       during-fault p95 %.0fus < preserve %.0fus)@."
+      pre.violation_rate ttl.violation_rate imm.violation_rate (rec_ms pre)
+      (rec_ms ttl) (rec_ms imm) imm.post_p95_us pre.post_p95_us
+  end
 
 (* --- Soak battery (bench soak) ---------------------------------------- *)
 
@@ -985,6 +1084,7 @@ let targets =
     ("ablation-source", fun ~jobs ~check:_ () -> run_ablation_source ~jobs ());
     ("micro", fun ~jobs:_ ~check:_ () -> run_micro ());
     ("e2e", fun ~jobs:_ ~check () -> run_e2e ~check ());
+    ("frontier", fun ~jobs ~check () -> run_frontier ~jobs ~check ());
     ("fig3-shards", fun ~jobs ~check:_ () -> run_fig3_shards ~jobs ());
     ("history", fun ~jobs:_ ~check:_ () -> run_history ());
   ]
@@ -1003,6 +1103,7 @@ let run_all ~full ~jobs () =
   run_ablation_dependency ~jobs ();
   run_ablation_estimator ~jobs ();
   run_ablation_source ~jobs ();
+  run_frontier ~jobs ~check:false ();
   run_micro ()
 
 let () =

@@ -58,6 +58,32 @@ let law_arg =
            distinct from $(b,--policy), which picks the routing \
            algorithm and must be latency-aware for any law to run.")
 
+(* Third axis: what a committed table rebuild does to *established*
+   flows. Preserve (default) is the paper's never-break-affinity
+   behaviour; the others deliberately trade PCC for recovery. *)
+let remap =
+  let parse s =
+    match Inband.Remap.of_string s with
+    | Ok r -> Ok r
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Inband.Remap.pp)
+
+let remap_arg =
+  Arg.(
+    value
+    & opt remap Inband.Remap.Preserve
+    & info [ "remap" ] ~docv:"POLICY"
+        ~doc:
+          "What a table rebuild does to established flows: \
+           $(b,preserve) (the paper, default: affinity never broken), \
+           $(b,immediate) (every live flow re-consults the new table), \
+           $(b,ttl:)$(i,DUR) (only flows idle at least $(i,DUR), e.g. \
+           ttl:300us), or $(b,hot_k:)$(i,K) (only the K highest-rate \
+           flows of the rebuild's victim). Anything but preserve \
+           knowingly breaks per-connection consistency; the PCC oracle \
+           counts each break.")
+
 (* --- fig2 -------------------------------------------------------------- *)
 
 let csv_arg =
@@ -133,12 +159,12 @@ let fig2_cmd =
 
 let fig3_cmd =
   let run duration inject_at inject_ms policies servers connections alpha law
-      seed shards csv metrics_csv metrics_interval jobs =
+      remap seed shards csv metrics_csv metrics_interval jobs =
     let scenario =
       {
         Cluster.Scenario.default_config with
         Cluster.Scenario.n_servers = servers;
-        lb = { Inband.Config.default with Inband.Config.alpha };
+        lb = { Inband.Config.default with Inband.Config.alpha; remap };
         memtier =
           { Workload.Memtier.default_config with Workload.Memtier.connections };
         seed;
@@ -201,7 +227,7 @@ let fig3_cmd =
        ~doc:"Tail latency under a server delay injection (Fig 3).")
     Term.(
       const run $ duration $ inject_at $ inject_ms $ policies $ servers
-      $ connections $ alpha $ law_arg $ seed $ shards $ csv_arg
+      $ connections $ alpha $ law_arg $ remap_arg $ seed $ shards $ csv_arg
       $ metrics_csv_arg $ metrics_interval_arg $ jobs_arg)
 
 (* --- sweeps ------------------------------------------------------------ *)
@@ -242,10 +268,12 @@ let sweep_cmd =
     | "source" ->
         Cluster.Ablations.print_source
           (Cluster.Ablations.source_comparison ~jobs ())
+    | "remap" ->
+        Cluster.Frontier.print (Cluster.Frontier.run ~jobs ())
     | other ->
         Fmt.epr
           "unknown sweep %S \
-           (alpha|epoch|timing|policy|far|herd|law|dependency|estimator|source)@."
+           (alpha|epoch|timing|policy|far|herd|law|dependency|estimator|source|remap)@."
           other
   in
   let which =
@@ -255,13 +283,15 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Ablation sweeps: alpha, epoch, timing, policy, far, herd, law, \
-          dependency, estimator, source. The law sweep compares control \
-          laws (shift-worst/knapsack/gradient — the $(b,--law) axis) \
-          across fleet sizes; the policy sweep compares routing policies \
-          (the $(b,--policy) axis) and honours \
-          $(b,--metrics-csv)/$(b,--metrics-interval). $(b,--law) selects \
-          the control law for the policy and herd sweeps; all sweeps \
-          honour $(b,--jobs) and render identically at any job count.")
+          dependency, estimator, source, remap. The law sweep compares \
+          control laws (shift-worst/knapsack/gradient — the $(b,--law) \
+          axis) across fleet sizes; the policy sweep compares routing \
+          policies (the $(b,--policy) axis) and honours \
+          $(b,--metrics-csv)/$(b,--metrics-interval); the remap sweep \
+          maps the PCC-violation / recovery-latency frontier across \
+          remap policies and fault intensities. $(b,--law) selects the \
+          control law for the policy and herd sweeps; all sweeps honour \
+          $(b,--jobs) and render identically at any job count.")
     Term.(
       const run $ which $ law_arg $ metrics_csv_arg $ metrics_interval_arg
       $ jobs_arg)
@@ -276,18 +306,23 @@ let assert_pcc_arg =
           "Attach the per-connection-consistency oracle and exit nonzero \
            if any established flow ever changed backend (CI smoke check).")
 
-let report_pcc ~checked ~violations =
-  Fmt.pr "pcc: %d packets checked, %d violations@." checked
-    (List.length violations);
-  if violations <> [] then begin
+(* [hard] is the --assert-pcc contract: nonzero exit on any violation.
+   Without it the oracle is a counting instrument — non-preserving
+   remap policies are *supposed* to produce violations. *)
+let report_pcc ?(hard = true) oracle =
+  Fmt.pr "pcc: %d packets checked, %d violations (rate %.5f)@."
+    (Cluster.Oracle.checked oracle)
+    (Cluster.Oracle.violation_count oracle)
+    (Cluster.Oracle.violation_rate oracle);
+  if hard && not (Cluster.Oracle.ok oracle) then begin
     List.iter
       (fun v -> Fmt.epr "pcc violation: %a@." Cluster.Oracle.pp_violation v)
-      violations;
+      (Cluster.Oracle.violations oracle);
     exit 1
   end
 
 let herd_cmd =
-  let run coord law lbs duration inject_at assert_pcc jobs =
+  let run coord law remap lbs duration inject_at assert_pcc jobs =
     let policies =
       match coord with
       | "all" -> Ok Cluster.Coordination.[ Uncoordinated; Gossip_average; Leader ]
@@ -299,8 +334,8 @@ let herd_cmd =
         exit 2
     | Ok policies ->
         let rows =
-          Cluster.Multi_lb.coord_sweep ~jobs ~law ~policies ~lb_counts:lbs
-            ~duration ~inject_at ()
+          Cluster.Multi_lb.coord_sweep ~jobs ~law ~remap ~policies
+            ~lb_counts:lbs ~duration ~inject_at ()
         in
         Cluster.Multi_lb.print_coord rows;
         if assert_pcc then begin
@@ -353,8 +388,8 @@ let herd_cmd =
           oracle attached to every LB. $(b,--law) swaps the control law \
           every controller runs (default the paper's shift-worst).")
     Term.(
-      const run $ coord $ law_arg $ lbs $ duration $ inject_at $ assert_pcc_arg
-      $ jobs_arg)
+      const run $ coord $ law_arg $ remap_arg $ lbs $ duration $ inject_at
+      $ assert_pcc_arg $ jobs_arg)
 
 (* --- run: free-form scenario ------------------------------------------- *)
 
@@ -391,15 +426,16 @@ let print_fault_intervals injector =
     (Faults.Injector.intervals injector)
 
 let run_cmd =
-  let run duration policy law servers clients connections pipeline get_ratio
-      inject_at inject_ms interfere zipf seed estimate_window threshold
-      metrics faults assert_pcc =
+  let run duration policy law remap servers clients connections pipeline
+      get_ratio inject_at inject_ms interfere zipf seed estimate_window
+      threshold metrics faults assert_pcc =
     let lb =
       {
         Inband.Config.default with
         Inband.Config.estimate_window;
         relative_threshold = Float.max 1.0 threshold;
         law;
+        remap;
       }
     in
     let config =
@@ -441,7 +477,14 @@ let run_cmd =
     let injector =
       Option.map (Cluster.Scenario.install_faults s) (load_faults faults)
     in
-    let pcc = if assert_pcc then Some (Cluster.Scenario.attach_pcc s) else None in
+    (* Attach the oracle whenever it has something to say: on request,
+       or because a non-preserving remap policy will break PCC and the
+       count is the point. *)
+    let pcc =
+      if assert_pcc || remap <> Inband.Remap.Preserve then
+        Some (Cluster.Scenario.attach_pcc s)
+      else None
+    in
     Cluster.Scenario.run s ~until:duration;
     Option.iter print_fault_intervals injector;
     let log = Cluster.Scenario.log s in
@@ -482,10 +525,7 @@ let run_cmd =
       Fmt.pr "%s@." (Cluster.Report.registry registry)
     end;
     match pcc with
-    | Some oracle ->
-        report_pcc
-          ~checked:(Cluster.Oracle.checked oracle)
-          ~violations:(Cluster.Oracle.violations oracle)
+    | Some oracle -> report_pcc ~hard:assert_pcc oracle
     | None -> ()
   in
   let duration =
@@ -555,14 +595,15 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a free-form cluster scenario and print a summary.")
     Term.(
-      const run $ duration $ pol $ law_arg $ servers $ clients $ connections
-      $ pipeline $ get_ratio $ inject_at $ inject_ms $ interfere $ zipf $ seed
-      $ estimate_window $ threshold $ metrics $ faults_arg $ assert_pcc_arg)
+      const run $ duration $ pol $ law_arg $ remap_arg $ servers $ clients
+      $ connections $ pipeline $ get_ratio $ inject_at $ inject_ms $ interfere
+      $ zipf $ seed $ estimate_window $ threshold $ metrics $ faults_arg
+      $ assert_pcc_arg)
 
 (* --- churn: multi-fault timeline with per-fault latencies --------------- *)
 
 let churn_cmd =
-  let run duration seed shards faults assert_recovery csv metrics_csv =
+  let run duration seed shards remap faults assert_recovery csv metrics_csv =
     let timeline =
       match load_faults faults with
       | Some timeline -> timeline
@@ -570,6 +611,13 @@ let churn_cmd =
     in
     let scenario =
       { Cluster.Churn.default_scenario with Cluster.Scenario.seed; shards }
+    in
+    let scenario =
+      {
+        scenario with
+        Cluster.Scenario.lb =
+          { scenario.Cluster.Scenario.lb with Inband.Config.remap };
+      }
     in
     let result = Cluster.Churn.run ~scenario ~duration ~timeline () in
     Cluster.Churn.print result;
@@ -617,8 +665,8 @@ let churn_cmd =
          "Replay a multi-fault timeline against the latency-aware LB and \
           report per-fault detection/recovery latency.")
     Term.(
-      const run $ duration $ seed $ shards $ faults_arg $ assert_recovery
-      $ csv_arg $ metrics_csv_arg)
+      const run $ duration $ seed $ shards $ remap_arg $ faults_arg
+      $ assert_recovery $ csv_arg $ metrics_csv_arg)
 
 (* --- soak: long-horizon churn + adversarial clients -------------------- *)
 

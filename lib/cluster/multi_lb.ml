@@ -264,14 +264,15 @@ let victim_weight_mean_of balancers =
   if !n = 0 then nan else !sum /. float_of_int !n
 
 let herd_one ?(coord = Coordination.default_config) ?(pcc = true)
-    ?(law = Inband.Control_law.Shift_worst) ~n_lbs ~duration ~inject_at () =
+    ?(law = Inband.Control_law.Shift_worst)
+    ?(remap = Inband.Remap.Preserve) ~n_lbs ~duration ~inject_at () =
   let config =
     {
       default_config with
       n_lbs;
       coord;
       pcc;
-      lb = { default_config.lb with Inband.Config.law };
+      lb = { default_config.lb with Inband.Config.law; remap };
     }
   in
   let t = build config in
@@ -370,13 +371,13 @@ let herd_one ?(coord = Coordination.default_config) ?(pcc = true)
 let coord_config_of policy =
   { Coordination.default_config with Coordination.policy }
 
-let herd_sweep ?jobs ?law ?(lb_counts = [ 1; 2; 4 ])
+let herd_sweep ?jobs ?law ?remap ?(lb_counts = [ 1; 2; 4 ])
     ?(duration = Des.Time.sec 12) ?(inject_at = Des.Time.sec 4) () =
   Parallel.map ?jobs
-    (fun n_lbs -> herd_one ?law ~n_lbs ~duration ~inject_at ())
+    (fun n_lbs -> herd_one ?law ?remap ~n_lbs ~duration ~inject_at ())
     lb_counts
 
-let coord_sweep ?jobs ?law
+let coord_sweep ?jobs ?law ?remap
     ?(policies =
       Coordination.[ Uncoordinated; Gossip_average; Leader ])
     ?(lb_counts = [ 1; 2; 4 ]) ?(duration = Des.Time.sec 12)
@@ -388,8 +389,8 @@ let coord_sweep ?jobs ?law
   in
   Parallel.map ?jobs
     (fun (policy, n_lbs) ->
-      herd_one ~coord:(coord_config_of policy) ?law ~n_lbs ~duration ~inject_at
-        ())
+      herd_one ~coord:(coord_config_of policy) ?law ?remap ~n_lbs ~duration
+        ~inject_at ())
     cases
 
 (* The control-law ablation (A8): every law at every fleet size,

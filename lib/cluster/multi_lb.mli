@@ -104,14 +104,17 @@ val herd_one :
   ?coord:Coordination.config ->
   ?pcc:bool ->
   ?law:Inband.Control_law.kind ->
+  ?remap:Inband.Remap.t ->
   n_lbs:int ->
   duration:Des.Time.t ->
   inject_at:Des.Time.t ->
   unit ->
   row
 (** One Fig. 3-style injection run. [pcc] defaults to [true]: every
-    herd run doubles as a PCC assertion. [law] (default
-    [Shift_worst]) is the control law every LB's controller runs. *)
+    herd run doubles as a PCC assertion (a counting one: see
+    [pcc_violations]). [law] (default [Shift_worst]) is the control
+    law every LB's controller runs; [remap] (default [Preserve]) the
+    rebuild remap policy of every balancer. *)
 
 val coord_config_of : Coordination.policy -> Coordination.config
 (** {!Coordination.default_config} with the given policy. *)
@@ -119,6 +122,7 @@ val coord_config_of : Coordination.policy -> Coordination.config
 val herd_sweep :
   ?jobs:int ->
   ?law:Inband.Control_law.kind ->
+  ?remap:Inband.Remap.t ->
   ?lb_counts:int list ->
   ?duration:Des.Time.t ->
   ?inject_at:Des.Time.t ->
@@ -130,6 +134,7 @@ val herd_sweep :
 val coord_sweep :
   ?jobs:int ->
   ?law:Inband.Control_law.kind ->
+  ?remap:Inband.Remap.t ->
   ?policies:Coordination.policy list ->
   ?lb_counts:int list ->
   ?duration:Des.Time.t ->

@@ -14,6 +14,7 @@ type config = {
   server_overrides : (int * Memcache.Server.config) list;
   interference : (int * Stats.Dist.t * Stats.Dist.t) list;
   memtier : Workload.Memtier.config;
+  memtier_overrides : (int * Workload.Memtier.config) list;
   key_count : int;
   key_dist : Workload.Keyspace.dist;
   preload_value_size : int;
@@ -40,6 +41,7 @@ let default_config =
     server_overrides = [];
     interference = [];
     memtier = Workload.Memtier.default_config;
+    memtier_overrides = [];
     key_count = 10_000;
     key_dist = Workload.Keyspace.Uniform;
     preload_value_size = 64;
@@ -231,10 +233,15 @@ let build config =
             ~rng:(Des.Rng.split root_rng ~label:(Fmt.str "keys-%d" j))
             ()
         in
+        let mconfig =
+          match List.assoc_opt j config.memtier_overrides with
+          | Some c -> c
+          | None -> config.memtier
+        in
         Workload.Memtier.create fabrics.(k) ~host_ip:(client_ip j) ~vip
           ~keyspace
           ~log:(Option.get logs.(k))
-          ~config:config.memtier ~telemetry:registries.(k) ~index:j ~rng ())
+          ~config:mconfig ~telemetry:registries.(k) ~index:j ~rng ())
   in
   (* Links. Request path: client→VIP, VIP→server. Return path (DSR):
      server→client directly. *)

@@ -44,6 +44,11 @@ type config = {
           pause-duration dist), both in ns — §2.2's preemption/GC
           stalls. *)
   memtier : Workload.Memtier.config;
+  memtier_overrides : (int * Workload.Memtier.config) list;
+      (** Per-client workload overrides — e.g. a mostly-persistent
+          fleet with a couple of churning clients that keep every
+          backend's in-band estimate fresh (the remap frontier's
+          mix). *)
   key_count : int;
   key_dist : Workload.Keyspace.dist;
   preload_value_size : int;

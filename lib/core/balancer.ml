@@ -44,6 +44,13 @@ type routed_event = {
   packet : Netsim.Packet.t;
 }
 
+type remap_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  from_server : int;
+  to_server : int;
+}
+
 type t = {
   fabric : Netsim.Fabric.t;
   engine : Des.Engine.t;
@@ -59,6 +66,7 @@ type t = {
   (* Slot-indexed flow state, grown in step with the ensemble slab. *)
   mutable fl_server : lane;
   mutable fl_last_seen : lane;
+  mutable fl_pkts : lane; (* packets this incarnation: hot_k's rate proxy *)
   mutable fl_live : Bytes.t; (* '\001' = counted in conn_gauge *)
   idle : idle_buckets;
   conn_gauge : int array;
@@ -68,6 +76,8 @@ type t = {
   packet_bus : Netsim.Packet.t Telemetry.Bus.t;
   sample_bus : sample_event Telemetry.Bus.t;
   routed_bus : routed_event Telemetry.Bus.t;
+  remap_bus : remap_event Telemetry.Bus.t;
+  m_remapped : Telemetry.Registry.counter;
   m_forwarded : Telemetry.Registry.counter;
   m_pkts_to : Telemetry.Registry.counter array;
   m_flows_to : Telemetry.Registry.counter array;
@@ -161,6 +171,7 @@ let ensure_slot_capacity t slot =
     in
     t.fl_server <- grow t.fl_server;
     t.fl_last_seen <- grow t.fl_last_seen;
+    t.fl_pkts <- grow t.fl_pkts;
     let nlive = Bytes.make n '\000' in
     Bytes.blit t.fl_live 0 nlive 0 (Bytes.length t.fl_live);
     t.fl_live <- nlive
@@ -175,6 +186,7 @@ let flow_slot t key ~now =
     ensure_slot_capacity t slot;
     Bigarray.Array1.set t.fl_server slot server;
     Bigarray.Array1.set t.fl_last_seen slot now;
+    Bigarray.Array1.set t.fl_pkts slot 0;
     Bytes.set t.fl_live slot '\001';
     Netsim.Flow_table.add t.flows key slot;
     file_flow t.idle ~bucket:(bucket_of t.idle now) key;
@@ -182,6 +194,100 @@ let flow_slot t key ~now =
     Telemetry.Registry.Counter.incr t.m_flows_to.(server);
     slot
   end
+
+(* --- Remap: what a table rebuild does to established flows ---------
+
+   Under [Remap.Preserve] (the default and the paper's behaviour) none
+   of this runs: the rebuild hook is only installed for the other
+   policies, so the preserve path stays byte-identical. *)
+
+(* Re-consult the weighted table for one flow, probing successive table
+   positions from the flow's own hash past any backend a migration must
+   not land on: drained servers always (their slots survive at the
+   weight floor), plus hot_k's explicit victim. Deterministic and
+   distribution-faithful; if every backend is excluded the flow keeps
+   its current server. *)
+let repick t ~drained ?(avoid = -1) key ~current =
+  let h = Netsim.Flow_key.hash key in
+  let limit = Maglev.Pool.table_size t.pool in
+  let rec probe i =
+    if i >= limit then current
+    else
+      let s = Maglev.Pool.lookup t.pool (h + i) in
+      if s <> avoid && not (drained s) then s else probe (i + 1)
+  in
+  probe 0
+
+let migrate t ~now key slot ~target =
+  let current = Bigarray.Array1.get t.fl_server slot in
+  if target <> current then begin
+    Bigarray.Array1.set t.fl_server slot target;
+    (* Only live flows are ever migrated, so the gauge swap is safe. *)
+    t.conn_gauge.(current) <- t.conn_gauge.(current) - 1;
+    t.conn_gauge.(target) <- t.conn_gauge.(target) + 1;
+    Telemetry.Registry.Counter.incr t.m_remapped;
+    if not (Telemetry.Bus.is_empty t.remap_bus) then
+      Telemetry.Bus.publish t.remap_bus
+        { at = now; flow = key; from_server = current; to_server = target }
+  end
+
+let apply_remap t ~now ~victim =
+  let drained s =
+    match t.controller with
+    | Some c -> Controller.is_drained c s
+    | None -> false
+  in
+  match t.config.Config.remap with
+  | Remap.Preserve -> () (* hook never installed; defensive *)
+  | Remap.Immediate | Remap.Ttl _ ->
+      (* Every live flow whose idle gap is at least the TTL re-consults
+         the fresh table ([Immediate] ≡ TTL 0). *)
+      let ttl =
+        match t.config.Config.remap with Remap.Ttl n -> n | _ -> 0
+      in
+      Netsim.Flow_table.iter
+        (fun key slot ->
+          if
+            Bytes.get t.fl_live slot = '\001'
+            && now - Bigarray.Array1.get t.fl_last_seen slot >= ttl
+          then
+            let current = Bigarray.Array1.get t.fl_server slot in
+            migrate t ~now key slot
+              ~target:(repick t ~drained key ~current))
+        t.flows
+  | Remap.Hot_k k -> (
+      match victim with
+      | None -> () (* no single victim: nothing to migrate off *)
+      | Some v when k > 0 ->
+          (* The K highest-rate live flows pinned to the victim, by the
+             per-flow packet-count lane (rate proxy); slot order breaks
+             ties so the choice is deterministic. *)
+          let cand = ref [] in
+          Netsim.Flow_table.iter
+            (fun key slot ->
+              if
+                Bytes.get t.fl_live slot = '\001'
+                && Bigarray.Array1.get t.fl_server slot = v
+              then
+                cand :=
+                  (Bigarray.Array1.get t.fl_pkts slot, slot, key) :: !cand)
+            t.flows;
+          let cand =
+            List.sort
+              (fun (p1, s1, _) (p2, s2, _) ->
+                if p1 <> p2 then compare p2 p1 else compare s1 s2)
+              !cand
+          in
+          let rec migrate_top n = function
+            | [] -> ()
+            | _ when n = 0 -> ()
+            | (_, slot, key) :: rest ->
+                migrate t ~now key slot
+                  ~target:(repick t ~drained ~avoid:v key ~current:v);
+                migrate_top (n - 1) rest
+          in
+          migrate_top k cand
+      | Some _ -> () (* hot_k:0 ≡ preserve *))
 
 let record_sample t ~now ~key ~server sample =
   Telemetry.Registry.Counter.incr t.m_samples;
@@ -206,9 +312,16 @@ let on_packet t (pkt : Netsim.Packet.t) =
   let slot = flow_slot t key ~now in
   let server = Bigarray.Array1.unsafe_get t.fl_server slot in
   Bigarray.Array1.unsafe_set t.fl_last_seen slot now;
+  Bigarray.Array1.unsafe_set t.fl_pkts slot
+    (Bigarray.Array1.unsafe_get t.fl_pkts slot + 1);
   (match Ensemble.on_packet t.ensemble slot ~now with
   | Some sample -> record_sample t ~now ~key ~server sample
   | None -> ());
+  (* The sample can trigger a rebuild whose remap policy migrates this
+     very flow; re-read the assignment so the routed event and the
+     forward reflect it. Under [Remap.Preserve] nothing can have moved
+     and this is the same value. *)
+  let server = Bigarray.Array1.unsafe_get t.fl_server slot in
   if not (Telemetry.Bus.is_empty t.routed_bus) then
     Telemetry.Bus.publish t.routed_bus
       { at = now; flow = key; server; packet = pkt };
@@ -268,6 +381,7 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       flows = Netsim.Flow_table.create ~initial:1024 ();
       fl_server = lane_empty;
       fl_last_seen = lane_empty;
+      fl_pkts = lane_empty;
       fl_live = Bytes.empty;
       idle =
         {
@@ -282,6 +396,8 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
       packet_bus = Telemetry.Bus.create ();
       sample_bus = Telemetry.Bus.create ();
       routed_bus = Telemetry.Bus.create ();
+      remap_bus = Telemetry.Bus.create ();
+      m_remapped = Telemetry.Registry.counter registry "lb.remapped_flows";
       m_forwarded = Telemetry.Registry.counter registry "lb.pkts_forwarded";
       m_pkts_to = vec "lb.pkts_to";
       m_flows_to = vec "lb.flows_to";
@@ -321,6 +437,13 @@ let create fabric ~vip ~server_ips ?(policy = Policy.Static_maglev)
         | Some est -> est
         | None -> Float.nan)
   done;
+  (* The rebuild hook only exists for non-preserving remap policies, so
+     [Preserve] keeps the pre-remap commit path byte-identical. *)
+  (match controller with
+  | Some c when config.Config.remap <> Remap.Preserve ->
+      Controller.set_on_rebuild c
+        (Some (fun ~now ~victim -> apply_remap t ~now ~victim))
+  | _ -> ());
   Netsim.Fabric.register fabric ~ip:vip.Netsim.Addr.ip (fun pkt ->
       on_packet t pkt);
   ignore
@@ -333,6 +456,8 @@ let config t = t.config
 let packet_bus t = t.packet_bus
 let sample_bus t = t.sample_bus
 let routed_bus t = t.routed_bus
+let remap_bus t = t.remap_bus
+let remapped_flows t = Telemetry.Registry.Counter.value t.m_remapped
 let policy t = t.policy
 let pool t = t.pool
 let controller t = t.controller

@@ -3,7 +3,9 @@
     A fabric host registered at the service VIP. For every
     client-to-server packet it (1) feeds the in-band latency estimator,
     (2) looks up or establishes the flow's server assignment —
-    per-connection affinity is never broken by weight changes — and
+    per-connection affinity is never broken by weight changes under the
+    default {!Remap.Preserve}; other [Config.remap] policies migrate
+    selected established flows on each table rebuild — and
     (3) forwards the unmodified packet towards the assigned server
     (direct server return: responses never come back through here).
 
@@ -65,6 +67,16 @@ type routed_event = {
   packet : Netsim.Packet.t;
 }
 
+type remap_event = {
+  at : Des.Time.t;
+  flow : Netsim.Flow_key.t;
+  from_server : int;
+  to_server : int;
+}
+(** One established flow migrated by a non-preserving [Config.remap]
+    policy during a table rebuild. Only {e live} flows are ever
+    remapped. *)
+
 val packet_bus : t -> Netsim.Packet.t Telemetry.Bus.t
 (** Every packet the LB sees (before forwarding). *)
 
@@ -75,6 +87,16 @@ val routed_bus : t -> routed_event Telemetry.Bus.t
 (** Every packet together with the server it was routed to — for
     alternative measurement sources (e.g. {!Syn_rtt}) that need
     per-packet attribution. *)
+
+val remap_bus : t -> remap_event Telemetry.Bus.t
+(** Every flow migration a non-preserving remap policy performs. Silent
+    under {!Remap.Preserve}. The PCC oracle subscribes here to tell an
+    intentional remap from a stray reassignment. *)
+
+val remapped_flows : t -> int
+(** Reads the ["lb.remapped_flows"] registry counter: total established
+    flows migrated by the remap policy. Always 0 under
+    {!Remap.Preserve}. *)
 
 (** {1 State access} *)
 

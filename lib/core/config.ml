@@ -14,6 +14,7 @@ type t = {
   control_interval : Des.Time.t;
   recovery_rate : float;
   law : Control_law.kind;
+  remap : Remap.t;
   flow_idle_timeout : Des.Time.t;
   sweep_interval : Des.Time.t;
 }
@@ -36,6 +37,7 @@ let default =
     control_interval = Des.Time.ms 1;
     recovery_rate = 0.0;
     law = Control_law.Shift_worst;
+    remap = Remap.Preserve;
     flow_idle_timeout = Des.Time.sec 5;
     sweep_interval = Des.Time.sec 1;
   }
@@ -71,4 +73,4 @@ let validate t =
   else if t.recovery_rate < 0.0 then Error "recovery_rate must be >= 0"
   else if t.flow_idle_timeout <= 0 || t.sweep_interval <= 0 then
     Error "idle timeout and sweep interval must be positive"
-  else Ok ()
+  else Remap.validate t.remap

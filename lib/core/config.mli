@@ -50,6 +50,11 @@ type t = {
           {!Control_law.Shift_worst}, the paper's α-shift). Distinct
           from the routing {!Policy}: the law steers weights, the
           policy routes connections. *)
+  remap : Remap.t;
+      (** What a table rebuild does to *established* flows (default
+          {!Remap.Preserve}, the paper: nothing — affinity is never
+          broken). The non-preserving policies deliberately trade PCC
+          for post-fault latency; see {!Remap}. *)
   flow_idle_timeout : Des.Time.t;  (** Evict idle flow state after this. *)
   sweep_interval : Des.Time.t;  (** How often to scan for idle flows. *)
 }

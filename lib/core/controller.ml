@@ -22,6 +22,12 @@ type t = {
   mutable shift_gate : (now:Des.Time.t -> victim:int -> bool) option;
   mutable autonomous : bool;
   mutable imposed_count : int;
+  (* Remap hook (lib/core/balancer): invoked after every committed
+     table rebuild, with the server the commit shifted traffic away
+     from when it had one. Absent (the default, and always under
+     [Remap.Preserve]) the commit path is byte-identical to the
+     pre-hook code. *)
+  mutable on_rebuild : (now:Des.Time.t -> victim:int option -> unit) option;
 }
 
 let max_action_history = 4096
@@ -62,6 +68,7 @@ let create ~config ~pool ?telemetry () =
       shift_gate = None;
       autonomous = true;
       imposed_count = 0;
+      on_rebuild = None;
     }
   in
   for i = 0 to n - 1 do
@@ -84,6 +91,7 @@ let last_action_at t =
 
 let set_estimate_override t f = t.est_override <- f
 let set_shift_gate t g = t.shift_gate <- g
+let set_on_rebuild t f = t.on_rebuild <- f
 let set_autonomous t b = t.autonomous <- b
 let is_autonomous t = t.autonomous
 
@@ -139,7 +147,7 @@ let apply_recovery t ~now w =
     end
   end
 
-let commit t ~now w =
+let commit ?victim t ~now w =
   (* Drains hold across every rebuild, whatever recovery or shifting
      computed above; normalization then keeps the simplex. *)
   Array.iteri
@@ -149,7 +157,10 @@ let commit t ~now w =
   Maglev.Pool.set_weights t.pool w;
   Maglev.Pool.rebuild t.pool;
   t.last_update <- now;
-  t.updated_once <- true
+  t.updated_once <- true;
+  match t.on_rebuild with
+  | Some f -> f ~now ~victim
+  | None -> ()
 
 (* Administrative drain: pin the backend at the weight floor until
    {!restore}, which hands it back its uniform share and lets the
@@ -159,7 +170,7 @@ let drain t ~now ~server =
     invalid_arg "Controller.drain: server out of range";
   if not t.drained.(server) then begin
     t.drained.(server) <- true;
-    commit t ~now (Maglev.Pool.weights t.pool)
+    commit ~victim:server t ~now (Maglev.Pool.weights t.pool)
   end
 
 let restore t ~now ~server =
@@ -215,7 +226,7 @@ let on_sample t ~now ~server sample =
           None
         end
         else begin
-          commit t ~now weights;
+          commit ~victim t ~now weights;
           let action =
             {
               at = now;

@@ -97,6 +97,17 @@ val impose_weights : t -> now:Des.Time.t -> float array -> unit
 val imposed_count : t -> int
 (** Number of {!impose_weights} commits. *)
 
+val set_on_rebuild :
+  t -> (now:Des.Time.t -> victim:int option -> unit) option -> unit
+(** Install a hook invoked after every committed table rebuild —
+    shifts, drains, restores, recovery drift and imposed weights alike.
+    [victim] is the server the commit moved traffic away from, when it
+    had a single one: the shift's victim or the drained backend;
+    [None] for restores, recovery-only commits and imposed vectors.
+    The balancer uses this to apply its {!Remap} policy the instant
+    the table changes; unset (the default) the commit path behaves
+    exactly as before. *)
+
 val estimate : t -> int -> float option
 (** The estimate the decision loop currently sees for one server:
     the override when installed, the local smoothed estimate

@@ -1,0 +1,88 @@
+(* Remap policy: what happens to *established* flows when the
+   controller rebuilds the Maglev table.
+
+   The paper's balancer never touches them — per-connection consistency
+   (PCC) is absolute, and a weight shift only steers *new* connections.
+   [Preserve] keeps that behaviour byte-identically. The other three
+   deliberately trade stickiness for post-fault latency (the
+   delay-vs-stickiness frontier of Liang & Borst, arXiv 1703.10575):
+   they migrate live flows at rebuild time, each break observable to
+   the PCC oracle as exactly one violation. *)
+
+type t =
+  | Preserve
+  | Immediate
+  | Ttl of Des.Time.t
+  | Hot_k of int
+
+let to_string = function
+  | Preserve -> "preserve"
+  | Immediate -> "immediate"
+  | Ttl n ->
+      if n > 0 && n mod Des.Time.sec 1 = 0 then
+        Printf.sprintf "ttl:%ds" (n / Des.Time.sec 1)
+      else if n > 0 && n mod Des.Time.ms 1 = 0 then
+        Printf.sprintf "ttl:%dms" (n / Des.Time.ms 1)
+      else if n > 0 && n mod Des.Time.us 1 = 0 then
+        Printf.sprintf "ttl:%dus" (n / Des.Time.us 1)
+      else Printf.sprintf "ttl:%dns" n
+  | Hot_k k -> Printf.sprintf "hot_k:%d" k
+
+(* A duration is an integer plus ns/us/ms/s — the fault-timeline
+   grammar's unit set, minus its float mantissa (a TTL is a config
+   knob, not a measurement). *)
+let duration_of_string s =
+  let num, unit_ =
+    let n = String.length s in
+    let rec split i =
+      if i < n && (s.[i] >= '0' && s.[i] <= '9') then split (i + 1)
+      else (String.sub s 0 i, String.sub s i (n - i))
+    in
+    split 0
+  in
+  match (int_of_string_opt num, unit_) with
+  | Some v, "ns" -> Some v
+  | Some v, "us" -> Some (Des.Time.us v)
+  | Some v, "ms" -> Some (Des.Time.ms v)
+  | Some v, "s" -> Some (Des.Time.sec v)
+  | _ -> None
+
+let grammar = "preserve|immediate|ttl:<duration>|hot_k:<K>"
+
+let of_string s =
+  match s with
+  | "preserve" -> Ok Preserve
+  | "immediate" -> Ok Immediate
+  | _ -> begin
+      match String.index_opt s ':' with
+      | Some i -> begin
+          let head = String.sub s 0 i in
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match head with
+          | "ttl" -> begin
+              match duration_of_string arg with
+              | Some n -> Ok (Ttl n)
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "bad ttl %S (want e.g. ttl:300us, ttl:5ms)" arg)
+            end
+          | "hot_k" | "hot-k" | "hotk" -> begin
+              match int_of_string_opt arg with
+              | Some k when k >= 0 -> Ok (Hot_k k)
+              | Some _ | None ->
+                  Error
+                    (Printf.sprintf "bad hot_k %S (want a count >= 0)" arg)
+            end
+          | _ -> Error (Printf.sprintf "unknown remap %S (%s)" s grammar)
+        end
+      | None -> Error (Printf.sprintf "unknown remap %S (%s)" s grammar)
+    end
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let validate = function
+  | Preserve | Immediate -> Ok ()
+  | Ttl n ->
+      if n >= 0 then Ok () else Error "remap ttl must be >= 0"
+  | Hot_k k -> if k >= 0 then Ok () else Error "remap hot_k must be >= 0"

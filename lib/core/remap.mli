@@ -1,0 +1,40 @@
+(** Remap policy: what happens to established flows when the controller
+    rebuilds the Maglev table.
+
+    The paper's balancer never remaps a live connection — weight shifts
+    steer new flows only, and per-connection consistency (PCC) is
+    absolute. {!Preserve} keeps that behaviour byte-identically. The
+    other policies deliberately break PCC to buy post-fault latency
+    (the delay-vs-stickiness frontier, Liang & Borst arXiv 1703.10575);
+    every migration is published on the balancer's remap bus so the
+    {!Cluster.Oracle} can *count* the stickiness cost rather than
+    merely assert zero. *)
+
+type t =
+  | Preserve
+      (** Established flows are never touched (the paper; default). *)
+  | Immediate
+      (** Every live flow re-consults the rebuilt table on each commit:
+          a weighted-table rebuild with no affinity preservation. *)
+  | Ttl of Des.Time.t
+      (** Stickiness is honoured only for flows whose last packet is
+          less than this old at rebuild time; flows idle at least the
+          TTL re-consult the table. [Ttl 0] is {!Immediate}. *)
+  | Hot_k of int
+      (** Migrate only the K highest-rate live flows (by per-flow
+          packet count, the flow slab's rate lane) off the rebuild's
+          victim server. Rebuilds with no victim (restores, recovery
+          drift, imposed weights) migrate nothing. [Hot_k 0] is
+          {!Preserve}. *)
+
+val to_string : t -> string
+(** ["preserve"], ["immediate"], ["ttl:300us"], ["hot_k:4"], ... *)
+
+val of_string : string -> (t, string) result
+(** Parse [preserve | immediate | ttl:<duration> | hot_k:<K>]; the
+    duration is an integer plus [ns]/[us]/[ms]/[s]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> (unit, string) result
+(** TTLs and counts must be non-negative. *)

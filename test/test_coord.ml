@@ -18,12 +18,12 @@ let world_config =
     sweep_interval = Des.Time.ms 10;
   }
 
-let mk_world () =
+let mk_world ?(config = world_config) () =
   let engine = Des.Engine.create () in
   let fabric = Netsim.Fabric.create engine in
   let balancer =
     Inband.Balancer.create fabric ~vip ~server_ips
-      ~policy:Inband.Policy.Latency_aware ~config:world_config ()
+      ~policy:Inband.Policy.Latency_aware ~config ()
   in
   Array.iter
     (fun ip -> Netsim.Fabric.register fabric ~ip (fun _ -> ()))
@@ -71,8 +71,11 @@ let oracle_semantics () =
       check_int "pinned backend" 0 v.Cluster.Oracle.expected;
       check_int "observed backend" 2 v.Cluster.Oracle.got
   | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs));
-  (* FIN ends the flow: the same 5-tuple may reincarnate anywhere. *)
-  publish ~at_ms:4 ~server:0 ~flags:Netsim.Packet.flag_fin_ack;
+  (* FIN ends the flow: the same 5-tuple may reincarnate anywhere. The
+     FIN arrives at backend 2 — a violation adopts the observed backend
+     (one reassignment = one violation), so the teardown is judged
+     against the post-reassignment truth, not the original pin. *)
+  publish ~at_ms:4 ~server:2 ~flags:Netsim.Packet.flag_fin_ack;
   check_int "fin releases tracking" 0 (Cluster.Oracle.tracked oracle);
   publish ~at_ms:5 ~server:1 ~flags:Netsim.Packet.flag_syn;
   check_int "reincarnation is legitimate" 1
@@ -105,6 +108,59 @@ let oracle_rst () =
   publish ~at_ms:2 ~server:2 ~flags:Netsim.Packet.flag_rst;
   publish ~at_ms:3 ~server:0 ~flags:Netsim.Packet.flag_ack;
   check_bool "rst ends the flow too" true (Cluster.Oracle.ok oracle)
+
+(* Regression for the idle-gap / TTL-remap race. The pinned semantics:
+   an announced remap is a violation iff the flow was live (previous
+   packet within the idle horizon) at the remap instant; a remap of a
+   connection the balancer simply had not swept yet migrates a dead
+   flow and counts nothing. Both adopt the announced backend, so the
+   next packet is judged against the post-remap truth rather than
+   racing the oracle's silent re-adoption rule. The world's idle
+   horizon is 50 ms. *)
+let oracle_idle_gap_remap () =
+  let _, _, balancer = mk_world () in
+  let oracle = Cluster.Oracle.attach balancer in
+  let routed = Inband.Balancer.routed_bus balancer in
+  let remaps = Inband.Balancer.remap_bus balancer in
+  let flow_of i = Netsim.Flow_key.v ~src:(Netsim.Addr.v 100 (2000 + i)) ~dst:vip in
+  let publish ~at_ms ~flow ~server ~flags =
+    Telemetry.Bus.publish routed
+      {
+        Inband.Balancer.at = Des.Time.ms at_ms;
+        flow;
+        server;
+        packet =
+          Netsim.Packet.make ~src:flow.Netsim.Flow_key.src ~dst:vip ~seq:0
+            ~ack:0 ~flags ~payload:"";
+      }
+  in
+  let remap ~at_ms ~flow ~from_server ~to_server =
+    Telemetry.Bus.publish remaps
+      { Inband.Balancer.at = Des.Time.ms at_ms; flow; from_server; to_server }
+  in
+  (* Live flow (29 ms since its last packet): the remap counts, once. *)
+  let f0 = flow_of 0 in
+  publish ~at_ms:1 ~flow:f0 ~server:0 ~flags:Netsim.Packet.flag_syn;
+  remap ~at_ms:30 ~flow:f0 ~from_server:0 ~to_server:1;
+  check_int "remap of a live flow counts" 1
+    (Cluster.Oracle.violation_count oracle);
+  (* ... and adopted: the next packet lands on the announced backend
+     and must not count again (one reassignment = one violation). *)
+  publish ~at_ms:40 ~flow:f0 ~server:1 ~flags:Netsim.Packet.flag_ack;
+  check_int "post-remap packet is consistent" 1
+    (Cluster.Oracle.violation_count oracle);
+  (* Dead flow (58 ms idle, past the horizon): the balancer's lazy
+     sweep just hadn't retired it yet — migrating it breaks nothing. *)
+  let f1 = flow_of 1 in
+  publish ~at_ms:2 ~flow:f1 ~server:2 ~flags:Netsim.Packet.flag_syn;
+  remap ~at_ms:60 ~flow:f1 ~from_server:2 ~to_server:3;
+  check_int "remap inside the idle gap of a dead flow is free" 1
+    (Cluster.Oracle.violation_count oracle);
+  (* A remap of a flow the oracle never tracked is ignored. *)
+  remap ~at_ms:70 ~flow:(flow_of 2) ~from_server:0 ~to_server:1;
+  check_int "untracked remap ignored" 1
+    (Cluster.Oracle.violation_count oracle);
+  check_int "remap events are not packets" 3 (Cluster.Oracle.checked oracle)
 
 (* --- qcheck: PCC holds under random control-plane turbulence ----------- *)
 
@@ -202,6 +258,265 @@ let pcc_property =
       "per-connection consistency holds under random shifts, drains, \
        restores and rebuilds"
     ops_arbitrary run_ops
+
+(* --- qcheck: the counting oracle against an independent shadow map ----- *)
+
+(* A second, deliberately simple bookkeeper over the same two event
+   streams: flow -> (backend, last_seen), one count per reassignment of
+   a live flow, remaps counted iff live at the remap instant. The
+   oracle (with its window rolling, adoption rules and SYN-only
+   tracking) must agree with it exactly, on any op sequence, under any
+   remap policy — and preserve sequences must count zero on both. *)
+type shadow = { tbl : (Netsim.Flow_key.t, int * Des.Time.t) Hashtbl.t;
+                mutable count : int }
+
+let attach_shadow balancer =
+  let idle =
+    (Inband.Balancer.config balancer).Inband.Config.flow_idle_timeout
+  in
+  let s = { tbl = Hashtbl.create 64; count = 0 } in
+  let (_ : Telemetry.Bus.subscription) =
+    Telemetry.Bus.subscribe
+      (Inband.Balancer.routed_bus balancer)
+      (fun (ev : Inband.Balancer.routed_event) ->
+        let flags = ev.packet.Netsim.Packet.flags in
+        let ended = flags.Netsim.Packet.fin || flags.Netsim.Packet.rst in
+        match Hashtbl.find_opt s.tbl ev.flow with
+        | None ->
+            if flags.Netsim.Packet.syn && not ended then
+              Hashtbl.replace s.tbl ev.flow (ev.server, ev.at)
+        | Some (srv, seen) ->
+            if ev.at - seen <= idle && srv <> ev.server then
+              s.count <- s.count + 1;
+            if ended then Hashtbl.remove s.tbl ev.flow
+            else Hashtbl.replace s.tbl ev.flow (ev.server, ev.at))
+  in
+  let (_ : Telemetry.Bus.subscription) =
+    Telemetry.Bus.subscribe
+      (Inband.Balancer.remap_bus balancer)
+      (fun (ev : Inband.Balancer.remap_event) ->
+        match Hashtbl.find_opt s.tbl ev.flow with
+        | None -> ()
+        | Some (_, seen) ->
+            if ev.at - seen <= idle then s.count <- s.count + 1;
+            (* Adopt the announced backend; the gap clock keeps running
+               from the flow's last packet. *)
+            Hashtbl.replace s.tbl ev.flow (ev.to_server, seen))
+  in
+  s
+
+let remap_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Inband.Remap.Preserve);
+        (2, return Inband.Remap.Immediate);
+        (2, map (fun ms -> Inband.Remap.Ttl (Des.Time.ms ms)) (int_range 0 80));
+        (2, map (fun k -> Inband.Remap.Hot_k k) (int_bound 6));
+      ])
+
+let remap_ops_arbitrary =
+  QCheck.make
+    ~print:(fun (remap, ops) ->
+      Fmt.str "%s: %a"
+        (Inband.Remap.to_string remap)
+        Fmt.(Dump.list pp_op)
+        ops)
+    QCheck.Gen.(
+      pair remap_gen (list_size (int_range 20 120) op_gen))
+
+let run_counting_ops (remap, ops) =
+  let engine, fabric, balancer =
+    mk_world ~config:{ world_config with Inband.Config.remap } ()
+  in
+  let oracle = Cluster.Oracle.attach balancer in
+  let shadow = attach_shadow balancer in
+  let controller = Inband.Balancer.controller balancer in
+  let seq = Array.make n_flows 0 in
+  let now () = Des.Engine.now engine in
+  let step_to t = Des.Engine.run ~until:t engine in
+  let send i flags =
+    let cip = 100 + (i mod 2) in
+    Netsim.Fabric.send fabric ~from:cip
+      (Netsim.Packet.make
+         ~src:(Netsim.Addr.v cip (1000 + i))
+         ~dst:vip ~seq:seq.(i) ~ack:0 ~flags ~payload:"x");
+    seq.(i) <- seq.(i) + 1
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Pkt i -> send i Netsim.Packet.flag_ack
+      | Fin i -> send i Netsim.Packet.flag_fin_ack
+      | Shift w ->
+          Option.iter
+            (fun c -> Inband.Controller.impose_weights c ~now:(now ()) w)
+            controller
+      | Drain s ->
+          Option.iter
+            (fun c -> Inband.Controller.drain c ~now:(now ()) ~server:s)
+            controller
+      | Restore s ->
+          Option.iter
+            (fun c -> Inband.Controller.restore c ~now:(now ()) ~server:s)
+            controller
+      | Rebuild -> Maglev.Pool.rebuild (Inband.Balancer.pool balancer)
+      | Advance ms -> step_to (now () + Des.Time.ms ms));
+      step_to (now () + Des.Time.us 50))
+    ops;
+  step_to (now () + Des.Time.ms 5);
+  let counted = Cluster.Oracle.violation_count oracle in
+  if counted <> shadow.count then
+    QCheck.Test.fail_reportf
+      "oracle counted %d violations, shadow map %d (%d packets checked, %d \
+       remapped)"
+      counted shadow.count
+      (Cluster.Oracle.checked oracle)
+      (Inband.Balancer.remapped_flows balancer);
+  if remap = Inband.Remap.Preserve && counted <> 0 then
+    QCheck.Test.fail_reportf "preserve counted %d violations" counted;
+  true
+
+let counting_property =
+  QCheck.Test.make ~count:60
+    ~name:
+      "counting oracle equals the shadow map under any remap policy; \
+       preserve counts zero"
+    remap_ops_arbitrary run_counting_ops
+
+(* --- Remap policy edge cases on a real balancer ------------------------ *)
+
+let world_with remap =
+  mk_world ~config:{ world_config with Inband.Config.remap } ()
+
+(* Establish [n] live flows (SYN each, no FIN), watching the routed bus
+   for every flow's current backend and the remap bus for announced
+   migrations. Returns the send function for follow-up packets. *)
+let establish ~engine ~fabric ~balancer n =
+  let assignment = Hashtbl.create n in
+  let remapped = ref [] in
+  let (_ : Telemetry.Bus.subscription) =
+    Telemetry.Bus.subscribe
+      (Inband.Balancer.routed_bus balancer)
+      (fun (ev : Inband.Balancer.routed_event) ->
+        Hashtbl.replace assignment ev.flow ev.server)
+  in
+  let (_ : Telemetry.Bus.subscription) =
+    Telemetry.Bus.subscribe
+      (Inband.Balancer.remap_bus balancer)
+      (fun (ev : Inband.Balancer.remap_event) ->
+        remapped := (ev.flow, ev.from_server, ev.to_server) :: !remapped)
+  in
+  let seq = Array.make n 0 in
+  let send i flags =
+    let cip = 100 + (i mod 2) in
+    Netsim.Fabric.send fabric ~from:cip
+      (Netsim.Packet.make
+         ~src:(Netsim.Addr.v cip (1000 + i))
+         ~dst:vip ~seq:seq.(i) ~ack:0 ~flags ~payload:"x");
+    seq.(i) <- seq.(i) + 1
+  in
+  for i = 0 to n - 1 do
+    send i Netsim.Packet.flag_syn
+  done;
+  Des.Engine.run ~until:(Des.Engine.now engine + Des.Time.ms 1) engine;
+  (assignment, remapped, send)
+
+let sorted_assignment tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Drive one world through shift + drain + follow-up packets; the
+   comparable outcome is (remap event log, final flow assignments). *)
+let remap_script remap =
+  let engine, fabric, balancer = world_with remap in
+  let assignment, remapped, send = establish ~engine ~fabric ~balancer 16 in
+  let c = Option.get (Inband.Balancer.controller balancer) in
+  let step () = Des.Engine.run ~until:(Des.Engine.now engine + Des.Time.ms 1) engine in
+  Inband.Controller.impose_weights c ~now:(Des.Engine.now engine)
+    [| 1.0; 0.2; 0.2; 0.2 |];
+  step ();
+  Inband.Controller.drain c ~now:(Des.Engine.now engine) ~server:1;
+  step ();
+  for i = 0 to 15 do
+    send i Netsim.Packet.flag_ack
+  done;
+  step ();
+  ( List.rev !remapped,
+    sorted_assignment assignment,
+    Inband.Balancer.remapped_flows balancer )
+
+(* ttl:0 has no idle bar at all — every live flow requalifies at every
+   rebuild, which is exactly what immediate does. *)
+let remap_ttl0_equals_immediate () =
+  let ra, aa, ca = remap_script (Inband.Remap.Ttl 0) in
+  let rb, ab, cb = remap_script Inband.Remap.Immediate in
+  check_bool "ttl:0 remap log equals immediate's" true (ra = rb);
+  check_bool "ttl:0 assignments equal immediate's" true (aa = ab);
+  check_int "ttl:0 migration count equals immediate's" cb ca;
+  check_bool "the script migrated something" true (ca > 0)
+
+(* hot_k:0 migrates the top zero flows — preserve with extra steps. *)
+let remap_hot_k0_equals_preserve () =
+  let ra, aa, ca = remap_script (Inband.Remap.Hot_k 0) in
+  let rb, ab, cb = remap_script Inband.Remap.Preserve in
+  check_bool "hot_k:0 never remaps" true (ra = []);
+  check_int "hot_k:0 counter stays zero" 0 ca;
+  check_int "preserve counter stays zero" 0 cb;
+  check_bool "hot_k:0 assignments equal preserve's" true (aa = ab);
+  check_bool "preserve remap log empty" true (rb = [])
+
+(* hot_k with K above the victim's live-flow count evacuates the victim
+   completely: every flow pinned there migrates, exactly once, and
+   never back onto the victim. *)
+let remap_hot_k_evacuates_victim () =
+  let engine, fabric, balancer = world_with (Inband.Remap.Hot_k 1000) in
+  let assignment, remapped, _send = establish ~engine ~fabric ~balancer 16 in
+  let victim = 0 in
+  let on_victim =
+    Hashtbl.fold
+      (fun flow server acc -> if server = victim then flow :: acc else acc)
+      assignment []
+  in
+  check_bool "some flows start on the victim" true (on_victim <> []);
+  let c = Option.get (Inband.Balancer.controller balancer) in
+  Inband.Controller.drain c ~now:(Des.Engine.now engine) ~server:victim;
+  Des.Engine.run ~until:(Des.Engine.now engine + Des.Time.ms 1) engine;
+  let events = List.rev !remapped in
+  check_int "every victim flow migrated" (List.length on_victim)
+    (List.length events);
+  List.iter
+    (fun (flow, from_server, to_server) ->
+      check_bool "migrated off the victim" true (from_server = victim);
+      check_bool "not back onto the victim" true (to_server <> victim);
+      check_int "each victim flow exactly once" 1
+        (List.length
+           (List.filter (fun (f, _, _) -> f = flow) events)))
+    events;
+  List.iter
+    (fun flow ->
+      check_bool "victim flow appears in the log" true
+        (List.exists (fun (f, _, _) -> f = flow) events))
+    on_victim
+
+(* A remap while a drain is active must never pick the drained server:
+   the drain commit itself remaps away from it, and a later shift's
+   remap keeps avoiding it until the restore. *)
+let remap_avoids_drained_server () =
+  let engine, fabric, balancer = world_with Inband.Remap.Immediate in
+  let _assignment, remapped, _send = establish ~engine ~fabric ~balancer 16 in
+  let drained = 2 in
+  let c = Option.get (Inband.Balancer.controller balancer) in
+  let step () = Des.Engine.run ~until:(Des.Engine.now engine + Des.Time.ms 1) engine in
+  Inband.Controller.drain c ~now:(Des.Engine.now engine) ~server:drained;
+  step ();
+  Inband.Controller.impose_weights c ~now:(Des.Engine.now engine)
+    [| 0.1; 1.0; 1.0; 0.3 |];
+  step ();
+  check_bool "the drain and shift remapped something" true (!remapped <> []);
+  List.iter
+    (fun (_, _, to_server) ->
+      check_bool "never onto the drained server" true (to_server <> drained))
+    !remapped
 
 (* --- Coordination: leader/follower over a bare controller pair --------- *)
 
@@ -458,7 +773,20 @@ let () =
         [
           Alcotest.test_case "semantics" `Quick oracle_semantics;
           Alcotest.test_case "rst" `Quick oracle_rst;
+          Alcotest.test_case "idle-gap remap" `Quick oracle_idle_gap_remap;
           QCheck_alcotest.to_alcotest pcc_property;
+          QCheck_alcotest.to_alcotest counting_property;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "ttl:0 = immediate" `Quick
+            remap_ttl0_equals_immediate;
+          Alcotest.test_case "hot_k:0 = preserve" `Quick
+            remap_hot_k0_equals_preserve;
+          Alcotest.test_case "hot_k evacuates the victim" `Quick
+            remap_hot_k_evacuates_victim;
+          Alcotest.test_case "drain is never a remap target" `Quick
+            remap_avoids_drained_server;
         ] );
       ( "coordination",
         [

@@ -34,6 +34,49 @@ let fig2b () =
   Alcotest.(check string) "fig2b tracking summary (seed 0x5eed2)" expected
     rendered
 
+(* The remap layer must be invisible under its default: an explicit
+   [--remap preserve] Fig 3 CSV is byte-identical to the pre-remap
+   default, at any --jobs and --shards combination. (Fig 2 exercises no
+   balancer, so the fig2a/fig2b goldens above already pin its tables
+   against the remap plumbing by construction.) A compressed 6 s
+   timeline keeps the grid affordable; byte-equality is scale-free. *)
+let fig3_remap_preserve () =
+  let run ~explicit ~shards ~jobs =
+    let scenario =
+      { Cluster.Fig3.default_scenario with Cluster.Scenario.shards }
+    in
+    let scenario =
+      if not explicit then scenario
+      else
+        {
+          scenario with
+          Cluster.Scenario.lb =
+            {
+              scenario.Cluster.Scenario.lb with
+              Inband.Config.remap =
+                (match Inband.Remap.of_string "preserve" with
+                | Ok r -> r
+                | Error msg -> Alcotest.fail msg);
+            };
+        }
+    in
+    Cluster.Csv.fig3_series
+      (Cluster.Fig3.run ~scenario ~jobs ~duration:(Des.Time.sec 6)
+         ~inject_at:(Des.Time.sec 2) ())
+  in
+  let reference = run ~explicit:false ~shards:1 ~jobs:1 in
+  Alcotest.(check bool) "reference CSV is non-trivial" true
+    (String.length reference > 100);
+  List.iter
+    (fun (explicit, shards, jobs) ->
+      Alcotest.(check string)
+        (Fmt.str "fig3 CSV (%s, shards=%d, jobs=%d)"
+           (if explicit then "explicit preserve" else "default")
+           shards jobs)
+        reference
+        (run ~explicit ~shards ~jobs))
+    [ (true, 1, 1); (true, 2, 2); (false, 2, 1) ]
+
 let () =
   Alcotest.run "golden"
     [
@@ -41,5 +84,10 @@ let () =
         [
           Alcotest.test_case "fig2a table" `Slow fig2a;
           Alcotest.test_case "fig2b tracking" `Slow fig2b;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "remap-preserve CSV byte-identity" `Slow
+            fig3_remap_preserve;
         ] );
     ]
